@@ -1,0 +1,55 @@
+//! # baselines — comparator SpMM kernels (§VI-A)
+//!
+//! One kernel per system the paper compares against, each implementing that
+//! system's published algorithmic structure on the shared `gpu-sim`
+//! substrate so its characteristic strengths and weaknesses emerge from the
+//! algorithm rather than tuned constants:
+//!
+//! * [`CusparseSpmm`] — cuSPARSE's CSR row-split kernel: warp-per-row, no
+//!   tiling for dense-operand reuse, so every non-zero pays full gather
+//!   traffic. Collapses on graphs with scattered neighbour IDs (AZ, DP).
+//! * [`SputnikSpmm`] — Gale et al.'s 1-D tiling with subwarp row mapping and
+//!   vector memory accesses; captures reuse inside a row tile.
+//! * [`GeSpmm`] — Huang et al.'s coalesced-row-caching + coarse warp
+//!   merging; caches CSR entries in shared memory, reuse across merged rows.
+//! * [`TcGnnSpmm`] — Wang et al.'s all-Tensor-core design with SGT column
+//!   condensing; CUDA cores only load data. Unoptimized fragment loading.
+//! * [`DtcSpmm`] — Fan et al.'s ME-TCF Tensor-core kernel with efficient
+//!   loading (the strongest Tensor-only baseline).
+//! * [`cpu_spmm`] — the PyTorch-CPU reference point (§VI-B1's 183.77×).
+//!
+//! All of them return bit-exact (CUDA paths) or precision-faithful (Tensor
+//! paths) numerics, so every comparison in the bench harness is validated
+//! against the reference multiply.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod cusparse;
+pub mod dtc;
+pub mod gespmm;
+pub mod sputnik;
+pub mod tcgnn;
+pub mod tilecsr;
+
+pub use cpu::{cpu_spmm, CpuSpmmReport};
+pub use cusparse::CusparseSpmm;
+pub use dtc::DtcSpmm;
+pub use gespmm::GeSpmm;
+pub use sputnik::{SputnikHalfSpmm, SputnikSpmm};
+pub use tcgnn::TcGnnSpmm;
+pub use tilecsr::TileCsrSpmm;
+
+use hc_core::SpmmKernel;
+
+/// All five GPU baselines plus HC-SpMM, in the order Fig. 10 plots them.
+pub fn all_kernels() -> Vec<Box<dyn SpmmKernel>> {
+    vec![
+        Box::new(CusparseSpmm),
+        Box::new(SputnikSpmm),
+        Box::new(GeSpmm),
+        Box::new(TcGnnSpmm::default()),
+        Box::new(DtcSpmm::default()),
+        Box::new(hc_core::HcSpmm::default()),
+    ]
+}

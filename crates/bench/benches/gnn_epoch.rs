@@ -1,0 +1,36 @@
+//! Wall-clock of one simulated GCN training epoch per aggregation backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn::aggregator::{Aggregator, HcAggregator, KernelAggregator};
+use gnn::train::{synthetic_labels, Trainer};
+use gnn::Gcn;
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, DenseMatrix};
+
+fn bench_epoch(c: &mut Criterion) {
+    let dev = DeviceSpec::rtx3090();
+    let a = gen::community(4_096, 24_576, 128, 0.9, 1).gcn_normalize();
+    let x = DenseMatrix::random_features(a.nrows, 64, 2);
+    let labels = synthetic_labels(a.nrows, 8);
+    let tr = Trainer {
+        lr: 0.05,
+        epochs: 1,
+    };
+
+    let mut g = c.benchmark_group("gcn_epoch");
+    let hc = HcAggregator::new(&a, &dev);
+    let ge = KernelAggregator::new(baselines::GeSpmm);
+    let backends: Vec<(&str, &dyn Aggregator)> = vec![("hc_fused", &hc), ("ge_spmm", &ge)];
+    for (name, agg) in backends {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut m = Gcn::new(64, 32, 8, 3);
+                tr.train_gcn(&mut m, &a, &x, &labels, agg, &dev)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

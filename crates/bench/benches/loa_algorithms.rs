@@ -1,0 +1,24 @@
+//! Algorithm 5 vs Algorithm 6: the paper's "Efficiency Optimization" claim
+//! — the incremental `cns` counters remove the redundant set unions of the
+//! brute-force layout reformat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_sparse::gen;
+use hc_core::{Loa, LoaBrute};
+
+fn bench_loa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loa_alg5_vs_alg6");
+    for n in [2_048usize, 8_192] {
+        let a = gen::scatter_relabel(&gen::molecules(n, n * 3, 1), 2);
+        g.bench_with_input(BenchmarkId::new("alg6_optimized", n), &a, |b, a| {
+            b.iter(|| Loa::default().run(a))
+        });
+        g.bench_with_input(BenchmarkId::new("alg5_brute", n), &a, |b, a| {
+            b.iter(|| LoaBrute::default().run(a))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_loa);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Substrate microbenchmarks: window partitioning, format conversion,
+//! generators — the building blocks every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graph_sparse::{gen, RowWindowPartition};
+
+fn bench_substrate(c: &mut Criterion) {
+    let a = gen::barabasi_albert(32_768, 4, 1);
+    c.bench_function("row_window_partition_32k", |b| {
+        b.iter(|| RowWindowPartition::build(&a))
+    });
+    c.bench_function("csr_transpose_32k", |b| b.iter(|| a.transpose()));
+    c.bench_function("gcn_normalize_32k", |b| b.iter(|| a.gcn_normalize()));
+    c.bench_function("generate_community_8k", |b| {
+        b.iter(|| gen::community(8_192, 49_152, 256, 0.9, 7))
+    });
+    c.bench_function("metcf_conversion_32k", |b| {
+        b.iter(|| graph_sparse::MeTcf::from_csr(&a))
+    });
+    c.bench_function("generate_molecules_8k", |b| {
+        b.iter(|| gen::molecules(8_192, 20_000, 7))
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

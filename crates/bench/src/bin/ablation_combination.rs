@@ -1,0 +1,8 @@
+//! Regenerates the §IV-A combination-strategy comparison (footnote 4).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::combination::run(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

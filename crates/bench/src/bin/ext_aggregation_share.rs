@@ -1,0 +1,8 @@
+//! Extension: aggregation share of GNN epoch time (§I's >80 % claim).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::aggregation_share(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension: concurrent CUDA+Tensor streams (Appendix H future work).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::concurrent_cores(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension: K-layer GCN depth scaling and LOA amortization.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::deep_models(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension: dynamic-graph break-even (Appendix F's amortization claim).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::dynamic_graphs(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

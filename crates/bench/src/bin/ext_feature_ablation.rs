@@ -1,0 +1,7 @@
+//! Extension: selector feature-subset ablation (§IV-B / footnote 7).
+fn main() {
+    println!(
+        "{}",
+        bench::experiments::extensions::feature_ablation(&gpu_sim::DeviceSpec::rtx3090())
+    );
+}

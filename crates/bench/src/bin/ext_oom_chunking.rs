@@ -1,0 +1,8 @@
+//! Extension: memory-budgeted chunked SpMM (the DP OOM scenario).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::oom_chunking(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

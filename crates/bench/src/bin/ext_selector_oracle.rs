@@ -1,0 +1,8 @@
+//! Extension: LR selector vs per-window cost oracle.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::selector_vs_oracle(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

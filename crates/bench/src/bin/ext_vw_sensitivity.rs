@@ -1,0 +1,8 @@
+//! Extension: LOA vertices-window (VW) sweep.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::extensions::vw_sensitivity(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

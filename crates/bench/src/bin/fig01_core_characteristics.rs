@@ -1,0 +1,7 @@
+//! Regenerates Fig. 1: CUDA vs Tensor core time by sparsity / nnz columns.
+fn main() {
+    println!(
+        "{}",
+        bench::experiments::characterization::fig01(&gpu_sim::DeviceSpec::rtx3090())
+    );
+}

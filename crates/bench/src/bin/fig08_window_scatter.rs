@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: row-window feature scatter + LR boundary.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::characterization::fig08(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10: overall SpMM kernel comparison.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::spmm::fig10(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figs. 11/12 + Table VIII: GCN training comparison.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::training::fig11_12_gcn(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 13 + Table IX: GIN training comparison.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::training::fig13_gin(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

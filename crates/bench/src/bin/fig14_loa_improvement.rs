@@ -1,0 +1,8 @@
+//! Regenerates Fig. 14: LOA end-to-end improvement.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::loa_exp::fig14(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 15: windows per core type before/after LOA.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::loa_exp::fig15(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 16: LOA overhead vs training time.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::loa_exp::fig16(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 17: LR-parameter sensitivity (Appendix E).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::sensitivity::fig17(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

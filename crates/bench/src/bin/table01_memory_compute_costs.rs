@@ -1,0 +1,8 @@
+//! Regenerates Table I: memory vs compute cost per core type.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::characterization::table01(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

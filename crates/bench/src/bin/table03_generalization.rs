@@ -1,0 +1,8 @@
+//! Regenerates Table III: generalization ablation.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::ablations::table03(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

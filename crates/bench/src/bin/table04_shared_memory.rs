@@ -1,0 +1,8 @@
+//! Regenerates Table IV: shared-memory staging ablation.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::ablations::table04(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table V: Tensor data-loading ablation.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::ablations::table05(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

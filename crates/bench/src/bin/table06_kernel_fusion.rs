@@ -1,0 +1,8 @@
+//! Regenerates Table VI: kernel-fusion ablation.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::training::table06(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table VII: FP-type comparison (Appendix B).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::spmm::table07(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

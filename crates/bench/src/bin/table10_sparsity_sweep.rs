@@ -1,0 +1,7 @@
+//! Regenerates Table X: synthetic sparsity sweep (Appendix D).
+fn main() {
+    println!(
+        "{}",
+        bench::experiments::spmm::table10(&gpu_sim::DeviceSpec::rtx3090())
+    );
+}

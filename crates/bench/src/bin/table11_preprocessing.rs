@@ -1,0 +1,8 @@
+//! Regenerates Table XI: preprocessing overhead (Appendix F).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!(
+        "{}",
+        bench::experiments::spmm::table11(&mut c, &gpu_sim::DeviceSpec::rtx3090())
+    );
+}

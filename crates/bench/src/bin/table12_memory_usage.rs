@@ -1,0 +1,5 @@
+//! Regenerates Table XII: memory usage (Appendix G).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!("{}", bench::experiments::training::table12(&mut c));
+}

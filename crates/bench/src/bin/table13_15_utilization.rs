@@ -1,0 +1,8 @@
+//! Regenerates Tables XIII–XV: utilization & throughput (Appendix H).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let dev = gpu_sim::DeviceSpec::rtx3090();
+    println!("{}", bench::experiments::utilization::table13(&mut c, &dev));
+    println!("{}", bench::experiments::utilization::table14(&mut c, &dev));
+    println!("{}", bench::experiments::utilization::table15(&mut c, &dev));
+}

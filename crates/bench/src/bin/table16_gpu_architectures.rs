@@ -1,0 +1,5 @@
+//! Regenerates Table XVI: SpMM across GPU architectures (Appendix A).
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    println!("{}", bench::experiments::spmm::table16(&mut c));
+}

@@ -1,0 +1,4 @@
+//! Reruns the §IV-C selector-training pipeline on every GPU preset.
+fn main() {
+    println!("{}", bench::experiments::selector_exp::run());
+}

@@ -1,0 +1,459 @@
+//! Extension experiments beyond the paper's numbered tables, each grounded
+//! in a specific in-paper claim.
+//!
+//! * **Dynamic graphs** — Appendix F: "For scenarios where sparse matrices
+//!   are constantly changing, SpMM methods optimized for CUDA cores such as
+//!   Sputnik are more suitable." We quantify the break-even: how many SpMM
+//!   executions per graph mutation amortize HC-SpMM's preprocessing?
+//! * **VW sensitivity** — §V-B introduces the vertices window `VW` without
+//!   reporting a value; we sweep it and report the quality/overhead trade.
+
+use baselines::SputnikSpmm;
+use gpu_sim::DeviceSpec;
+use graph_sparse::{DatasetId, DenseMatrix, RowWindowPartition};
+use hc_core::{HcSpmm, Loa, SpmmKernel};
+
+use crate::harness::{f3, DatasetCache, Table};
+
+/// Dynamic-graph break-even: executions per mutation at which HC-SpMM
+/// (preprocess once, run fast) overtakes Sputnik (no preprocessing).
+pub fn dynamic_graphs(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    let mut t = Table::new(&[
+        "Dataset",
+        "HC pre (ms)",
+        "HC SpMM (ms)",
+        "Sputnik SpMM (ms)",
+        "break-even execs",
+    ]);
+    for id in DatasetId::ABLATION_SET {
+        let ds = cache.get(id);
+        let dim = ds.spec.dim.min(512);
+        let a = ds.adj.clone();
+        let x = DenseMatrix::random_features(a.nrows, dim, id as u64);
+        let hc = HcSpmm::default();
+        let pre = hc.preprocess(&a, dev);
+        let t_hc = hc.spmm_preprocessed(&pre, &a, &x, dev).run.time_ms;
+        let t_sp = SputnikSpmm.spmm(&a, &x, dev).run.time_ms;
+        let breakeven = if t_sp > t_hc {
+            format!("{:.1}", pre.run.time_ms / (t_sp - t_hc))
+        } else {
+            "never".to_string()
+        };
+        t.row(vec![
+            id.code().into(),
+            f3(pre.run.time_ms),
+            f3(t_hc),
+            f3(t_sp),
+            breakeven,
+        ]);
+    }
+    format!(
+        "Dynamic-graph break-even (Appendix F): executions per mutation needed to amortize preprocessing\n{}",
+        t.render()
+    )
+}
+
+/// VW sweep: layout quality (mean computing intensity, SpMM time) and LOA
+/// cost as the candidate window grows.
+pub fn vw_sensitivity(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    let ds = cache.get(DatasetId::AZ);
+    let dim = ds.spec.dim.min(512);
+    let a = ds.adj.clone();
+    let x = DenseMatrix::random_features(a.nrows, dim, 1);
+    let hc = HcSpmm::default();
+    let base = hc.spmm(&a, &x, dev).run.time_ms;
+
+    let mut t = Table::new(&[
+        "VW",
+        "LOA ops",
+        "mean intensity",
+        "SpMM (us)",
+        "improvement",
+    ]);
+    for vw in [8usize, 16, 32, 64, 128, 256] {
+        let (opt, rep) = Loa { vw }.optimize(&a);
+        let ms = hc.spmm(&opt, &x, dev).run.time_ms;
+        t.row(vec![
+            vw.to_string(),
+            rep.ops.to_string(),
+            f3(RowWindowPartition::build(&opt).mean_computing_intensity()),
+            f3(ms * 1e3),
+            format!("{:+.2}%", (base - ms) / base * 100.0),
+        ]);
+    }
+    format!(
+        "LOA vertices-window sweep on AZ (§V-B leaves VW unspecified; default {})\n{}",
+        Loa::default().vw,
+        t.render()
+    )
+}
+
+/// Concurrent-core execution (Appendix H future work): what overlapping
+/// the CUDA and Tensor streams on an SM partition would buy over the
+/// paper's serialized single-stream design.
+pub fn concurrent_cores(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    let mut t = Table::new(&[
+        "Dataset",
+        "serialized (us)",
+        "concurrent (us)",
+        "potential gain",
+    ]);
+    for id in [DatasetId::PT, DatasetId::DD, DatasetId::GH, DatasetId::AZ] {
+        let ds = cache.get(id);
+        let dim = ds.spec.dim.min(512);
+        // Post-LOA layouts: mixed CUDA/Tensor window populations are where
+        // concurrency can help.
+        let a = Loa::default().optimize(&ds.adj).0;
+        let x = DenseMatrix::random_features(a.nrows, dim, id as u64);
+        let hc = HcSpmm::default();
+        let pre = hc.preprocess(&a, dev);
+        let serial = hc.spmm_preprocessed(&pre, &a, &x, dev).run.time_ms;
+        let conc = hc.spmm_concurrent(&pre, &a, &x, dev).run.time_ms;
+        t.row(vec![
+            id.code().into(),
+            f3(serial * 1e3),
+            f3(conc * 1e3),
+            format!("{:+.2}%", (serial - conc) / serial * 100.0),
+        ]);
+    }
+    format!(
+        "Concurrent hybrid execution (Appendix H future work): SM-partitioned streams\n{}",
+        t.render()
+    )
+}
+
+/// Memory-budgeted chunked SpMM (the §VI-C1 DP out-of-memory scenario):
+/// overhead of running DP's SpMM under shrinking device-memory budgets.
+pub fn oom_chunking(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    use hc_core::chunked::{resident_bytes, spmm_auto};
+    let ds = cache.get(DatasetId::DP);
+    let dim = ds.spec.dim.min(512);
+    let a = ds.adj.clone();
+    let x = DenseMatrix::random_features(a.nrows, dim, 7);
+    let hc = HcSpmm::default();
+    let pre = hc.preprocess(&a, dev);
+    let full_bytes = resident_bytes(&a, dim);
+    let base = hc.spmm_preprocessed(&pre, &a, &x, dev).run.time_ms;
+    let mut t = Table::new(&["budget", "panels", "time (ms)", "overhead"]);
+    for frac in [1.0f64, 0.5, 0.25, 0.125] {
+        let budget = (full_bytes as f64 * frac) as u64;
+        match hc.spmm_chunked(&pre, &a, &x, dev, budget) {
+            Some(c) => t.row(vec![
+                format!("{:.0}%", frac * 100.0),
+                c.panels.to_string(),
+                f3(c.run.time_ms),
+                format!("{:+.2}%", (c.run.time_ms - base) / base * 100.0),
+            ]),
+            None => t.row(vec![
+                format!("{:.0}%", frac * 100.0),
+                "-".into(),
+                "OOM".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    let _ = spmm_auto(&hc, &pre, &a, &x, dev, full_bytes);
+    format!(
+        "Memory-budgeted SpMM on DP (§VI-C1's OOM case): column-panel chunking\n{}",
+        t.render()
+    )
+}
+
+/// Selector-quality study: the trained LR model against the per-window
+/// cost oracle and the fixed all-CUDA/all-Tensor policies — how much of the
+/// selection headroom the §IV-C model captures.
+pub fn selector_vs_oracle(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    use hc_core::preprocess_oracle;
+    let mut t = Table::new(&[
+        "Dataset",
+        "all-CUDA",
+        "all-Tensor",
+        "LR model",
+        "oracle",
+        "model/oracle",
+    ]);
+    for id in [
+        DatasetId::PT,
+        DatasetId::DD,
+        DatasetId::AZ,
+        DatasetId::GH,
+        DatasetId::YS,
+    ] {
+        let ds = cache.get(id);
+        let dim = ds.spec.dim.min(512);
+        let a = Loa::default().optimize(&ds.adj).0; // deployed layout
+        let x = DenseMatrix::random_features(a.nrows, dim, id as u64);
+        let hc = HcSpmm::default();
+        let model_pre = hc.preprocess(&a, dev);
+        let oracle_pre = preprocess_oracle(&a, dim, dev);
+        let run =
+            |pre: &hc_core::Preprocessed| hc.spmm_preprocessed(pre, &a, &x, dev).run.time_ms * 1e3;
+        let t_model = run(&model_pre);
+        let t_oracle = run(&oracle_pre);
+        let t_cuda = hc_core::CudaSpmm::optimized().spmm(&a, &x, dev).run.time_ms * 1e3;
+        let t_tensor = hc_core::TensorSpmm::optimized()
+            .spmm(&a, &x, dev)
+            .run
+            .time_ms
+            * 1e3;
+        t.row(vec![
+            id.code().into(),
+            f3(t_cuda),
+            f3(t_tensor),
+            f3(t_model),
+            f3(t_oracle),
+            format!("{:.3}x", t_model / t_oracle),
+        ]);
+    }
+    format!(
+        "Selector quality (extension): trained LR vs per-window cost oracle (us, post-LOA layouts)\n{}",
+        t.render()
+    )
+}
+
+/// §IV-B feature ablation (footnote 7): the paper picks sparsity and
+/// #non-zero columns and dismisses other factors as insignificant. We train
+/// logistic-regression selectors on feature subsets — plus a third feature
+/// (per-row nnz imbalance) — and compare selection accuracy.
+pub fn feature_ablation(dev: &DeviceSpec) -> String {
+    use graph_sparse::gen;
+    use hc_core::{CudaSpmm, TensorSpmm};
+
+    // Labeled windows with three candidate features.
+    let rows = 16usize;
+    let dim = 32usize;
+    let cuda = CudaSpmm::optimized();
+    let tensor = TensorSpmm::optimized();
+    let mut samples: Vec<(Vec<f64>, f64)> = Vec::new();
+    for cols in (16..=130).step_by(2) {
+        for lvl in 0..8 {
+            let nnz = cols + (cols * (rows - 1) - cols) * lvl / 7;
+            let w = gen::training_window(rows, cols, nnz, (cols * 977 + lvl) as u64);
+            let win = &graph_sparse::RowWindowPartition::build(&w).windows[0];
+            // Feature 3: row-imbalance = stddev(row nnz) / mean(row nnz).
+            let row_nnz: Vec<f64> = (0..rows).map(|r| w.degree(r) as f64).collect();
+            let mean = row_nnz.iter().sum::<f64>() / rows as f64;
+            let var = row_nnz.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / rows as f64;
+            let imbalance = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+
+            let bc = cuda
+                .window_block_cost(win.nnz, win.nnz_cols(), rows, dim, dev)
+                .warm();
+            let bt = tensor
+                .window_block_cost(win.nnz, win.nnz_cols(), rows, dim, dev)
+                .warm();
+            let label = if dev.execute(&[bc]).makespan_cycles < dev.execute(&[bt]).makespan_cycles {
+                1.0
+            } else {
+                0.0
+            };
+            samples.push((
+                vec![win.nnz_cols() as f64, win.sparsity(), imbalance],
+                label,
+            ));
+        }
+    }
+
+    // Tiny generic logistic regression (standardized features, GD).
+    let train_on = |keep: &[usize]| -> f64 {
+        let k = keep.len();
+        let n = samples.len() as f64;
+        let mut means = vec![0.0; k];
+        let mut stds = vec![0.0; k];
+        for (f, _) in &samples {
+            for (j, &i) in keep.iter().enumerate() {
+                means[j] += f[i];
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        for (f, _) in &samples {
+            for (j, &i) in keep.iter().enumerate() {
+                stds[j] += (f[i] - means[j]).powi(2);
+            }
+        }
+        stds.iter_mut().for_each(|s| *s = (*s / n).sqrt().max(1e-9));
+
+        let mut w = vec![0.0f64; k];
+        let mut b = 0.0f64;
+        for _ in 0..40_000 {
+            let mut gw = vec![0.0; k];
+            let mut gb = 0.0;
+            for (f, y) in &samples {
+                let z: f64 = keep
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| w[j] * (f[i] - means[j]) / stds[j])
+                    .sum::<f64>()
+                    + b;
+                let p = 1.0 / (1.0 + (-z).exp());
+                let d = p - y;
+                for (j, &i) in keep.iter().enumerate() {
+                    gw[j] += d * (f[i] - means[j]) / stds[j];
+                }
+                gb += d;
+            }
+            for j in 0..k {
+                w[j] -= 2.0 * gw[j] / n;
+            }
+            b -= 2.0 * gb / n;
+        }
+        // Accuracy.
+        let hits = samples
+            .iter()
+            .filter(|(f, y)| {
+                let z: f64 = keep
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| w[j] * (f[i] - means[j]) / stds[j])
+                    .sum::<f64>()
+                    + b;
+                (z > 0.0) == (*y > 0.5)
+            })
+            .count();
+        hits as f64 / n
+    };
+
+    let mut t = Table::new(&["features", "accuracy"]);
+    for (name, keep) in [
+        ("cols only", vec![0usize]),
+        ("sparsity only", vec![1]),
+        ("cols + sparsity (paper)", vec![0, 1]),
+        ("+ row imbalance", vec![0, 1, 2]),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{:.2}%", train_on(&keep) * 100.0),
+        ]);
+    }
+    format!(
+        "Feature ablation (§IV-B, footnote 7): selection accuracy by feature subset\n{}",
+        t.render()
+    )
+}
+
+/// §I claim check: "SpMM … accounting for more than 80 % of the GNN
+/// training time". We decompose an unfused GCN epoch into Aggregation
+/// (SpMM), Update (GEMM) and elementwise time, at the harness scale and at
+/// a larger scale (the share grows with graph size because the GEMMs scale
+/// with |V| while aggregation scales with |E|·locality costs).
+pub fn aggregation_share(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    use gnn::aggregator::{Aggregator, HcAggregator};
+    let mut t = Table::new(&["Dataset", "agg (ms)", "gemm+elem (ms)", "agg share"]);
+    for id in [DatasetId::DD, DatasetId::YS, DatasetId::RD, DatasetId::TT] {
+        let ds = cache.get(id);
+        let dim = ds.spec.dim.min(512);
+        let a = ds.adj.gcn_normalize();
+        let x = DenseMatrix::random_features(a.nrows, dim, id as u64);
+        let agg = HcAggregator::new_unfused(&a, dev);
+
+        // The epoch's dense side, measured by running a full epoch and
+        // subtracting the aggregation time.
+        let labels = gnn::train::synthetic_labels(a.nrows, 22);
+        let mut model = gnn::Gcn::new(dim, 32, 22, 3);
+        let e = &gnn::train::Trainer {
+            lr: 0.01,
+            epochs: 1,
+        }
+        .train_gcn(&mut model, &a, &x, &labels, &agg, dev)[0];
+        let total = e.forward_ms + e.backward_ms;
+        // The epoch's aggregations run at mixed dims (dim, hidden, classes);
+        // approximate the true aggregation share by timing them directly.
+        let dims = [dim, 22, 22, 32];
+        let mut true_agg = 0.0;
+        for d in dims {
+            let probe = DenseMatrix::random_features(a.nrows, d, 9);
+            true_agg += agg.aggregate(&a, &probe, dev).1.time_ms;
+        }
+        let dense = (total - true_agg).max(0.0);
+        t.row(vec![
+            id.code().into(),
+            f3(true_agg),
+            f3(dense),
+            format!("{:.1}%", true_agg / total * 100.0),
+        ]);
+    }
+    format!(
+        "Aggregation share of a GCN epoch (§I claims >80 % at production scale; \
+the share shrinks at 1/{} scale because fixed kernel costs loom)\n{}",
+        cache.scale(),
+        t.render()
+    )
+}
+
+/// Deeper models (the Fig. 16 discussion: "deeper models that require more
+/// epochs to converge" make LOA's fixed cost more negligible): epoch time
+/// vs depth for a K-layer GCN, with the LOA overhead share.
+pub fn deep_models(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
+    use gnn::aggregator::HcAggregator;
+    use gnn::optim::Adam;
+    use gnn::DeepGcn;
+    let ds = cache.get(DatasetId::YS);
+    let dim = ds.spec.dim.min(512);
+    let a = ds.adj.gcn_normalize();
+    let x = DenseMatrix::random_features(a.nrows, dim, 3);
+    let labels = gnn::train::synthetic_labels(a.nrows, 8);
+    let loa_s = Loa::default().run(&ds.adj).seconds;
+    let agg = HcAggregator::new(&a, dev);
+
+    let mut t = Table::new(&["layers", "epoch (ms)", "LOA share of 200 epochs"]);
+    for depth in [2usize, 4, 8] {
+        let mut dims = vec![dim];
+        dims.extend(std::iter::repeat_n(32, depth - 1));
+        dims.push(8);
+        let mut model = DeepGcn::new(&dims, 5);
+        let mut opt = Adam::new(0.01);
+        let (cache_fwd, fwd) = model.forward(&a, &x, &agg, dev);
+        let (_, dl, lrun) =
+            gnn::ops::softmax_cross_entropy(cache_fwd.h.last().unwrap(), &labels, dev);
+        let bwd = model.backward(&a, &cache_fwd, &dl, &agg, &mut opt, dev);
+        let epoch_ms = fwd.time_ms + lrun.time_ms + bwd.time_ms;
+        t.row(vec![
+            depth.to_string(),
+            f3(epoch_ms),
+            format!("{:.2}%", loa_s / (epoch_ms * 200.0 / 1e3) * 100.0),
+        ]);
+    }
+    format!(
+        "Deeper models (Fig. 16 discussion): LOA's fixed cost amortizes faster as depth grows\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakeven_is_finite_where_hc_wins() {
+        let mut cache = DatasetCache::with_scale(512);
+        let dev = DeviceSpec::rtx3090();
+        let out = dynamic_graphs(&mut cache, &dev);
+        // At least one dataset must show a finite break-even (HC faster per
+        // execution), supporting the amortization argument.
+        let finite = out
+            .lines()
+            .filter(|l| !l.contains("never") && l.split_whitespace().count() == 5)
+            .count();
+        assert!(finite >= 1, "no finite break-even found:\n{out}");
+    }
+
+    #[test]
+    fn wider_vw_costs_more_ops() {
+        let mut cache = DatasetCache::with_scale(512);
+        let dev = DeviceSpec::rtx3090();
+        let out = vw_sensitivity(&mut cache, &dev);
+        let ops: Vec<u64> = out
+            .lines()
+            .filter_map(|l| {
+                let w: Vec<&str> = l.split_whitespace().collect();
+                if w.len() == 5 && w[0].parse::<usize>().is_ok() {
+                    w[1].parse().ok()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(ops.len() >= 4);
+        assert!(ops.last().unwrap() > ops.first().unwrap());
+    }
+}

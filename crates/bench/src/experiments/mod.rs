@@ -1,0 +1,13 @@
+//! One module per evaluation experiment. Every `run` function returns the
+//! formatted table(s) it regenerates; binaries print them.
+
+pub mod ablations;
+pub mod characterization;
+pub mod combination;
+pub mod extensions;
+pub mod loa_exp;
+pub mod selector_exp;
+pub mod sensitivity;
+pub mod spmm;
+pub mod training;
+pub mod utilization;

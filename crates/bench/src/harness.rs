@@ -1,0 +1,210 @@
+//! Shared harness utilities: dataset loading, table formatting, statistics.
+
+use std::collections::HashMap;
+
+use graph_sparse::{Dataset, DatasetId};
+
+/// Scale divisor for dataset analogues, configurable via the `HC_SCALE`
+/// environment variable (default 64; smaller = bigger graphs = slower).
+pub fn scale() -> usize {
+    std::env::var("HC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(graph_sparse::datasets::DEFAULT_SCALE)
+}
+
+/// Load a set of datasets at the harness scale, caching within the process.
+pub struct DatasetCache {
+    scale: usize,
+    loaded: HashMap<DatasetId, Dataset>,
+}
+
+impl DatasetCache {
+    /// New cache at the harness scale.
+    pub fn new() -> Self {
+        Self::with_scale(scale())
+    }
+
+    /// New cache at an explicit scale divisor (tests use this to stay
+    /// independent of the `HC_SCALE` environment variable).
+    pub fn with_scale(scale: usize) -> Self {
+        DatasetCache {
+            scale,
+            loaded: HashMap::new(),
+        }
+    }
+
+    /// Fetch (generating on first use).
+    pub fn get(&mut self, id: DatasetId) -> &Dataset {
+        let scale = self.scale;
+        self.loaded.entry(id).or_insert_with(|| {
+            eprintln!("  [gen] {} at 1/{} scale…", id.code(), scale);
+            id.load_scaled(scale)
+        })
+    }
+
+    /// The configured scale divisor.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+}
+
+impl Default for DatasetCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-text aligned table, in the style of the paper's tables.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Horizontal ASCII bar chart: one row per (label, value), scaled to
+/// `width` characters — the harness's stand-in for the paper's bar figures.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return String::new();
+    }
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} | {}{} {}
+",
+            "█".repeat(n),
+            " ".repeat(width - n),
+            f3(*v)
+        ));
+    }
+    out
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Format a float with a precision suited to its magnitude.
+pub fn f3(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "val"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    fn geomean_of_uniform_is_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn cache_returns_same_graph() {
+        let mut c = DatasetCache::new();
+        let a = c.get(DatasetId::CR).adj.clone();
+        let b = c.get(DatasetId::CR).adj.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let rows = vec![("a".to_string(), 2.0), ("bb".to_string(), 1.0)];
+        let s = bar_chart(&rows, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        assert!(bar_chart(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.0), "0");
+        assert_eq!(f3(123.456), "123.5");
+        assert_eq!(f3(1.234), "1.23");
+        assert_eq!(f3(0.1234), "0.1234");
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

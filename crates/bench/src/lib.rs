@@ -1,0 +1,9 @@
+//! # bench — experiment harness for every table and figure (§VI + appendix)
+//!
+//! Each experiment lives in [`experiments`] as a `run()` function that
+//! returns its formatted table; the `src/bin/*` binaries are thin wrappers.
+//! `cargo run --release -p bench --bin run_all` regenerates everything and
+//! is the source of the numbers recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod harness;

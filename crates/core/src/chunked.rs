@@ -1,0 +1,177 @@
+//! Memory-budgeted (chunked) SpMM.
+//!
+//! §VI-C1 reports that DP's GNN training runs out of GPU memory for every
+//! framework. The classic remedy is panel execution: split the dense
+//! operand into column panels so that `A + X_panel + Z_panel (+ condensed
+//! structures)` fits the budget, and run one kernel per panel. This module
+//! implements that as an extension feature: identical numerics, one launch
+//! per panel, and an explicit memory-fit check.
+
+use gpu_sim::{DeviceSpec, KernelRun};
+use graph_sparse::{Csr, DenseMatrix};
+
+use crate::kernels::hybrid::HcSpmm;
+use crate::kernels::SpmmResult;
+use crate::preprocess::Preprocessed;
+
+/// Device-resident bytes SpMM needs without chunking.
+pub fn resident_bytes(a: &Csr, dim: usize) -> u64 {
+    let condensed = a.nnz() as u64 * 4; // per-entry condensed index
+    a.byte_size() + condensed + (a.ncols * dim) as u64 * 4 + (a.nrows * dim) as u64 * 4
+}
+
+/// Widest column panel that fits `budget` bytes (0 if even one column
+/// cannot).
+pub fn max_panel_dim(a: &Csr, budget: u64) -> usize {
+    let fixed = a.byte_size() + a.nnz() as u64 * 4;
+    if budget <= fixed {
+        return 0;
+    }
+    let per_col = (a.ncols as u64 + a.nrows as u64) * 4;
+    ((budget - fixed) / per_col) as usize
+}
+
+/// Outcome of a chunked run.
+#[derive(Debug, Clone)]
+pub struct ChunkedResult {
+    /// The full product, identical to the unchunked result.
+    pub z: DenseMatrix,
+    /// Accumulated simulated run (one launch per panel).
+    pub run: KernelRun,
+    /// Panels executed.
+    pub panels: usize,
+    /// Peak device-resident bytes.
+    pub peak_bytes: u64,
+}
+
+impl HcSpmm {
+    /// Execute `Z = A·X` under a device-memory budget, splitting `X` into
+    /// column panels. Returns `None` when even a single column cannot fit.
+    pub fn spmm_chunked(
+        &self,
+        pre: &Preprocessed,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+        budget_bytes: u64,
+    ) -> Option<ChunkedResult> {
+        let panel = max_panel_dim(a, budget_bytes).min(x.cols);
+        if panel == 0 {
+            return None;
+        }
+        let mut z = DenseMatrix::zeros(a.nrows, x.cols);
+        let mut run = KernelRun::default();
+        let mut panels = 0usize;
+        let mut col = 0usize;
+        while col < x.cols {
+            let width = panel.min(x.cols - col);
+            // Slice the panel out of X.
+            let mut xp = DenseMatrix::zeros(x.rows, width);
+            for r in 0..x.rows {
+                xp.row_mut(r).copy_from_slice(&x.row(r)[col..col + width]);
+            }
+            let part = self.spmm_preprocessed(pre, a, &xp, dev);
+            for r in 0..a.nrows {
+                z.row_mut(r)[col..col + width].copy_from_slice(part.z.row(r));
+            }
+            run = run.then(&part.run);
+            panels += 1;
+            col += width;
+        }
+        let peak = a.byte_size()
+            + a.nnz() as u64 * 4
+            + (a.ncols * panel) as u64 * 4
+            + (a.nrows * panel) as u64 * 4;
+        Some(ChunkedResult {
+            z,
+            run,
+            panels,
+            peak_bytes: peak,
+        })
+    }
+}
+
+/// Convenience: run chunked if the unchunked footprint exceeds the budget,
+/// plain otherwise.
+pub fn spmm_auto(
+    hc: &HcSpmm,
+    pre: &Preprocessed,
+    a: &Csr,
+    x: &DenseMatrix,
+    dev: &DeviceSpec,
+    budget_bytes: u64,
+) -> Option<SpmmResult> {
+    if resident_bytes(a, x.cols) <= budget_bytes {
+        Some(hc.spmm_preprocessed(pre, a, x, dev))
+    } else {
+        hc.spmm_chunked(pre, a, x, dev, budget_bytes)
+            .map(|c| SpmmResult { z: c.z, run: c.run })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::gen;
+
+    fn setup() -> (Csr, DenseMatrix, DeviceSpec, HcSpmm, Preprocessed) {
+        let a = gen::community(1_024, 8_000, 32, 0.9, 1);
+        let x = DenseMatrix::random_features(1_024, 96, 2);
+        let dev = DeviceSpec::rtx3090();
+        let hc = HcSpmm::default();
+        let pre = hc.preprocess(&a, &dev);
+        (a, x, dev, hc, pre)
+    }
+
+    #[test]
+    fn chunked_matches_unchunked_numerically() {
+        let (a, x, dev, hc, pre) = setup();
+        let full = hc.spmm_preprocessed(&pre, &a, &x, &dev);
+        // Budget forcing ~4 panels.
+        let budget = resident_bytes(&a, 96) / 3;
+        let chunked = hc.spmm_chunked(&pre, &a, &x, &dev, budget).expect("fits");
+        assert!(
+            chunked.panels >= 3,
+            "expected multiple panels, got {}",
+            chunked.panels
+        );
+        assert_eq!(chunked.z, full.z);
+        assert!(chunked.peak_bytes <= budget);
+    }
+
+    #[test]
+    fn chunking_costs_extra_launches_and_a_traffic() {
+        let (a, x, dev, hc, pre) = setup();
+        let full = hc.spmm_preprocessed(&pre, &a, &x, &dev);
+        let budget = resident_bytes(&a, 96) / 3;
+        let chunked = hc.spmm_chunked(&pre, &a, &x, &dev, budget).unwrap();
+        assert_eq!(chunked.run.profile.launches as usize, chunked.panels);
+        // Each panel re-reads the sparse structure: time strictly above the
+        // single-shot run.
+        assert!(chunked.run.time_ms > full.run.time_ms);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let (a, x, dev, hc, pre) = setup();
+        assert!(hc.spmm_chunked(&pre, &a, &x, &dev, 1_000).is_none());
+        assert!(spmm_auto(&hc, &pre, &a, &x, &dev, 1_000).is_none());
+    }
+
+    #[test]
+    fn auto_picks_single_shot_when_it_fits() {
+        let (a, x, dev, hc, pre) = setup();
+        let r = spmm_auto(&hc, &pre, &a, &x, &dev, u64::MAX).unwrap();
+        let full = hc.spmm_preprocessed(&pre, &a, &x, &dev);
+        assert_eq!(r.run.profile.launches, 1);
+        assert_eq!(r.z, full.z);
+    }
+
+    #[test]
+    fn panel_math_is_consistent() {
+        let (a, _, _, _, _) = setup();
+        let full = resident_bytes(&a, 96);
+        assert!(max_panel_dim(&a, full) >= 96);
+        assert_eq!(max_panel_dim(&a, 0), 0);
+    }
+}

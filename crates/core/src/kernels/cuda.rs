@@ -1,0 +1,248 @@
+//! SpMM on CUDA cores — Algorithm 1 with the Algorithm 3 optimizations.
+//!
+//! One thread block processes one row window; one warp computes one row of
+//! `Z` per 32-wide slice of the dense dimension, skipping zeros through the
+//! CSR format. Two optimizations from §IV-D1:
+//!
+//! * **Generalization** — when `dim % 32 != 0`, the tail slice packs
+//!   multiple rows per warp instead of idling lanes, so compute and X
+//!   traffic are charged for the true dimension rather than the padded one.
+//! * **Memory management** — column indices and values are staged in shared
+//!   memory by all threads cooperatively, replacing the per-iteration
+//!   global-memory broadcast reads.
+
+use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
+use graph_sparse::{Csr, DenseMatrix, RowWindowPartition};
+
+use super::{SpmmKernel, SpmmResult};
+
+/// CUDA-core SpMM kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct CudaSpmm {
+    /// Stage CSR entries in shared memory (Algorithm 3 lines 1–5).
+    pub shared_mem_edges: bool,
+    /// Adaptive threads-per-row for unaligned dimensions (lines 6–19).
+    pub generalized: bool,
+    /// Operand precision: FP32 in the main experiments; half/bfloat16
+    /// (Appendix B) halve value and dense-operand traffic.
+    pub precision: Precision,
+}
+
+impl Default for CudaSpmm {
+    fn default() -> Self {
+        CudaSpmm {
+            shared_mem_edges: true,
+            generalized: true,
+            precision: Precision::Fp32,
+        }
+    }
+}
+
+impl CudaSpmm {
+    /// Fully optimized configuration (the deployed kernel).
+    pub fn optimized() -> Self {
+        Self::default()
+    }
+
+    /// Algorithm 1 without the §IV-D1 optimizations (ablation baseline).
+    pub fn unoptimized() -> Self {
+        CudaSpmm {
+            shared_mem_edges: false,
+            generalized: false,
+            ..Self::default()
+        }
+    }
+
+    /// With reduced-precision operands (Appendix B).
+    pub fn with_precision(precision: Precision) -> Self {
+        CudaSpmm {
+            precision,
+            ..Self::default()
+        }
+    }
+
+    /// Cost of processing one row window as a thread block.
+    ///
+    /// `nnz` is the window's non-zero count, `distinct_cols` the number of
+    /// distinct columns it touches (the cache-resident X rows), `rows` its
+    /// height and `dim` the dense dimension.
+    pub fn window_block_cost(
+        &self,
+        nnz: usize,
+        distinct_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> BlockCost {
+        let mut b = BlockCost {
+            warps: rows.clamp(1, 16) as u32,
+            ..Default::default()
+        };
+        let full_slices = dim / 32;
+        let rem = dim % 32;
+        // Slices the kernel iterates (padded when not generalized).
+        let mem_slices = full_slices + usize::from(rem > 0);
+
+        // -- Compute: one warp-wide FMA issue per nnz per slice. The
+        // generalized kernel packs the tail so only rem/32 of an issue is
+        // paid; the plain kernel pays a full issue with idle lanes.
+        let tail_issue = if rem == 0 {
+            0.0
+        } else if self.generalized {
+            rem as f64 / 32.0
+        } else {
+            1.0
+        };
+        b.cuda_fma_issues = (nnz as f64 * (full_slices as f64 + tail_issue)).ceil() as u64;
+
+        // -- CSR entry access (colIdx u32 + one value per entry).
+        let entry_bytes = 4 + self.precision.storage_bytes();
+        if self.shared_mem_edges {
+            // One cooperative coalesced load, then shared-memory broadcasts.
+            b.dram.transactions +=
+                coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
+            b.dram.bytes_loaded += nnz as u64 * entry_bytes;
+            b.shared.stores += (nnz as u64).div_ceil(dev.warp_size as u64) * 2;
+            b.shared.loads += (nnz * mem_slices) as u64;
+        } else {
+            // Per-iteration global broadcast reads: every k step of every
+            // slice re-reads colIdx[k] and val[k]. Sequential addresses hit
+            // the L1 after the leading sector, so DRAM traffic stays modest,
+            // but the loads sit on the dependent-latency chain.
+            b.dram.transactions += (nnz * mem_slices) as u64 * 2;
+            b.dram.bytes_loaded += nnz as u64 * entry_bytes * 2;
+        }
+
+        // -- Dense-matrix gathers: each nnz triggers one transaction per
+        // slice (rows of X are scattered), but DRAM traffic is deduplicated
+        // to the window's distinct columns — the L1/L2 capture intra-window
+        // reuse. The un-generalized kernel gathers the padded width.
+        let x_width = if self.generalized || rem == 0 {
+            dim
+        } else {
+            (full_slices + 1) * 32
+        };
+        let eb = self.precision.storage_bytes();
+        b.dram.transactions += (nnz * mem_slices) as u64;
+        b.dram.bytes_loaded += (distinct_cols * x_width) as u64 * eb;
+
+        // -- Result stores, coalesced.
+        b.dram.bytes_stored += (rows * dim) as u64 * eb;
+        b.dram.transactions +=
+            rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
+
+        b
+    }
+}
+
+impl SpmmKernel for CudaSpmm {
+    fn name(&self) -> &'static str {
+        "HC-CUDA"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        let part = RowWindowPartition::build(a);
+        let blocks: Vec<BlockCost> = part
+            .windows
+            .iter()
+            .filter(|w| !w.is_empty())
+            .map(|w| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev))
+            .collect();
+        let run = dev.execute(&blocks);
+        // Numerics: exact at FP32; operand-quantized otherwise.
+        let z = if self.precision == Precision::Fp32 {
+            a.spmm_reference(x)
+        } else {
+            let mut z = DenseMatrix::zeros(a.nrows, x.cols);
+            for r in 0..a.nrows {
+                let (s, e) = a.row_range(r);
+                for i in s..e {
+                    let v = self.precision.quantize(a.vals[i]);
+                    let xrow = x.row(a.col_idx[i] as usize);
+                    let zrow = z.row_mut(r);
+                    for (o, &xv) in zrow.iter_mut().zip(xrow) {
+                        *o += v * self.precision.quantize(xv);
+                    }
+                }
+            }
+            z
+        };
+        SpmmResult { z, run }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_matches_reference;
+    use graph_sparse::gen;
+
+    #[test]
+    fn result_is_exact() {
+        let a = gen::erdos_renyi(100, 300, 1);
+        let x = DenseMatrix::random_features(100, 32, 2);
+        let dev = DeviceSpec::rtx3090();
+        let r = CudaSpmm::optimized().spmm(&a, &x, &dev);
+        assert_matches_reference(&a, &x, &r.z, 0.0);
+        assert!(r.run.time_ms > 0.0);
+    }
+
+    #[test]
+    fn time_decreases_with_sparsity() {
+        // Same shape, fewer non-zeros → faster (the Fig. 1(a) falling curve).
+        let dev = DeviceSpec::rtx3090();
+        let dense = gen::training_window(16, 32, 480, 3);
+        let sparse = gen::training_window(16, 32, 40, 3);
+        let x = DenseMatrix::random_features(32, 32, 4);
+        let k = CudaSpmm::optimized();
+        let td = k.spmm(&dense, &x, &dev).run.time_ms;
+        let ts = k.spmm(&sparse, &x, &dev).run.time_ms;
+        assert!(ts < td, "sparse {ts} !< dense {td}");
+    }
+
+    #[test]
+    fn generalization_helps_unaligned_dims() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::erdos_renyi(512, 4096, 5);
+        let x = DenseMatrix::random_features(512, 47, 6); // dim 47: the paper's example
+        let opt = CudaSpmm::optimized();
+        let plain = CudaSpmm {
+            generalized: false,
+            ..CudaSpmm::default()
+        };
+        let t_opt = opt.spmm(&a, &x, &dev).run.time_ms;
+        let t_plain = plain.spmm(&a, &x, &dev).run.time_ms;
+        assert!(t_opt < t_plain);
+        // Aligned dims: no difference in issue counts.
+        let x32 = DenseMatrix::random_features(512, 64, 6);
+        let b_opt = opt.window_block_cost(100, 50, 16, 64, &dev);
+        let b_plain = plain.window_block_cost(100, 50, 16, 64, &dev);
+        assert_eq!(b_opt.cuda_fma_issues, b_plain.cuda_fma_issues);
+        let _ = x32;
+    }
+
+    #[test]
+    fn shared_memory_staging_helps() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(1024, 8000, 32, 0.8, 7);
+        let x = DenseMatrix::random_features(1024, 32, 8);
+        let with = CudaSpmm::optimized();
+        let without = CudaSpmm {
+            shared_mem_edges: false,
+            ..CudaSpmm::default()
+        };
+        let tw = with.spmm(&a, &x, &dev).run.time_ms;
+        let to = without.spmm(&a, &x, &dev).run.time_ms;
+        assert!(tw < to, "shared-mem staging should win: {tw} !< {to}");
+    }
+
+    #[test]
+    fn empty_matrix_is_cheap_and_correct() {
+        let a = Csr::empty(64, 64);
+        let x = DenseMatrix::random_features(64, 16, 1);
+        let dev = DeviceSpec::rtx3090();
+        let r = CudaSpmm::optimized().spmm(&a, &x, &dev);
+        assert_eq!(r.z, DenseMatrix::zeros(64, 16));
+        assert_eq!(r.run.profile.blocks, 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! HC-SpMM — the hybrid kernel (§IV).
+//!
+//! Row windows are the hybrid unit (§IV-A): each window is dispatched whole
+//! to either the CUDA-core path or the Tensor-core path according to the
+//! selector's classification, inside a *single* kernel launch. Because a
+//! window's result rows are produced entirely by one core type, no result
+//! merging between cores is ever needed.
+
+use gpu_sim::{BlockCost, DeviceSpec, Precision};
+use graph_sparse::{Csr, DenseMatrix};
+
+use super::cuda::CudaSpmm;
+use super::tensor::TensorSpmm;
+use super::{SpmmKernel, SpmmResult};
+use crate::preprocess::{preprocess, preprocess_oracle, Preprocessed};
+use crate::selector::{CoreChoice, SelectionPolicy, Selector};
+
+/// The HC-SpMM hybrid kernel.
+///
+/// ```
+/// use gpu_sim::DeviceSpec;
+/// use graph_sparse::{gen, DenseMatrix};
+/// use hc_core::{HcSpmm, SpmmKernel};
+///
+/// let graph = gen::community(256, 1_500, 8, 0.9, 1);
+/// let x = DenseMatrix::random_features(256, 32, 2);
+/// let dev = DeviceSpec::rtx3090();
+///
+/// let hc = HcSpmm::default();
+/// let pre = hc.preprocess(&graph, &dev);      // condense + classify, once
+/// let out = hc.spmm_preprocessed(&pre, &graph, &x, &dev);
+/// assert!(out.run.time_ms > 0.0);
+/// assert!(graph.spmm_reference(&x).max_abs_diff(&out.z) < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HcSpmm {
+    /// Core-selection model.
+    pub selector: Selector,
+    /// CUDA-core path configuration.
+    pub cuda: CudaSpmm,
+    /// Tensor-core path configuration.
+    pub tensor: TensorSpmm,
+}
+
+impl Default for HcSpmm {
+    fn default() -> Self {
+        HcSpmm {
+            selector: Selector::DEFAULT,
+            cuda: CudaSpmm::optimized(),
+            tensor: TensorSpmm::optimized(),
+        }
+    }
+}
+
+impl HcSpmm {
+    /// Hybrid kernel with a specific operand precision on both paths
+    /// (Appendix B).
+    pub fn with_precision(p: Precision) -> Self {
+        HcSpmm {
+            tensor: TensorSpmm::with_precision(p),
+            cuda: CudaSpmm::with_precision(p),
+            ..Self::default()
+        }
+    }
+
+    /// Run the preprocessing kernel (condense + classify). Its cost is
+    /// reported separately, per the paper's measurement protocol.
+    pub fn preprocess(&self, a: &Csr, dev: &DeviceSpec) -> Preprocessed {
+        preprocess(a, &self.selector, dev)
+    }
+
+    /// Preprocess under an explicit [`SelectionPolicy`] — the trained model,
+    /// a fixed single-core policy, or the per-window cost oracle (`dim` is
+    /// needed by the oracle's cost evaluation).
+    pub fn preprocess_with_policy(
+        &self,
+        a: &Csr,
+        dim: usize,
+        policy: SelectionPolicy,
+        dev: &DeviceSpec,
+    ) -> Preprocessed {
+        match policy {
+            SelectionPolicy::Model => self.preprocess(a, dev),
+            SelectionPolicy::AllCuda => {
+                let mut pre = self.preprocess(a, dev);
+                pre.choices.iter_mut().for_each(|c| *c = CoreChoice::Cuda);
+                pre
+            }
+            SelectionPolicy::AllTensor => {
+                let mut pre = self.preprocess(a, dev);
+                pre.choices.iter_mut().for_each(|c| *c = CoreChoice::Tensor);
+                pre
+            }
+            SelectionPolicy::Oracle => preprocess_oracle(a, dim, dev),
+        }
+    }
+
+    /// Execute SpMM given preprocessing artifacts. One launch; each window
+    /// runs on its assigned core type.
+    pub fn spmm_preprocessed(
+        &self,
+        pre: &Preprocessed,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
+        let blocks = self.block_costs(pre, x.cols, dev);
+        let run = dev.execute(&blocks);
+        let z = self.numeric(pre, a, x);
+        SpmmResult { z, run }
+    }
+
+    /// Per-window block costs under the current assignment (used by the
+    /// fusion kernel too).
+    pub fn block_costs(&self, pre: &Preprocessed, dim: usize, dev: &DeviceSpec) -> Vec<BlockCost> {
+        let mut blocks = Vec::with_capacity(pre.partition.len());
+        for (w, choice) in pre.partition.windows.iter().zip(&pre.choices) {
+            if w.is_empty() {
+                continue;
+            }
+            let b = match choice {
+                CoreChoice::Cuda => {
+                    self.cuda
+                        .window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev)
+                }
+                CoreChoice::Tensor => {
+                    self.tensor
+                        .window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev)
+                }
+            };
+            blocks.push(b);
+        }
+        blocks
+    }
+
+    /// Numerical result under the current assignment: CUDA windows compute
+    /// exact f32; Tensor windows compute at the configured precision.
+    pub fn numeric(&self, pre: &Preprocessed, a: &Csr, x: &DenseMatrix) -> DenseMatrix {
+        let mut z = DenseMatrix::zeros(a.nrows, x.cols);
+        for (w, choice) in pre.partition.windows.iter().zip(&pre.choices) {
+            if w.is_empty() {
+                continue;
+            }
+            match choice {
+                CoreChoice::Cuda => {
+                    let p = self.cuda.precision;
+                    for r in w.start_row..w.start_row + w.rows {
+                        let (s, e) = a.row_range(r);
+                        let zrow = z.row_mut(r);
+                        for i in s..e {
+                            let v = p.quantize(a.vals[i]);
+                            let xrow = x.row(a.col_idx[i] as usize);
+                            for (o, &xv) in zrow.iter_mut().zip(xrow) {
+                                *o += v * p.quantize(xv);
+                            }
+                        }
+                    }
+                }
+                CoreChoice::Tensor => self.tensor.window_numeric(a, w, x, &mut z),
+            }
+        }
+        z
+    }
+
+    /// Future-work mode (Appendix H): execute the CUDA-window and
+    /// Tensor-window block families concurrently on an SM partition instead
+    /// of interleaved in one stream.
+    pub fn spmm_concurrent(
+        &self,
+        pre: &Preprocessed,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
+        let mut cuda_blocks = Vec::new();
+        let mut tensor_blocks = Vec::new();
+        for (w, choice) in pre.partition.windows.iter().zip(&pre.choices) {
+            if w.is_empty() {
+                continue;
+            }
+            match choice {
+                CoreChoice::Cuda => cuda_blocks.push(self.cuda.window_block_cost(
+                    w.nnz,
+                    w.nnz_cols(),
+                    w.rows,
+                    x.cols,
+                    dev,
+                )),
+                CoreChoice::Tensor => tensor_blocks.push(self.tensor.window_block_cost(
+                    w.nnz,
+                    w.nnz_cols(),
+                    w.rows,
+                    x.cols,
+                    dev,
+                )),
+            }
+        }
+        let run = dev.execute_concurrent(&cuda_blocks, &tensor_blocks);
+        SpmmResult {
+            z: self.numeric(pre, a, x),
+            run,
+        }
+    }
+
+    /// Simulated execution time split by core type `(cuda_ms, tensor_ms)` —
+    /// the Table XIV quantity. Each side is timed as if launched alone,
+    /// without launch overhead.
+    pub fn per_core_time(&self, pre: &Preprocessed, dim: usize, dev: &DeviceSpec) -> (f64, f64) {
+        let mut cuda_blocks = Vec::new();
+        let mut tensor_blocks = Vec::new();
+        for (w, choice) in pre.partition.windows.iter().zip(&pre.choices) {
+            if w.is_empty() {
+                continue;
+            }
+            match choice {
+                CoreChoice::Cuda => cuda_blocks.push(self.cuda.window_block_cost(
+                    w.nnz,
+                    w.nnz_cols(),
+                    w.rows,
+                    dim,
+                    dev,
+                )),
+                CoreChoice::Tensor => tensor_blocks.push(self.tensor.window_block_cost(
+                    w.nnz,
+                    w.nnz_cols(),
+                    w.rows,
+                    dim,
+                    dev,
+                )),
+            }
+        }
+        let launch = dev.launch_overhead_us * 1e-3;
+        let t = |blocks: &[BlockCost]| {
+            if blocks.is_empty() {
+                0.0
+            } else {
+                dev.execute(blocks).time_ms - launch
+            }
+        };
+        (t(&cuda_blocks), t(&tensor_blocks))
+    }
+}
+
+impl SpmmKernel for HcSpmm {
+    fn name(&self) -> &'static str {
+        "HC-SpMM"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        let pre = self.preprocess(a, dev);
+        self.spmm_preprocessed(&pre, a, x, dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::gen;
+
+    #[test]
+    fn hybrid_result_matches_reference_within_tf32() {
+        let a = gen::community(512, 4000, 16, 0.9, 1);
+        let x = DenseMatrix::random_features(512, 32, 2);
+        let dev = DeviceSpec::rtx3090();
+        let r = HcSpmm::default().spmm(&a, &x, &dev);
+        let want = a.spmm_reference(&x);
+        assert!(want.max_abs_diff(&r.z) < 0.05);
+    }
+
+    #[test]
+    fn fp32_hybrid_is_exact() {
+        let a = gen::barabasi_albert(300, 4, 3);
+        let x = DenseMatrix::random_features(300, 48, 4);
+        let dev = DeviceSpec::rtx3090();
+        let r = HcSpmm::with_precision(Precision::Fp32).spmm(&a, &x, &dev);
+        assert_eq!(a.spmm_reference(&x).max_abs_diff(&r.z), 0.0);
+    }
+
+    #[test]
+    fn hybrid_no_slower_than_both_pure_paths() {
+        // The selector picks per window, so the hybrid kernel should not
+        // lose to running everything on a single core type (modulo ties).
+        let dev = DeviceSpec::rtx3090();
+        // Mixed-density graph: dense communities + sparse periphery.
+        let a = gen::community(2048, 16_000, 64, 0.9, 5);
+        let x = DenseMatrix::random_features(2048, 32, 6);
+        let h = HcSpmm::default();
+        let pre = h.preprocess(&a, &dev);
+        let t_hybrid = h.spmm_preprocessed(&pre, &a, &x, &dev).run.time_ms;
+        let t_cuda = CudaSpmm::optimized().spmm(&a, &x, &dev).run.time_ms;
+        let t_tensor = TensorSpmm::optimized().spmm(&a, &x, &dev).run.time_ms;
+        assert!(
+            t_hybrid <= t_cuda * 1.02 && t_hybrid <= t_tensor * 1.02,
+            "hybrid {t_hybrid} vs cuda {t_cuda} vs tensor {t_tensor}"
+        );
+    }
+
+    #[test]
+    fn per_core_times_cover_all_windows() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(1024, 8000, 32, 0.9, 7);
+        let h = HcSpmm::default();
+        let pre = h.preprocess(&a, &dev);
+        let (tc, tt) = h.per_core_time(&pre, 32, &dev);
+        let (nc, nt) = pre.window_split();
+        if nc > 0 {
+            assert!(tc > 0.0);
+        }
+        if nt > 0 {
+            assert!(tt > 0.0);
+        }
+    }
+
+    #[test]
+    fn selection_policies_behave_as_named() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::molecules(512, 1_200, 7);
+        let x = DenseMatrix::random_features(512, 32, 8);
+        let hc = HcSpmm::default();
+        use crate::selector::SelectionPolicy as P;
+        let time = |p: P| {
+            let pre = hc.preprocess_with_policy(&a, 32, p, &dev);
+            hc.spmm_preprocessed(&pre, &a, &x, &dev).run.time_ms
+        };
+        let (model, cuda, tensor, oracle) = (
+            time(P::Model),
+            time(P::AllCuda),
+            time(P::AllTensor),
+            time(P::Oracle),
+        );
+        assert!(oracle <= model * 1.0001);
+        assert!(oracle <= cuda * 1.0001);
+        assert!(oracle <= tensor * 1.0001);
+        // The fixed policies really are single-core.
+        let pre = hc.preprocess_with_policy(&a, 32, P::AllCuda, &dev);
+        assert!(pre.choices.iter().all(|c| *c == CoreChoice::Cuda));
+    }
+
+    #[test]
+    fn single_launch_overhead() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::erdos_renyi(256, 1000, 9);
+        let x = DenseMatrix::random_features(256, 32, 10);
+        let r = HcSpmm::default().spmm(&a, &x, &dev);
+        assert_eq!(r.run.profile.launches, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! SpMM kernel interface shared by HC-SpMM and every baseline.
+
+pub mod cuda;
+pub mod hybrid;
+pub mod straightforward;
+pub mod tensor;
+
+use gpu_sim::{DeviceSpec, KernelRun};
+use graph_sparse::{Csr, DenseMatrix};
+
+/// Output of one simulated SpMM: the numerical result plus the simulated
+/// execution record.
+#[derive(Debug, Clone)]
+pub struct SpmmResult {
+    /// `Z = A · X`, computed for real.
+    pub z: DenseMatrix,
+    /// Simulated time and counters.
+    pub run: KernelRun,
+}
+
+/// A kernel that multiplies a sparse matrix by a dense matrix on the
+/// simulated device. Implemented by HC-SpMM and by all comparison kernels in
+/// the `baselines` crate.
+pub trait SpmmKernel {
+    /// Kernel name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Execute `Z = A · X`. Preprocessing (format conversion, window
+    /// condensing, core classification) is *excluded*, matching the paper's
+    /// measurement protocol (§VI-B1); kernels with a preprocessing phase
+    /// expose it separately.
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult;
+}
+
+/// Numerical check helper: asserts a kernel result matches the reference
+/// SpMM within `tol` (quantized paths need a loose tolerance).
+pub fn assert_matches_reference(a: &Csr, x: &DenseMatrix, z: &DenseMatrix, tol: f32) {
+    let want = a.spmm_reference(x);
+    let diff = want.max_abs_diff(z);
+    assert!(
+        diff <= tol,
+        "kernel output deviates from reference by {diff} (tol {tol})"
+    );
+}

@@ -1,0 +1,242 @@
+//! The §IV-A *straightforward* combination strategy (Fig. 4a) — implemented
+//! so the paper's argument against it can be measured, not just asserted.
+//!
+//! Instead of dispatching whole row windows, this kernel rearranges each
+//! window's columns by per-column density, splits the condensed window into
+//! 16×8 tiles, and picks a core type *per tile*: dense leading tiles go to
+//! Tensor cores, the sparse tail to CUDA cores. The paper identifies three
+//! costs that make this worse than the row-window unit:
+//!
+//! 1. **Result merging**: Tensor tiles accumulate in register fragments
+//!    while CUDA tiles write shared/global memory; combining them needs an
+//!    extra shared-memory round trip and add pass per window (measured at
+//!    up to 31 % overhead — footnote 4).
+//! 2. **Split edge storage**: each window's entries must be partitioned
+//!    into a Tensor-ordered segment and a CSR segment, hurting locality and
+//!    preprocessing cost.
+//! 3. **Per-tile times are too small to measure**, leaving sparsity as the
+//!    only usable selection feature (footnote 5).
+
+use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
+use graph_sparse::{Csr, DenseMatrix, RowWindowPartition};
+
+use super::cuda::CudaSpmm;
+use super::tensor::TensorSpmm;
+use super::{SpmmKernel, SpmmResult};
+
+/// The Fig. 4(a) per-tile hybrid kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct StraightforwardHybrid {
+    /// Tensor-tile density threshold: a 16×8 tile runs on Tensor cores when
+    /// its fill ratio is at least this (sparsity is the only feature
+    /// available at tile granularity).
+    pub tile_density_threshold: f64,
+}
+
+impl Default for StraightforwardHybrid {
+    fn default() -> Self {
+        StraightforwardHybrid {
+            tile_density_threshold: 0.25,
+        }
+    }
+}
+
+impl SpmmKernel for StraightforwardHybrid {
+    fn name(&self) -> &'static str {
+        "Per-tile hybrid"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        let part = RowWindowPartition::build(a);
+        let cuda = CudaSpmm::optimized();
+        let tensor = TensorSpmm::optimized();
+        let tile_k = Precision::Tf32.tile_k();
+        let dim = x.cols;
+
+        let mut blocks = Vec::with_capacity(part.len());
+        for w in part.windows.iter().filter(|w| !w.is_empty()) {
+            // Per-column non-zero counts over the condensed window, sorted
+            // densest-first (the Fig. 4a rearrangement).
+            let mut col_counts = vec![0u32; w.nnz_cols()];
+            for &ci in &w.cond_idx {
+                col_counts[ci as usize] += 1;
+            }
+            col_counts.sort_unstable_by(|a, b| b.cmp(a));
+
+            // Walk the 16×8 tiles of the rearranged window and classify.
+            let mut tensor_tiles = 0usize;
+            let mut tensor_nnz = 0usize;
+            let mut cuda_nnz = 0usize;
+            let mut cuda_cols = 0usize;
+            for tile in col_counts.chunks(tile_k) {
+                let fill: u32 = tile.iter().sum();
+                let density = fill as f64 / (w.rows * tile_k) as f64;
+                if density >= self.tile_density_threshold {
+                    tensor_tiles += 1;
+                    tensor_nnz += fill as usize;
+                } else {
+                    cuda_nnz += fill as usize;
+                    cuda_cols += tile.len();
+                }
+            }
+
+            // Cost both fragments through the regular per-path models…
+            let mut b = BlockCost {
+                warps: 8,
+                ..Default::default()
+            };
+            if tensor_tiles > 0 {
+                let tb =
+                    tensor.window_block_cost(tensor_nnz, tensor_tiles * tile_k, w.rows, dim, dev);
+                merge_block(&mut b, &tb);
+            }
+            if cuda_nnz > 0 {
+                let cb = cuda.window_block_cost(cuda_nnz, cuda_cols, w.rows, dim, dev);
+                merge_block(&mut b, &cb);
+            }
+            // …then add what the row-window strategy avoids: when BOTH core
+            // types contribute to the same output rows, the Tensor-side
+            // fragments must spill to shared memory, be added to the CUDA
+            // partials, and the combined rows stored — an extra Z-sized
+            // shared round trip plus an add pass (footnote 4's ≤31 %).
+            if tensor_tiles > 0 && cuda_nnz > 0 {
+                let z_words = (w.rows * dim) as u64;
+                // Every Tensor warp's accumulator fragments spill to shared
+                // memory once per 16-wide dim chunk (they cannot stay in
+                // registers across the merge barrier), the CUDA partials
+                // are read back, added, and the sum re-staged for the
+                // store — two full passes over the window's output.
+                b.shared.stores += z_words.div_ceil(8) * 2;
+                b.shared.loads += z_words.div_ceil(8) * 2;
+                b.cuda_fma_issues += z_words.div_ceil(32); // the add pass
+                                                           // Double Z store removed: only one final store, but the
+                                                           // split edge segments cost an extra index stream.
+                b.dram.transactions +=
+                    coalesced_transactions(w.nnz as u64 * 4, dev.transaction_bytes);
+                b.dram.bytes_loaded += w.nnz as u64 * 4;
+            }
+            // The per-path models each charged a Z store; merging means it
+            // is stored once.
+            if tensor_tiles > 0 && cuda_nnz > 0 {
+                let z_bytes = (w.rows * dim) as u64 * 4;
+                b.dram.bytes_stored = b.dram.bytes_stored.saturating_sub(z_bytes);
+                b.dram.transactions = b.dram.transactions.saturating_sub(
+                    w.rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes),
+                );
+            }
+            blocks.push(b);
+        }
+        let run = dev.execute(&blocks);
+
+        // Numerics: tiles with density ≥ threshold are quantized (TF32),
+        // the rest exact — per entry, by its column's rank in the window.
+        let mut z = DenseMatrix::zeros(a.nrows, x.cols);
+        for w in part.windows.iter().filter(|w| !w.is_empty()) {
+            let mut col_counts = vec![0u32; w.nnz_cols()];
+            for &ci in &w.cond_idx {
+                col_counts[ci as usize] += 1;
+            }
+            // Rank columns by density to find each column's tile.
+            let mut order: Vec<usize> = (0..col_counts.len()).collect();
+            order.sort_unstable_by(|&i, &j| col_counts[j].cmp(&col_counts[i]));
+            let mut rank_of = vec![0usize; col_counts.len()];
+            for (rank, &col) in order.iter().enumerate() {
+                rank_of[col] = rank;
+            }
+            let tile_of = |cond: usize| rank_of[cond] / tile_k;
+            // Tile densities in rank order.
+            let mut tile_fill = vec![0u32; col_counts.len().div_ceil(tile_k)];
+            for (rank, &col) in order.iter().enumerate() {
+                tile_fill[rank / tile_k] += col_counts[col];
+            }
+            let (lo, _) = (a.row_ptr[w.start_row] as usize, 0);
+            for (r, _) in (w.start_row..w.start_row + w.rows).zip(0..) {
+                let (s, e) = a.row_range(r);
+                for i in s..e {
+                    let cond = w.cond_idx[i - lo] as usize;
+                    let t = tile_of(cond);
+                    let dense = tile_fill[t] as f64 / (w.rows * tile_k) as f64
+                        >= self.tile_density_threshold;
+                    let (av, quant) = if dense {
+                        (Precision::Tf32.quantize(a.vals[i]), true)
+                    } else {
+                        (a.vals[i], false)
+                    };
+                    let xrow = x.row(a.col_idx[i] as usize);
+                    let zrow = z.row_mut(r);
+                    for (o, &xv) in zrow.iter_mut().zip(xrow) {
+                        let xq = if quant {
+                            Precision::Tf32.quantize(xv)
+                        } else {
+                            xv
+                        };
+                        *o += av * xq;
+                    }
+                }
+            }
+        }
+        SpmmResult { z, run }
+    }
+}
+
+fn merge_block(dst: &mut BlockCost, src: &BlockCost) {
+    dst.cuda_fma_issues += src.cuda_fma_issues;
+    dst.wmma_issues += src.wmma_issues;
+    dst.dram.add(&src.dram);
+    dst.shared.add(&src.shared);
+    dst.warps = dst.warps.max(src.warps);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HcSpmm;
+    use graph_sparse::gen;
+
+    #[test]
+    fn numerics_match_reference_within_tf32() {
+        let a = gen::community(512, 4_000, 16, 0.9, 1);
+        let x = DenseMatrix::random_features(512, 32, 2);
+        let dev = DeviceSpec::rtx3090();
+        let r = StraightforwardHybrid::default().spmm(&a, &x, &dev);
+        assert!(a.spmm_reference(&x).max_abs_diff(&r.z) < 0.05);
+    }
+
+    #[test]
+    fn row_window_strategy_beats_per_tile_on_mixed_graphs() {
+        // The §IV-A argument: merging overhead + split storage make the
+        // fine-grained hybrid lose to the row-window unit.
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::molecules(4_096, 10_000, 3);
+        let x = DenseMatrix::random_features(4_096, 64, 4);
+        let per_tile = StraightforwardHybrid::default()
+            .spmm(&a, &x, &dev)
+            .run
+            .time_ms;
+        let row_window = HcSpmm::default().spmm(&a, &x, &dev).run.time_ms;
+        assert!(
+            row_window < per_tile,
+            "row-window {row_window} should beat per-tile {per_tile}"
+        );
+    }
+
+    #[test]
+    fn pure_windows_pay_no_merge_overhead() {
+        // A window where every tile is dense (or every tile sparse) incurs
+        // no merge pass: the block cost equals the single-path cost plus
+        // nothing extra in shared memory.
+        let dev = DeviceSpec::rtx3090();
+        // All-dense tiny matrix → all tiles Tensor.
+        let mut coo = graph_sparse::Coo::new(16, 8);
+        for r in 0..16 {
+            for c in 0..8 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let x = DenseMatrix::random_features(8, 32, 5);
+        let r = StraightforwardHybrid::default().spmm(&a, &x, &dev);
+        let pure = TensorSpmm::optimized().spmm(&a, &x, &dev);
+        assert!((r.run.time_ms - pure.run.time_ms).abs() / pure.run.time_ms < 0.05);
+    }
+}

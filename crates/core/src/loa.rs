@@ -1,0 +1,474 @@
+//! LOA — the graph layout-optimization algorithm (§V-B, Algorithms 5/6).
+//!
+//! Real graph layouts leave most row windows sparse and wide, so few qualify
+//! for Tensor cores (Fig. 8). LOA rebuilds each row window greedily: start
+//! from the unvisited vertex whose neighborhood begins earliest, then 15
+//! times append the vertex (from a bounded search window `VW` over the
+//! sorted order) that maximizes the window's *computing intensity*
+//! (Eq. 5 / Eq. 6), tie-breaking by degree. The incremental `cns` counters
+//! of Algorithm 6 avoid recomputing set unions: after appending `v_max`,
+//! only the *new* columns (`Resi`) propagate +1 to their neighbors, so each
+//! edge is touched O(1) times per window.
+//!
+//! The output is a vertex permutation; applying it with
+//! [`Csr::permute_symmetric`] yields the same graph with denser windows.
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{Csr, WINDOW_ROWS};
+
+/// LOA configuration.
+///
+/// ```
+/// use graph_sparse::gen;
+/// use hc_core::Loa;
+///
+/// let scattered = gen::scatter_relabel(&gen::molecules(512, 1_200, 1), 2);
+/// let (optimized, report) = Loa::default().optimize(&scattered);
+/// assert_eq!(optimized.nnz(), scattered.nnz()); // same graph, new layout
+/// assert!(report.ops > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Loa {
+    /// Vertices window: how many candidates (in sorted order, from the seed
+    /// vertex) are scanned per append step.
+    pub vw: usize,
+}
+
+impl Default for Loa {
+    fn default() -> Self {
+        Loa { vw: 64 }
+    }
+}
+
+/// Result of a LOA run.
+#[derive(Debug, Clone)]
+pub struct LoaReport {
+    /// New vertex order: `perm[new_id] = old_id`.
+    pub perm: Vec<u32>,
+    /// Elementary operations performed (counter increments + candidate
+    /// evaluations) — drives the preprocessing-overhead model of Fig. 16.
+    pub ops: u64,
+    /// Modeled wall-clock seconds on the host CPU (LOA runs offline, once,
+    /// regardless of epochs/layers).
+    pub seconds: f64,
+}
+
+/// Host operations per second assumed by the overhead model. LOA's inner
+/// loop is dominated by random-access increments of the `cns` counter array
+/// (a cache miss per distinct neighbour), so effective throughput is far
+/// below the core's issue rate.
+const HOST_OPS_PER_SEC: f64 = 5.0e8;
+
+impl Loa {
+    /// Run LOA on a symmetric adjacency matrix, producing the reordering
+    /// permutation and the overhead estimate.
+    pub fn run(&self, a: &Csr) -> LoaReport {
+        assert_eq!(a.nrows, a.ncols, "LOA expects a square adjacency matrix");
+        let n = a.nrows;
+        let mut ops: u64 = 0;
+
+        // soList: vertices sorted by the smallest index in their
+        // neighborhood (isolated vertices last).
+        let mut so_list: Vec<u32> = (0..n as u32).collect();
+        let min_nbr =
+            |v: u32| -> u32 { a.row_cols(v as usize).first().copied().unwrap_or(u32::MAX) };
+        so_list.sort_by_key(|&v| (min_nbr(v), v));
+        // Position of each vertex in soList (for the VW range scan).
+        let mut pos_of = vec![0u32; n];
+        for (i, &v) in so_list.iter().enumerate() {
+            pos_of[v as usize] = i as u32;
+        }
+
+        let mut visited = vec![false; n];
+        let mut in_all_cols = vec![false; n]; // membership of allCols
+        let mut cns = vec![0u32; n]; // |N(v) ∩ allCols| per candidate
+        let mut touched_cols: Vec<u32> = Vec::new(); // lazy reset of in_all_cols
+        let mut touched_cns: Vec<u32> = Vec::new(); // lazy reset of cns
+
+        let mut perm: Vec<u32> = Vec::with_capacity(n);
+        let mut cursor = 0usize; // first possibly-unvisited soList position
+
+        while perm.len() < n {
+            // Seed: first unvisited vertex in soList.
+            while cursor < n && visited[so_list[cursor] as usize] {
+                cursor += 1;
+            }
+            if cursor >= n {
+                break;
+            }
+            let v0 = so_list[cursor];
+            visited[v0 as usize] = true;
+            perm.push(v0);
+
+            // Window state.
+            for &t in &touched_cols {
+                in_all_cols[t as usize] = false;
+            }
+            touched_cols.clear();
+            for &t in &touched_cns {
+                cns[t as usize] = 0;
+            }
+            touched_cns.clear();
+
+            let mut cur_eles = a.degree(v0 as usize) as f64;
+            let mut cur_cols;
+            let mut resi: Vec<u32> = a.row_cols(v0 as usize).to_vec();
+            for &c in &resi {
+                in_all_cols[c as usize] = true;
+                touched_cols.push(c);
+            }
+            cur_cols = resi.len() as f64;
+            let v0_pos = pos_of[v0 as usize] as usize;
+
+            for _ in 1..WINDOW_ROWS {
+                // Propagate the newly added columns into the cns counters
+                // (Alg. 6 lines 7–9): u ∈ Resi, w ∈ N(u) ⇒ w.cns += 1.
+                for &u in &resi {
+                    for &w in a.row_cols(u as usize) {
+                        if cns[w as usize] == 0 {
+                            touched_cns.push(w);
+                        }
+                        cns[w as usize] += 1;
+                        ops += 1;
+                    }
+                }
+
+                // Scan the vertices window for the best candidate
+                // (lines 10–14), tie-breaking by degree (Alg. 5 line 7).
+                let mut best: Option<(f64, usize, u32)> = None; // (P, degree, v)
+                let hi = (v0_pos + self.vw).min(n);
+                for &v in &so_list[v0_pos..hi] {
+                    ops += 1;
+                    if visited[v as usize] {
+                        continue;
+                    }
+                    let dv = a.degree(v as usize) as f64;
+                    let denom = cur_cols + dv - cns[v as usize] as f64;
+                    let p = if denom <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        (cur_eles + dv) / denom
+                    };
+                    let better = match best {
+                        None => true,
+                        Some((bp, bd, _)) => p > bp || (p == bp && a.degree(v as usize) > bd),
+                    };
+                    if better {
+                        best = Some((p, a.degree(v as usize), v));
+                    }
+                }
+                let Some((_, _, vmax)) = best else {
+                    break; // VW exhausted; window stays short
+                };
+
+                // Append vmax and update the incremental state
+                // (lines 15–19).
+                visited[vmax as usize] = true;
+                perm.push(vmax);
+                resi.clear();
+                for &c in a.row_cols(vmax as usize) {
+                    ops += 1;
+                    if !in_all_cols[c as usize] {
+                        in_all_cols[c as usize] = true;
+                        touched_cols.push(c);
+                        resi.push(c);
+                    }
+                }
+                cur_eles += a.degree(vmax as usize) as f64;
+                cur_cols += resi.len() as f64;
+            }
+        }
+
+        LoaReport {
+            seconds: ops as f64 / HOST_OPS_PER_SEC,
+            ops,
+            perm,
+        }
+    }
+
+    /// Convenience: run LOA and return the reordered matrix with the report.
+    pub fn optimize(&self, a: &Csr) -> (Csr, LoaReport) {
+        let rep = self.run(a);
+        (a.permute_symmetric(&rep.perm), rep)
+    }
+}
+
+/// Algorithm 5 — the unoptimized layout-reformat baseline.
+///
+/// Identical greedy objective to [`Loa`] (Algorithm 6), but each candidate's
+/// computing intensity is evaluated by recomputing the full column-set union
+/// from scratch — the redundant work §V-B's "Efficiency Optimization"
+/// removes with incremental `cns` counters. Kept for the equivalence test
+/// and the Alg. 5 vs Alg. 6 benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct LoaBrute {
+    /// Candidate window width, as in [`Loa`].
+    pub vw: usize,
+}
+
+impl Default for LoaBrute {
+    fn default() -> Self {
+        LoaBrute {
+            vw: Loa::default().vw,
+        }
+    }
+}
+
+impl LoaBrute {
+    /// Run the brute-force Algorithm 5. Produces the same permutation as
+    /// [`Loa::run`] (the greedy choices are identical); `ops` counts the
+    /// redundant set-union work.
+    pub fn run(&self, a: &Csr) -> LoaReport {
+        assert_eq!(a.nrows, a.ncols, "LOA expects a square adjacency matrix");
+        let n = a.nrows;
+        let mut ops: u64 = 0;
+
+        let mut so_list: Vec<u32> = (0..n as u32).collect();
+        let min_nbr =
+            |v: u32| -> u32 { a.row_cols(v as usize).first().copied().unwrap_or(u32::MAX) };
+        so_list.sort_by_key(|&v| (min_nbr(v), v));
+        let mut pos_of = vec![0u32; n];
+        for (i, &v) in so_list.iter().enumerate() {
+            pos_of[v as usize] = i as u32;
+        }
+
+        let mut visited = vec![false; n];
+        let mut perm: Vec<u32> = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        let mut in_cols = vec![false; n];
+        let mut cols_list: Vec<u32> = Vec::new();
+
+        while perm.len() < n {
+            while cursor < n && visited[so_list[cursor] as usize] {
+                cursor += 1;
+            }
+            if cursor >= n {
+                break;
+            }
+            let v0 = so_list[cursor];
+            visited[v0 as usize] = true;
+            perm.push(v0);
+
+            for &c in &cols_list {
+                in_cols[c as usize] = false;
+            }
+            cols_list.clear();
+            let mut rw: Vec<u32> = vec![v0];
+            let mut cur_eles = a.degree(v0 as usize) as f64;
+            for &c in a.row_cols(v0 as usize) {
+                if !in_cols[c as usize] {
+                    in_cols[c as usize] = true;
+                    cols_list.push(c);
+                }
+            }
+            let v0_pos = pos_of[v0 as usize] as usize;
+
+            for _ in 1..WINDOW_ROWS {
+                let mut best: Option<(f64, usize, u32)> = None;
+                let hi = (v0_pos + self.vw).min(n);
+                for &v in &so_list[v0_pos..hi] {
+                    if visited[v as usize] {
+                        continue;
+                    }
+                    // Brute-force union: walk N(v) against the membership
+                    // bitmap (re-walked for EVERY candidate, EVERY step —
+                    // the redundancy Algorithm 6 eliminates).
+                    let mut new_cols = 0usize;
+                    for &c in a.row_cols(v as usize) {
+                        ops += 1;
+                        if !in_cols[c as usize] {
+                            new_cols += 1;
+                        }
+                    }
+                    let dv = a.degree(v as usize) as f64;
+                    let denom = cols_list.len() as f64 + new_cols as f64;
+                    let p = if denom <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        (cur_eles + dv) / denom
+                    };
+                    let better = match best {
+                        None => true,
+                        Some((bp, bd, _)) => p > bp || (p == bp && a.degree(v as usize) > bd),
+                    };
+                    if better {
+                        best = Some((p, a.degree(v as usize), v));
+                    }
+                }
+                let Some((_, _, vmax)) = best else { break };
+                visited[vmax as usize] = true;
+                perm.push(vmax);
+                rw.push(vmax);
+                cur_eles += a.degree(vmax as usize) as f64;
+                for &c in a.row_cols(vmax as usize) {
+                    ops += 1;
+                    if !in_cols[c as usize] {
+                        in_cols[c as usize] = true;
+                        cols_list.push(c);
+                    }
+                }
+            }
+        }
+
+        LoaReport {
+            seconds: ops as f64 / HOST_OPS_PER_SEC,
+            ops,
+            perm,
+        }
+    }
+}
+
+/// Fraction of the device's row windows the selector assigns to Tensor cores
+/// — the Fig. 15 quantity. (Helper used by experiments; lives here to keep
+/// the Fig. 15 definition next to LOA.)
+pub fn tensor_window_fraction(
+    a: &Csr,
+    selector: &crate::selector::Selector,
+    dev: &DeviceSpec,
+) -> f64 {
+    let pre = crate::preprocess::preprocess(a, selector, dev);
+    let (c, t) = pre.window_split();
+    if c + t == 0 {
+        return 0.0;
+    }
+    t as f64 / (c + t) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::{gen, DenseMatrix, RowWindowPartition};
+
+    fn is_permutation(perm: &[u32], n: usize) -> bool {
+        if perm.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &p in perm {
+            if seen[p as usize] {
+                return false;
+            }
+            seen[p as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        for seed in 0..3 {
+            let a = gen::erdos_renyi(200, 800, seed);
+            let rep = Loa::default().run(&a);
+            assert!(is_permutation(&rep.perm, 200));
+        }
+    }
+
+    #[test]
+    fn handles_isolated_vertices() {
+        // 50 vertices, edges only among the first 20.
+        let a = gen::erdos_renyi(20, 60, 1);
+        let mut coo = a.to_coo();
+        coo.nrows = 50;
+        coo.ncols = 50;
+        let a = coo.to_csr();
+        let rep = Loa::default().run(&a);
+        assert!(is_permutation(&rep.perm, 50));
+    }
+
+    #[test]
+    fn improves_computing_intensity_on_scattered_graphs() {
+        // A scattered community graph: LOA should regroup the communities.
+        let base = gen::community(1024, 6000, 64, 0.95, 3);
+        let scattered = gen::scatter_relabel(&base, 4);
+        let before = RowWindowPartition::build(&scattered).mean_computing_intensity();
+        let (opt, _) = Loa::default().optimize(&scattered);
+        let after = RowWindowPartition::build(&opt).mean_computing_intensity();
+        assert!(
+            after > before * 1.2,
+            "LOA should densify windows: {before:.3} → {after:.3}"
+        );
+    }
+
+    #[test]
+    fn increases_tensor_eligible_windows() {
+        // Fig. 15: more windows suit Tensor cores after LOA.
+        let dev = DeviceSpec::rtx3090();
+        let base = gen::community(2048, 24_000, 128, 0.95, 5);
+        let scattered = gen::scatter_relabel(&base, 6);
+        let sel = crate::selector::Selector::DEFAULT;
+        let before = tensor_window_fraction(&scattered, &sel, &dev);
+        let (opt, _) = Loa::default().optimize(&scattered);
+        let after = tensor_window_fraction(&opt, &sel, &dev);
+        assert!(
+            after >= before,
+            "tensor fraction should not fall: {before:.3} → {after:.3}"
+        );
+    }
+
+    #[test]
+    fn reordered_graph_computes_identical_results_up_to_permutation() {
+        let a = gen::community(256, 2000, 16, 0.9, 7);
+        let x = DenseMatrix::random_features(256, 16, 8);
+        let rep = Loa::default().run(&a);
+        let b = a.permute_symmetric(&rep.perm);
+        // Permute X rows the same way, compute, and un-permute the result.
+        let mut xp = DenseMatrix::zeros(256, 16);
+        for (new, &old) in rep.perm.iter().enumerate() {
+            xp.row_mut(new).copy_from_slice(x.row(old as usize));
+        }
+        let zp = b.spmm_reference(&xp);
+        let z = a.spmm_reference(&x);
+        // Permutation changes the summation order, so allow f32 slack.
+        for (new, &old) in rep.perm.iter().enumerate() {
+            for (a_v, b_v) in zp.row(new).iter().zip(z.row(old as usize)) {
+                assert!((a_v - b_v).abs() < 1e-4, "{a_v} vs {b_v}");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_scales_with_edges() {
+        let small = gen::erdos_renyi(200, 500, 1);
+        let large = gen::erdos_renyi(200, 3000, 1);
+        let rs = Loa::default().run(&small);
+        let rl = Loa::default().run(&large);
+        assert!(rl.ops > rs.ops);
+        assert!(rl.seconds > 0.0);
+    }
+
+    #[test]
+    fn brute_force_and_optimized_agree() {
+        // Algorithm 6 is an *optimization* of Algorithm 5: identical greedy
+        // decisions, fewer operations.
+        for seed in [1u64, 2, 3] {
+            let a = gen::community(300, 1500, 12, 0.9, seed);
+            let opt = Loa::default().run(&a);
+            let brute = LoaBrute::default().run(&a);
+            assert_eq!(opt.perm, brute.perm, "divergent greedy at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimized_does_less_work_on_dense_graphs() {
+        // The cns trick touches each edge O(1) times per window; the brute
+        // force re-walks candidate neighborhoods for all 15 append steps.
+        let a = gen::community(1024, 20_000, 16, 0.9, 5);
+        let opt = Loa::default().run(&a);
+        let brute = LoaBrute::default().run(&a);
+        assert!(
+            brute.ops > opt.ops,
+            "brute {} should exceed optimized {}",
+            brute.ops,
+            opt.ops
+        );
+    }
+
+    #[test]
+    fn vw_bounds_candidate_scanning() {
+        let a = gen::erdos_renyi(500, 2000, 2);
+        let narrow = Loa { vw: 16 }.run(&a);
+        let wide = Loa { vw: 256 }.run(&a);
+        assert!(wide.ops > narrow.ops);
+        assert!(is_permutation(&wide.perm, 500));
+        assert!(is_permutation(&narrow.perm, 500));
+    }
+}

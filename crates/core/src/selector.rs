@@ -1,0 +1,295 @@
+//! Adaptive core selection — the logistic-regression model of §IV-C.
+//!
+//! A two-feature logistic regression (non-zero columns, sparsity) predicts
+//! which core type multiplies a row window faster. The four-step training
+//! pipeline is reproduced end to end: (1) synthetic sparse matrices are
+//! generated (16 rows; 1–130 columns, each with ≥1 non-zero; sparsity 1/16
+//! to 15/16); (2) both kernels are executed on each matrix and the faster
+//! one labels the sample; (3) the model is trained by gradient descent to
+//! convergence; (4) the coefficients are extracted and hard-coded
+//! ([`Selector::DEFAULT`]). Inference is `w1·x1 + w2·x2 + b` — a few
+//! nanoseconds per window.
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::gen;
+use serde::{Deserialize, Serialize};
+
+use crate::features::WindowFeatures;
+use crate::kernels::cuda::CudaSpmm;
+use crate::kernels::tensor::TensorSpmm;
+
+/// Which core type processes a row window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreChoice {
+    /// CUDA cores (label 1 in the paper's training data).
+    Cuda,
+    /// Tensor cores (label 0).
+    Tensor,
+}
+
+/// The encoded logistic-regression model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Selector {
+    /// Coefficient of the non-zero-column count (`x1`).
+    pub w1: f64,
+    /// Coefficient of the sparsity (`x2`).
+    pub w2: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl Selector {
+    /// Coefficients produced by [`train_default`] on the RTX 3090 spec —
+    /// the "model encoding" step. Regenerate with
+    /// `cargo run -p bench --bin train_selector` after changing the device
+    /// model.
+    pub const DEFAULT: Selector = Selector {
+        w1: -0.116092,
+        w2: 131.348570,
+        b: -102.824391,
+    };
+
+    /// Largest column count in the training grid (footnote 8: 130 columns
+    /// "accommodates most cases"); wider windows are evaluated at the edge
+    /// of the trained support instead of extrapolating the linear model.
+    pub const MAX_TRAINED_COLS: f64 = 130.0;
+
+    /// Raw decision value `w1·x1 + w2·x2 + b`; positive means CUDA.
+    #[inline]
+    pub fn decision_value(&self, f: &WindowFeatures) -> f64 {
+        self.w1 * f.nnz_cols.min(Self::MAX_TRAINED_COLS) + self.w2 * f.sparsity + self.b
+    }
+
+    /// Select the core type for a window.
+    #[inline]
+    pub fn choose(&self, f: &WindowFeatures) -> CoreChoice {
+        if self.decision_value(f) > 0.0 {
+            CoreChoice::Cuda
+        } else {
+            CoreChoice::Tensor
+        }
+    }
+
+    /// Classification accuracy on a labeled sample set.
+    pub fn accuracy(&self, samples: &[(WindowFeatures, CoreChoice)]) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        let hits = samples.iter().filter(|(f, y)| self.choose(f) == *y).count();
+        hits as f64 / samples.len() as f64
+    }
+
+    /// Train by batch gradient descent on standardized features until the
+    /// loss improvement falls under `1e-9` (or 20 000 epochs), then unfold
+    /// the standardization into raw-feature coefficients.
+    pub fn train(samples: &[(WindowFeatures, CoreChoice)]) -> Selector {
+        assert!(!samples.is_empty(), "empty training set");
+        let n = samples.len() as f64;
+        // Standardize.
+        let (mut m1, mut m2) = (0.0, 0.0);
+        for (f, _) in samples {
+            m1 += f.nnz_cols;
+            m2 += f.sparsity;
+        }
+        m1 /= n;
+        m2 /= n;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for (f, _) in samples {
+            s1 += (f.nnz_cols - m1).powi(2);
+            s2 += (f.sparsity - m2).powi(2);
+        }
+        s1 = (s1 / n).sqrt().max(1e-9);
+        s2 = (s2 / n).sqrt().max(1e-9);
+
+        let xs: Vec<(f64, f64, f64)> = samples
+            .iter()
+            .map(|(f, y)| {
+                (
+                    (f.nnz_cols - m1) / s1,
+                    (f.sparsity - m2) / s2,
+                    if *y == CoreChoice::Cuda { 1.0 } else { 0.0 },
+                )
+            })
+            .collect();
+
+        let (mut w1, mut w2, mut b) = (0.0f64, 0.0f64, 0.0f64);
+        let lr = 2.0;
+        let mut prev_loss = f64::INFINITY;
+        // The training grid is near-separable, so the boundary keeps
+        // sharpening as the weights grow; run long with a tight tolerance.
+        for _ in 0..200_000 {
+            let (mut g1, mut g2, mut gb, mut loss) = (0.0, 0.0, 0.0, 0.0);
+            for &(x1, x2, y) in &xs {
+                let z = w1 * x1 + w2 * x2 + b;
+                let p = 1.0 / (1.0 + (-z).exp());
+                let d = p - y;
+                g1 += d * x1;
+                g2 += d * x2;
+                gb += d;
+                let p = p.clamp(1e-12, 1.0 - 1e-12);
+                loss -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+            }
+            w1 -= lr * g1 / n;
+            w2 -= lr * g2 / n;
+            b -= lr * gb / n;
+            loss /= n;
+            if (prev_loss - loss).abs() < 1e-12 {
+                break;
+            }
+            prev_loss = loss;
+        }
+        // Unfold standardization: w·(x-m)/s + b = (w/s)·x + (b - w·m/s).
+        Selector {
+            w1: w1 / s1,
+            w2: w2 / s2,
+            b: b - w1 * m1 / s1 - w2 * m2 / s2,
+        }
+    }
+}
+
+impl Default for Selector {
+    fn default() -> Self {
+        Selector::DEFAULT
+    }
+}
+
+/// How the hybrid kernel decides a window's core type — the trained model,
+/// a fixed policy, or the per-window oracle (upper bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// The §IV-C logistic-regression model.
+    Model,
+    /// Every window on CUDA cores.
+    AllCuda,
+    /// Every window on Tensor cores.
+    AllTensor,
+    /// Per-window cost oracle: evaluate both block costs and keep the
+    /// cheaper one (unrealizable online — the selection upper bound).
+    Oracle,
+}
+
+/// Pipeline step 1+2: generate the synthetic training matrices of §IV-C and
+/// label each by executing both kernels on `dev`.
+///
+/// `nnz_levels` sparsity levels are sampled per column count (the paper uses
+/// a dense sweep; 8 levels × 130 column counts ≈ 1 000 samples).
+pub fn generate_training_set(
+    dev: &DeviceSpec,
+    nnz_levels: usize,
+) -> Vec<(WindowFeatures, CoreChoice)> {
+    let rows = 16usize;
+    let cuda = CudaSpmm::optimized();
+    let tensor = TensorSpmm::optimized();
+    let dim = 32usize;
+    let mut out = Vec::new();
+    // Windows narrower than one row-window height execute in fractions of a
+    // microsecond, below reliable measurement granularity (the paper's
+    // footnote 5 notes execution-time tendencies are invisible at that
+    // scale), so the measured grid starts at 16 columns.
+    for cols in 16..=130usize {
+        let lo = cols; // sparsity 15/16
+        let hi = cols * (rows - 1); // sparsity 1/16
+        for lvl in 0..nnz_levels {
+            let nnz = lo + (hi - lo) * lvl / (nnz_levels - 1).max(1);
+            // Execution-result collection: the deployed kernels with the
+            // deployed parameters, compared per-window by SM cycles (both
+            // run as one block; launch overhead cancels).
+            let w = gen::training_window(rows, cols, nnz, (cols * 131 + lvl) as u64);
+            let win = &graph_sparse::RowWindowPartition::build(&w).windows[0];
+            // The paper averages 100 executions per matrix, so the dense
+            // operand is cache-resident after the first run: label with the
+            // warm view of each block.
+            let bc = cuda
+                .window_block_cost(win.nnz, win.nnz_cols(), rows, dim, dev)
+                .warm();
+            let bt = tensor
+                .window_block_cost(win.nnz, win.nnz_cols(), rows, dim, dev)
+                .warm();
+            let tc = dev.execute(&[bc]).makespan_cycles;
+            let tt = dev.execute(&[bt]).makespan_cycles;
+            let label = if tc < tt {
+                CoreChoice::Cuda
+            } else {
+                CoreChoice::Tensor
+            };
+            out.push((WindowFeatures::of(win), label));
+        }
+    }
+    out
+}
+
+/// Run the full §IV-C pipeline on `dev`: generate → collect → train.
+pub fn train_default(dev: &DeviceSpec) -> (Selector, f64) {
+    let set = generate_training_set(dev, 8);
+    let model = Selector::train(&set);
+    let acc = model.accuracy(&set);
+    (model, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trained_model_is_accurate() {
+        // §IV-C claims >90 % selection accuracy.
+        let dev = DeviceSpec::rtx3090();
+        let (model, acc) = train_default(&dev);
+        assert!(acc > 0.90, "accuracy {acc} too low; model {model:?}");
+    }
+
+    #[test]
+    fn default_model_matches_training_pipeline() {
+        let dev = DeviceSpec::rtx3090();
+        let set = generate_training_set(&dev, 8);
+        let acc = Selector::DEFAULT.accuracy(&set);
+        assert!(acc > 0.90, "hard-coded coefficients stale? accuracy {acc}");
+    }
+
+    #[test]
+    fn boundary_orientation_matches_paper() {
+        // Dense window with few columns → Tensor; sparse window with many
+        // columns → CUDA (Fig. 1's regimes).
+        let s = Selector::DEFAULT;
+        let dense_few = WindowFeatures::from_counts(16, 8, 120); // sparsity 0.06
+        let sparse_many = WindowFeatures::from_counts(16, 120, 130); // sparsity 0.93
+        assert_eq!(s.choose(&dense_few), CoreChoice::Tensor);
+        assert_eq!(s.choose(&sparse_many), CoreChoice::Cuda);
+    }
+
+    #[test]
+    fn train_separable_toy_set() {
+        // x1 alone separates: cols < 50 → Tensor, else CUDA.
+        let mut set = Vec::new();
+        for c in 1..100 {
+            let f = WindowFeatures::from_counts(16, c, c * 4);
+            let y = if c < 50 {
+                CoreChoice::Tensor
+            } else {
+                CoreChoice::Cuda
+            };
+            set.push((f, y));
+        }
+        let m = Selector::train(&set);
+        assert!(m.accuracy(&set) > 0.97, "{m:?}");
+    }
+
+    #[test]
+    fn decision_is_linear_in_features() {
+        let s = Selector {
+            w1: 2.0,
+            w2: -3.0,
+            b: 1.0,
+        };
+        let f = WindowFeatures {
+            nnz_cols: 4.0,
+            sparsity: 0.5,
+        };
+        assert!((s.decision_value(&f) - (8.0 - 1.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_one() {
+        assert_eq!(Selector::DEFAULT.accuracy(&[]), 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Pluggable Aggregation backends for the GNN pipeline.
+//!
+//! The evaluation's three frameworks differ only in which kernel serves the
+//! Aggregation phase (and whether it can fuse the following Update):
+//! HC-SpMM (with or without §V-A fusion), GE-SpMM and TC-GNN. The trait
+//! below is that seam.
+
+use gpu_sim::{DeviceSpec, KernelRun};
+use graph_sparse::{Csr, DenseMatrix};
+use hc_core::fusion::{fused_agg_update, gemm_run, unfused_agg_update, AggUpdateResult};
+use hc_core::preprocess::Preprocessed;
+use hc_core::{HcSpmm, SpmmKernel};
+
+/// An Aggregation backend: computes `Z = Ā·G` and, optionally fused, the
+/// following Update `Z·W`.
+pub trait Aggregator {
+    /// Framework name as printed in Figs. 11–13.
+    fn name(&self) -> &'static str;
+
+    /// Aggregation alone.
+    fn aggregate(&self, a: &Csr, g: &DenseMatrix, dev: &DeviceSpec) -> (DenseMatrix, KernelRun);
+
+    /// Aggregation followed by Update. The default is the unfused two-launch
+    /// pipeline every framework other than HC-SpMM uses.
+    fn agg_update(
+        &self,
+        a: &Csr,
+        g: &DenseMatrix,
+        w: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> AggUpdateResult {
+        let (z, run) = self.aggregate(a, g, dev);
+        let gemm = gemm_run(a.nrows, w.cols, w.rows, dev);
+        AggUpdateResult {
+            out: z.matmul(w),
+            aggregated: z,
+            run: run.then(&gemm),
+        }
+    }
+}
+
+/// HC-SpMM aggregation: preprocessing (condense + classify) is performed
+/// once at construction and reused every epoch, mirroring the deployment
+/// model of §VI-B1.
+pub struct HcAggregator {
+    /// The hybrid kernel.
+    pub hc: HcSpmm,
+    /// Cached preprocessing artifacts for the training graph.
+    pub pre: Preprocessed,
+    /// Apply the §V-A kernel fusion where Update follows Aggregation.
+    pub fuse: bool,
+}
+
+impl HcAggregator {
+    /// Preprocess `a` and build the aggregator (fusion on — the deployed
+    /// configuration).
+    pub fn new(a: &Csr, dev: &DeviceSpec) -> Self {
+        let hc = HcSpmm::default();
+        let pre = hc.preprocess(a, dev);
+        HcAggregator {
+            hc,
+            pre,
+            fuse: true,
+        }
+    }
+
+    /// Same, with fusion disabled (Table VI's ablation).
+    pub fn new_unfused(a: &Csr, dev: &DeviceSpec) -> Self {
+        HcAggregator {
+            fuse: false,
+            ..Self::new(a, dev)
+        }
+    }
+}
+
+impl Aggregator for HcAggregator {
+    fn name(&self) -> &'static str {
+        if self.fuse {
+            "HC-SpMM"
+        } else {
+            "HC-SpMM (no fusion)"
+        }
+    }
+
+    fn aggregate(&self, a: &Csr, g: &DenseMatrix, dev: &DeviceSpec) -> (DenseMatrix, KernelRun) {
+        let r = self.hc.spmm_preprocessed(&self.pre, a, g, dev);
+        (r.z, r.run)
+    }
+
+    fn agg_update(
+        &self,
+        a: &Csr,
+        g: &DenseMatrix,
+        w: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> AggUpdateResult {
+        if self.fuse {
+            fused_agg_update(&self.hc, &self.pre, a, g, w, dev)
+        } else {
+            unfused_agg_update(&self.hc, &self.pre, a, g, w, dev)
+        }
+    }
+}
+
+/// Adapter: any [`SpmmKernel`] (GE-SpMM, TC-GNN, …) as an unfused
+/// aggregation backend.
+pub struct KernelAggregator<K: SpmmKernel> {
+    /// The wrapped kernel.
+    pub kernel: K,
+}
+
+impl<K: SpmmKernel> KernelAggregator<K> {
+    /// Wrap a kernel.
+    pub fn new(kernel: K) -> Self {
+        KernelAggregator { kernel }
+    }
+}
+
+impl<K: SpmmKernel> Aggregator for KernelAggregator<K> {
+    fn name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn aggregate(&self, a: &Csr, g: &DenseMatrix, dev: &DeviceSpec) -> (DenseMatrix, KernelRun) {
+        let r = self.kernel.spmm(a, g, dev);
+        (r.z, r.run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::gen;
+
+    #[test]
+    fn hc_aggregator_reuses_preprocessing() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(512, 4000, 16, 0.9, 1).gcn_normalize();
+        let agg = HcAggregator::new(&a, &dev);
+        let g = DenseMatrix::random_features(a.nrows, 16, 2);
+        let (z1, r1) = agg.aggregate(&a, &g, &dev);
+        let (z2, _) = agg.aggregate(&a, &g, &dev);
+        assert_eq!(z1, z2);
+        assert_eq!(r1.profile.launches, 1);
+    }
+
+    #[test]
+    fn fused_and_unfused_agree() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(256, 2000, 8, 0.9, 3).gcn_normalize();
+        let g = DenseMatrix::random_features(a.nrows, 16, 4);
+        let w = DenseMatrix::random_features(16, 8, 5);
+        let fused = HcAggregator::new(&a, &dev);
+        let unfused = HcAggregator::new_unfused(&a, &dev);
+        let rf = fused.agg_update(&a, &g, &w, &dev);
+        let ru = unfused.agg_update(&a, &g, &w, &dev);
+        assert_eq!(rf.out, ru.out);
+        assert!(rf.run.time_ms < ru.run.time_ms);
+    }
+
+    #[test]
+    fn kernel_aggregator_is_exact_for_cuda_kernels() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::erdos_renyi(128, 500, 7).gcn_normalize();
+        let g = DenseMatrix::random_features(128, 8, 8);
+        let agg = KernelAggregator::new(baselines::GeSpmm);
+        let (z, _) = agg.aggregate(&a, &g, &dev);
+        assert_eq!(z, a.spmm_reference(&g));
+    }
+}

@@ -1,0 +1,166 @@
+//! Elementwise / classification kernels and their cost models.
+//!
+//! These are the small kernels around Aggregation and Update: ReLU (and its
+//! backward mask), softmax cross-entropy, and the SGD weight update. They
+//! are bandwidth-bound streams; each costs one launch plus its memory
+//! traffic.
+
+use gpu_sim::{BlockCost, DeviceSpec, KernelRun};
+use graph_sparse::DenseMatrix;
+
+/// Simulate an elementwise kernel that reads `reads` f32 values and writes
+/// `writes` f32 values.
+pub fn elementwise_run(reads: u64, writes: u64, dev: &DeviceSpec) -> KernelRun {
+    // Stream split across enough blocks to fill the device.
+    let total_bytes = (reads + writes) * 4;
+    let blocks_n = (total_bytes / (64 * 1024)).clamp(1, 4 * dev.num_sms as u64) as usize;
+    let mut blocks = Vec::with_capacity(blocks_n);
+    for _ in 0..blocks_n {
+        let mut b = BlockCost {
+            warps: 8,
+            ..Default::default()
+        };
+        b.dram.bytes_loaded = reads * 4 / blocks_n as u64;
+        b.dram.bytes_stored = writes * 4 / blocks_n as u64;
+        b.dram.transactions =
+            (b.dram.bytes_loaded + b.dram.bytes_stored) / dev.transaction_bytes as u64;
+        b.cuda_fma_issues = (reads / blocks_n as u64) / 32;
+        blocks.push(b);
+    }
+    dev.execute(&blocks)
+}
+
+/// ReLU forward: returns the activated matrix and the kernel run.
+pub fn relu(x: &DenseMatrix, dev: &DeviceSpec) -> (DenseMatrix, KernelRun) {
+    let out = x.map(|v| v.max(0.0));
+    let n = x.data.len() as u64;
+    (out, elementwise_run(n, n, dev))
+}
+
+/// ReLU backward: gradient masked by the forward activation's sign.
+pub fn relu_backward(
+    grad: &DenseMatrix,
+    activated: &DenseMatrix,
+    dev: &DeviceSpec,
+) -> (DenseMatrix, KernelRun) {
+    assert_eq!(grad.data.len(), activated.data.len());
+    let data = grad
+        .data
+        .iter()
+        .zip(&activated.data)
+        .map(|(&g, &a)| if a > 0.0 { g } else { 0.0 })
+        .collect();
+    let out = DenseMatrix {
+        rows: grad.rows,
+        cols: grad.cols,
+        data,
+    };
+    let n = grad.data.len() as u64;
+    (out, elementwise_run(2 * n, n, dev))
+}
+
+/// Softmax cross-entropy over rows: returns `(mean loss, dLogits)` plus the
+/// kernel run. `labels[i]` is row `i`'s class.
+pub fn softmax_cross_entropy(
+    logits: &DenseMatrix,
+    labels: &[usize],
+    dev: &DeviceSpec,
+) -> (f64, DenseMatrix, KernelRun) {
+    assert_eq!(logits.rows, labels.len());
+    let mut grad = DenseMatrix::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f64;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        debug_assert!(y < logits.cols);
+        loss -= (exps[y] / sum).max(1e-30).ln();
+        let g = grad.row_mut(r);
+        for (c, gv) in g.iter_mut().enumerate() {
+            let p = exps[c] / sum;
+            *gv = (p - if c == y { 1.0 } else { 0.0 }) as f32 / logits.rows as f32;
+        }
+    }
+    let n = logits.data.len() as u64;
+    let run = elementwise_run(2 * n, n, dev);
+    (loss / logits.rows as f64, grad, run)
+}
+
+/// SGD step `w -= lr · dw`, in place, with its kernel cost.
+pub fn sgd_step(w: &mut DenseMatrix, dw: &DenseMatrix, lr: f32, dev: &DeviceSpec) -> KernelRun {
+    assert_eq!((w.rows, w.cols), (dw.rows, dw.cols));
+    for (a, b) in w.data.iter_mut().zip(&dw.data) {
+        *a -= lr * b;
+    }
+    let n = w.data.len() as u64;
+    elementwise_run(2 * n, n, dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let dev = DeviceSpec::rtx3090();
+        let x = DenseMatrix::from_rows(&[&[-1.0, 2.0], &[0.5, -0.5]]);
+        let (y, _) = relu(&x, &dev);
+        assert_eq!(y.row(0), &[0.0, 2.0]);
+        let g = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (gx, _) = relu_backward(&g, &y, &dev);
+        assert_eq!(gx.row(0), &[0.0, 1.0]);
+        assert_eq!(gx.row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_loss_of_perfect_logits_is_small() {
+        let dev = DeviceSpec::rtx3090();
+        let logits = DenseMatrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]);
+        let (loss, grad, _) = softmax_cross_entropy(&logits, &[0, 1], &dev);
+        assert!(loss < 1e-6);
+        assert!(grad.data.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_differences() {
+        let dev = DeviceSpec::rtx3090();
+        let mut logits = DenseMatrix::random_features(4, 3, 9);
+        let labels = [0usize, 2, 1, 1];
+        let (_, grad, _) = softmax_cross_entropy(&logits, &labels, &dev);
+        let eps = 1e-3f32;
+        for r in 0..4 {
+            for c in 0..3 {
+                let orig = logits[(r, c)];
+                logits[(r, c)] = orig + eps;
+                let (lp, _, _) = softmax_cross_entropy(&logits, &labels, &dev);
+                logits[(r, c)] = orig - eps;
+                let (lm, _, _) = softmax_cross_entropy(&logits, &labels, &dev);
+                logits[(r, c)] = orig;
+                let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (fd - grad[(r, c)]).abs() < 1e-3,
+                    "grad mismatch at ({r},{c}): fd {fd} vs {}",
+                    grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let dev = DeviceSpec::rtx3090();
+        let mut w = DenseMatrix::from_rows(&[&[1.0, 1.0]]);
+        let dw = DenseMatrix::from_rows(&[&[0.5, -0.5]]);
+        sgd_step(&mut w, &dw, 0.1, &dev);
+        assert_eq!(w.row(0), &[0.95, 1.05]);
+    }
+
+    #[test]
+    fn elementwise_time_scales_with_volume() {
+        let dev = DeviceSpec::rtx3090();
+        let small = elementwise_run(1 << 10, 1 << 10, &dev);
+        let big = elementwise_run(1 << 24, 1 << 24, &dev);
+        assert!(big.time_ms > small.time_ms);
+    }
+}

@@ -1,0 +1,177 @@
+//! Optimizers for the training pipeline: SGD and Adam.
+//!
+//! The evaluation's timing is optimizer-agnostic (the weight update streams
+//! a few KB), but deeper models (the Fig. 16 discussion: "larger datasets
+//! and deeper models ... require more epochs") conventionally train with
+//! Adam, so both are provided, with their streaming costs modeled.
+
+use gpu_sim::{DeviceSpec, KernelRun};
+use graph_sparse::DenseMatrix;
+
+use crate::ops::elementwise_run;
+
+/// A parameter-update rule over indexed weight matrices.
+pub trait Optimizer {
+    /// Apply one update to parameter `idx`: `w ← update(w, dw)`. Returns
+    /// the simulated kernel run.
+    fn step(
+        &mut self,
+        idx: usize,
+        w: &mut DenseMatrix,
+        dw: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> KernelRun;
+}
+
+/// Plain SGD: `w ← w − lr · dw`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step(
+        &mut self,
+        _idx: usize,
+        w: &mut DenseMatrix,
+        dw: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> KernelRun {
+        crate::ops::sgd_step(w, dw, self.lr, dev)
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    /// Step counter per parameter.
+    t: Vec<u32>,
+    /// First moments per parameter.
+    m: Vec<Vec<f32>>,
+    /// Second moments per parameter.
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the conventional defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, idx: usize, len: usize) {
+        while self.m.len() <= idx {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+            self.t.push(0);
+        }
+        if self.m[idx].len() != len {
+            self.m[idx] = vec![0.0; len];
+            self.v[idx] = vec![0.0; len];
+            self.t[idx] = 0;
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(
+        &mut self,
+        idx: usize,
+        w: &mut DenseMatrix,
+        dw: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> KernelRun {
+        assert_eq!(w.data.len(), dw.data.len());
+        self.ensure(idx, w.data.len());
+        self.t[idx] += 1;
+        let t = self.t[idx] as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (m, v) = (&mut self.m[idx], &mut self.v[idx]);
+        for ((wi, &g), (mi, vi)) in w
+            .data
+            .iter_mut()
+            .zip(&dw.data)
+            .zip(m.iter_mut().zip(v.iter_mut()))
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *wi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        // Streams w, dw, m, v once each (read+write for w/m/v).
+        let n = w.data.len() as u64;
+        elementwise_run(4 * n, 3 * n, dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::rtx3090()
+    }
+
+    #[test]
+    fn sgd_matches_manual_update() {
+        let mut w = DenseMatrix::from_rows(&[&[1.0, 2.0]]);
+        let dw = DenseMatrix::from_rows(&[&[0.5, -1.0]]);
+        Sgd { lr: 0.1 }.step(0, &mut w, &dw, &device());
+        assert_eq!(w.row(0), &[0.95, 2.1]);
+    }
+
+    #[test]
+    fn adam_first_step_is_signed_lr() {
+        // With bias correction, the first Adam step is ≈ lr·sign(g).
+        let mut w = DenseMatrix::from_rows(&[&[0.0, 0.0]]);
+        let dw = DenseMatrix::from_rows(&[&[3.0, -0.002]]);
+        Adam::new(0.1).step(0, &mut w, &dw, &device());
+        assert!((w[(0, 0)] + 0.1).abs() < 1e-4, "{}", w[(0, 0)]);
+        assert!((w[(0, 1)] - 0.1).abs() < 1e-3, "{}", w[(0, 1)]);
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimize f(w) = (w - 3)², gradient 2(w - 3).
+        let mut w = DenseMatrix::from_rows(&[&[0.0]]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            let g = 2.0 * (w[(0, 0)] - 3.0);
+            let dw = DenseMatrix::from_rows(&[&[g]]);
+            opt.step(0, &mut w, &dw, &device());
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 0.05, "{}", w[(0, 0)]);
+    }
+
+    #[test]
+    fn adam_state_tracks_parameters_independently() {
+        let mut w0 = DenseMatrix::from_rows(&[&[0.0]]);
+        let mut w1 = DenseMatrix::from_rows(&[&[0.0, 0.0]]);
+        let mut opt = Adam::new(0.1);
+        let d0 = DenseMatrix::from_rows(&[&[1.0]]);
+        let d1 = DenseMatrix::from_rows(&[&[1.0, -1.0]]);
+        opt.step(0, &mut w0, &d0, &device());
+        opt.step(1, &mut w1, &d1, &device());
+        opt.step(0, &mut w0, &d0, &device());
+        assert!(w0[(0, 0)] < -0.1); // two steps on param 0
+        assert!(w1[(0, 0)] < 0.0 && w1[(0, 1)] > 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # gpu-sim — a deterministic analytical GPU performance model
+//!
+//! This crate is the hardware substrate for the HC-SpMM reproduction. The
+//! paper ([Li et al., ICDE 2025]) evaluates CUDA kernels on Nvidia RTX
+//! 3090/4090/A100 GPUs; no GPU is available here, so kernels in this
+//! workspace are ordinary Rust functions that (a) compute their numerical
+//! result for real on the CPU and (b) report, at warp granularity, the work
+//! they performed — FMA issues, WMMA issues, global-memory transactions,
+//! shared-memory accesses and bank conflicts — to this crate, which converts
+//! the counts into simulated execution time using an SM-level scheduling
+//! model and a DRAM roofline.
+//!
+//! The model is *analytical*, not cycle-accurate: it charges cycles by the
+//! same mechanisms the paper's measurements expose (CUDA-core time tracks
+//! nnz; Tensor-core time tracks the number of 16×8 tiles and is dominated by
+//! loading the dense operand), so relative comparisons — who wins, where
+//! crossovers fall — are meaningful even though absolute times are not those
+//! of physical silicon.
+//!
+//! Entry points:
+//! * [`DeviceSpec`] — per-GPU architectural constants, with presets for the
+//!   three boards the paper uses.
+//! * [`BlockCost`] — what one thread block did (built by kernels).
+//! * [`DeviceSpec::execute`] — schedule blocks onto SMs and produce a
+//!   [`KernelRun`] with simulated time and a [`KernelProfile`] of counters.
+//! * [`precision`] — TF32/FP16/BF16 emulation used by the Tensor-core path.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod memory;
+pub mod precision;
+pub mod profile;
+pub mod scheduler;
+pub mod trace;
+
+pub use cost::{BlockCost, DramTraffic, KernelRun, SharedTraffic};
+pub use device::{DeviceKind, DeviceSpec};
+pub use memory::{coalesced_transactions, gather_transactions, shared_store_conflicts};
+pub use precision::Precision;
+pub use profile::KernelProfile;

@@ -1,0 +1,126 @@
+//! Warp-level memory access pattern models.
+//!
+//! These helpers turn the access patterns a kernel issues into transaction
+//! and bank-conflict counts, following the §III-A description: global memory
+//! is accessed in 128-byte transactions when the L1 is enabled, and shared
+//! memory is organized as 32 four-byte-wide banks where concurrent access by
+//! multiple lanes to the same bank serializes.
+
+/// Transactions needed for one warp to read `bytes` of *contiguous* global
+/// memory starting at an aligned address (coalesced access).
+pub fn coalesced_transactions(bytes: u64, transaction_bytes: u32) -> u64 {
+    debug_assert!(transaction_bytes > 0);
+    bytes.div_ceil(transaction_bytes as u64)
+}
+
+/// Transactions needed for a warp to gather `count` items of `item_bytes`
+/// each from *unrelated* addresses (e.g. rows of the dense matrix selected
+/// by CSR column indices): every distinct address costs a full transaction,
+/// no matter how few bytes are used from it.
+pub fn gather_transactions(count: u64, item_bytes: u32, transaction_bytes: u32) -> u64 {
+    // Each gathered item may span several transactions if it is larger than
+    // one transaction; smaller items still cost one each.
+    count * (item_bytes.div_ceil(transaction_bytes).max(1)) as u64
+}
+
+/// Transactions for a warp reading `rows` rows of a row-major matrix with
+/// `row_bytes` bytes per row, where consecutive lanes read consecutive
+/// elements *within* a row (the common SpMM pattern of fetching X rows).
+///
+/// Each row is contiguous, so it coalesces internally, but distinct rows are
+/// far apart and never share transactions.
+pub fn row_gather_transactions(rows: u64, row_bytes: u64, transaction_bytes: u32) -> u64 {
+    rows * coalesced_transactions(row_bytes, transaction_bytes)
+}
+
+/// Bank-conflict replays for a warp-wide shared-memory access in which lane
+/// `i` touches 4-byte word index `offsets[i]`.
+///
+/// Returns the number of *extra* serialized passes beyond the first (0 means
+/// conflict-free). Lanes touching the same word broadcast and do not
+/// conflict.
+pub fn shared_store_conflicts(offsets: &[u32], banks: u32) -> u64 {
+    debug_assert!(banks > 0);
+    let mut per_bank: Vec<u32> = vec![0; banks as usize];
+    let mut words_seen: Vec<Vec<u32>> = vec![Vec::new(); banks as usize];
+    for &off in offsets {
+        let bank = (off % banks) as usize;
+        if !words_seen[bank].contains(&off) {
+            words_seen[bank].push(off);
+            per_bank[bank] += 1;
+        }
+    }
+    let max = per_bank.iter().copied().max().unwrap_or(0);
+    max.saturating_sub(1) as u64
+}
+
+/// Conflict count for a strided warp access: lane `i` accesses word
+/// `i * stride_words`. This is the pattern of naive column-major stores,
+/// which the paper's Fig. 6 data-loading strategy exists to avoid.
+pub fn strided_conflicts(lanes: u32, stride_words: u32, banks: u32) -> u64 {
+    let offsets: Vec<u32> = (0..lanes).map(|i| i * stride_words).collect();
+    shared_store_conflicts(&offsets, banks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_full_warp_float_load_is_one_transaction() {
+        // 32 lanes × 4 bytes = 128 bytes = exactly one transaction, the
+        // §III-A example.
+        assert_eq!(coalesced_transactions(32 * 4, 128), 1);
+    }
+
+    #[test]
+    fn coalesced_rounds_up() {
+        assert_eq!(coalesced_transactions(129, 128), 2);
+        assert_eq!(coalesced_transactions(0, 128), 0);
+    }
+
+    #[test]
+    fn gather_pays_per_item() {
+        assert_eq!(gather_transactions(32, 4, 128), 32);
+        // A 256-byte item spans two transactions.
+        assert_eq!(gather_transactions(2, 256, 128), 4);
+    }
+
+    #[test]
+    fn row_gather_combines_both() {
+        // 8 rows × 64 bytes each: each row fits one transaction.
+        assert_eq!(row_gather_transactions(8, 64, 128), 8);
+        // 8 rows × 384 bytes: 3 transactions per row.
+        assert_eq!(row_gather_transactions(8, 384, 128), 24);
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        assert_eq!(strided_conflicts(32, 1, 32), 0);
+    }
+
+    #[test]
+    fn stride_32_is_fully_serialized() {
+        // All 32 lanes hit bank 0 with distinct words: 31 replays — the
+        // §III-A "1st and 33rd number share a bank" pathology.
+        assert_eq!(strided_conflicts(32, 32, 32), 31);
+    }
+
+    #[test]
+    fn stride_2_halves_throughput() {
+        assert_eq!(strided_conflicts(32, 2, 32), 1);
+    }
+
+    #[test]
+    fn broadcast_same_word_is_free() {
+        let offsets = [7u32; 32];
+        assert_eq!(shared_store_conflicts(&offsets, 32), 0);
+    }
+
+    #[test]
+    fn distinct_words_same_bank_conflict() {
+        // Lanes 0 and 1 touch words 0 and 32: same bank, different words.
+        let offsets = [0u32, 32];
+        assert_eq!(shared_store_conflicts(&offsets, 32), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! SM-level block scheduling.
+//!
+//! A kernel's thread blocks are distributed across SMs by the hardware work
+//! scheduler. We model it as LPT (longest-processing-time-first) list
+//! scheduling onto `num_sms` machines, each of which runs up to
+//! `blocks_per_sm` blocks concurrently — concurrency within an SM is modeled
+//! as processor sharing, so an SM's effective capacity is one block-cycle per
+//! cycle regardless of how many resident blocks share it (their latencies
+//! interleave; aggregate throughput is what the makespan needs).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total ordering for f64 keys in the scheduling heap (costs are finite).
+#[derive(PartialEq, PartialOrd)]
+struct Finite(f64);
+
+impl Eq for Finite {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Finite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite cost")
+    }
+}
+
+/// Makespan (in cycles) of scheduling `block_cycles` onto `num_sms` SMs.
+///
+/// `blocks_per_sm` caps how many blocks can be resident at once, which only
+/// matters for latency (ignored here) — throughput-wise each SM retires work
+/// serially, so the makespan is the classic multiprocessor scheduling bound
+/// computed greedily.
+pub fn makespan(block_cycles: &[f64], num_sms: u32, blocks_per_sm: u32) -> f64 {
+    let _ = blocks_per_sm;
+    if block_cycles.is_empty() {
+        return 0.0;
+    }
+    let machines = num_sms.max(1) as usize;
+
+    // LPT: sort descending, place each block on the least-loaded SM.
+    let mut sorted: Vec<f64> = block_cycles.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite cost"));
+
+    let mut heap: BinaryHeap<Reverse<Finite>> = (0..machines.min(sorted.len()))
+        .map(|_| Reverse(Finite(0.0)))
+        .collect();
+    for c in sorted {
+        let Reverse(Finite(load)) = heap.pop().expect("non-empty heap");
+        heap.push(Reverse(Finite(load + c)));
+    }
+    heap.into_iter()
+        .map(|Reverse(Finite(l))| l)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_runs_alone() {
+        assert_eq!(makespan(&[100.0], 82, 16), 100.0);
+    }
+
+    #[test]
+    fn fewer_blocks_than_sms_is_max() {
+        let costs = [10.0, 50.0, 30.0];
+        assert_eq!(makespan(&costs, 82, 16), 50.0);
+    }
+
+    #[test]
+    fn many_equal_blocks_divide_evenly() {
+        let costs = vec![10.0; 164]; // exactly two waves on 82 SMs
+        assert!((makespan(&costs, 82, 16) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_at_least_average_load() {
+        let costs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let total: f64 = costs.iter().sum();
+        let ms = makespan(&costs, 82, 16);
+        assert!(ms >= total / 82.0);
+        // LPT is within 4/3 of optimal.
+        assert!(ms <= total / 82.0 * 4.0 / 3.0 + 1000.0);
+    }
+
+    #[test]
+    fn one_giant_block_dominates() {
+        let mut costs = vec![1.0; 500];
+        costs.push(1_000_000.0);
+        assert!(makespan(&costs, 82, 16) >= 1_000_000.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(makespan(&[], 82, 16), 0.0);
+    }
+}

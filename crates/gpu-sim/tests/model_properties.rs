@@ -1,0 +1,126 @@
+//! Property-based tests of the GPU performance model.
+
+use gpu_sim::{
+    coalesced_transactions, gather_transactions, shared_store_conflicts, BlockCost, DeviceKind,
+    DeviceSpec,
+};
+use proptest::prelude::*;
+
+fn arb_block() -> impl Strategy<Value = BlockCost> {
+    (
+        0u64..100_000,
+        0u64..10_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..50_000,
+        1u32..32,
+    )
+        .prop_map(|(fma, wmma, loaded, stored, tx, warps)| {
+            let mut b = BlockCost {
+                cuda_fma_issues: fma,
+                wmma_issues: wmma,
+                warps,
+                ..Default::default()
+            };
+            b.dram.bytes_loaded = loaded;
+            b.dram.bytes_stored = stored;
+            b.dram.transactions = tx;
+            b
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn block_cycles_are_finite_and_nonnegative(b in arb_block()) {
+        for kind in DeviceKind::ALL {
+            let d = DeviceSpec::new(kind);
+            let c = b.cycles(&d);
+            prop_assert!(c.is_finite() && c >= 0.0);
+            prop_assert!(b.compute_cycles(&d) >= 0.0);
+            prop_assert!(b.memory_cycles(&d) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn warm_view_never_costs_more(b in arb_block()) {
+        let d = DeviceSpec::rtx3090();
+        prop_assert!(b.warm().cycles(&d) <= b.cycles(&d) + 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_block_count(b in arb_block(), n in 1usize..200) {
+        let d = DeviceSpec::rtx3090();
+        let few = d.execute(&vec![b; n]);
+        let more = d.execute(&vec![b; n + 50]);
+        prop_assert!(more.time_ms >= few.time_ms - 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounds_hold(costs in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+        let d = DeviceSpec::rtx3090();
+        let blocks: Vec<BlockCost> = costs
+            .iter()
+            .map(|&c| BlockCost::with_cuda_compute(c))
+            .collect();
+        let run = d.execute(&blocks);
+        let cycle_costs: Vec<f64> = blocks.iter().map(|b| b.cycles(&d)).collect();
+        let total: f64 = cycle_costs.iter().sum();
+        let max = cycle_costs.iter().cloned().fold(0.0, f64::max);
+        // Classic multiprocessor-scheduling bounds.
+        prop_assert!(run.makespan_cycles + 1e-6 >= max);
+        prop_assert!(run.makespan_cycles + 1e-6 >= total / d.num_sms as f64);
+        prop_assert!(run.makespan_cycles <= total + 1e-6);
+    }
+
+    #[test]
+    fn coalesced_transactions_are_subadditive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        // Splitting a transfer can never reduce the transaction count.
+        let whole = coalesced_transactions(a + b, 128);
+        let split = coalesced_transactions(a, 128) + coalesced_transactions(b, 128);
+        prop_assert!(split >= whole);
+    }
+
+    #[test]
+    fn gather_never_beats_coalesced(count in 1u64..10_000, item in 1u32..64) {
+        let g = gather_transactions(count, item, 128);
+        let c = coalesced_transactions(count * item as u64, 128);
+        prop_assert!(g >= c);
+    }
+
+    #[test]
+    fn bank_conflicts_bounded_by_warp_size(offsets in proptest::collection::vec(0u32..4096, 1..32)) {
+        let conflicts = shared_store_conflicts(&offsets, 32);
+        prop_assert!(conflicts < offsets.len() as u64);
+    }
+
+    #[test]
+    fn profile_metrics_stay_in_percent_range(b in arb_block(), t in 1e-6f64..1e3) {
+        let d = DeviceSpec::rtx3090();
+        let run = d.execute(&[b]);
+        for v in [
+            run.profile.tensor_core_utilization(&d, t),
+            run.profile.compute_throughput(&d, t),
+            run.profile.memory_throughput(&d, t),
+        ] {
+            prop_assert!((0.0..=100.0).contains(&v));
+        }
+    }
+}
+
+#[test]
+fn device_presets_are_distinct_and_ordered() {
+    let d3090 = DeviceSpec::rtx3090();
+    let d4090 = DeviceSpec::rtx4090();
+    let a100 = DeviceSpec::a100();
+    // Published spec relationships.
+    assert!(d4090.clock_ghz > d3090.clock_ghz);
+    assert!(a100.dram_bandwidth_gbs > d4090.dram_bandwidth_gbs);
+    assert!(a100.cuda_cores_per_sm < d3090.cuda_cores_per_sm);
+    // Same compute-bound kernel: the 4090's clock makes it faster.
+    let blocks = vec![BlockCost::with_cuda_compute(1e5); 512];
+    let t3090 = d3090.execute(&blocks).time_ms;
+    let t4090 = d4090.execute(&blocks).time_ms;
+    assert!(t4090 < t3090);
+}

@@ -1,0 +1,245 @@
+//! Row-major dense matrices (the `X`, `Z`, `W` operands).
+
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major f32 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, length `rows · cols`.
+    pub data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row slices.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Build from a generator function over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random features in [-1, 1] (for reproducible
+    /// workloads without threading an RNG everywhere).
+    pub fn random_features(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            ((bits >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+    }
+
+    /// Borrow row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dense matrix multiply `self · other` (reference implementation; the
+    /// simulated gemm kernel lives in the `gnn` crate).
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Element-wise `self + other`.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, s: f32) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Apply `f` element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Max absolute difference against another matrix (test helper).
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_index() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::random_features(7, 3, 42);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn transpose_matmul_identity_property() {
+        // (A·B)^T == B^T·A^T
+        let a = DenseMatrix::random_features(4, 5, 1);
+        let b = DenseMatrix::random_features(5, 3, 2);
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    #[test]
+    fn random_features_deterministic_and_bounded() {
+        let a = DenseMatrix::random_features(10, 10, 7);
+        let b = DenseMatrix::random_features(10, 10, 7);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|v| (-1.0..=1.0).contains(v)));
+        // Not all equal.
+        assert!(a.data.iter().any(|&v| v != a.data[0]));
+    }
+
+    #[test]
+    fn add_scale_map() {
+        let a = DenseMatrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(a.add(&a).row(0), &[2.0, -4.0]);
+        assert_eq!(a.scale(3.0).row(0), &[3.0, -6.0]);
+        assert_eq!(a.map(f32::abs).row(0), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,446 @@
+//! Synthetic graph and matrix generators.
+//!
+//! These stand in for the paper's 14 downloaded datasets and for the
+//! synthetic matrices of the characterization (§IV-B), selector-training
+//! (§IV-C) and sparsity-sweep (Appendix D) experiments. All generators are
+//! deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Erdős–Rényi-style graph with exactly `edges` distinct undirected edges
+/// (stored symmetrically; self-loops excluded).
+pub fn erdos_renyi(n: usize, edges: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::with_capacity(edges * 2);
+    let mut placed = 0usize;
+    let max_edges = n * (n - 1) / 2;
+    let target = edges.min(max_edges);
+    while placed < target {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+            placed += 1;
+        }
+    }
+    coo.to_csr()
+}
+
+/// Preferential-attachment (Barabási–Albert-like) graph: power-law degree
+/// distribution, the shape of citation and social networks.
+pub fn barabasi_albert(n: usize, edges_per_node: usize, seed: u64) -> Csr {
+    let m = edges_per_node.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    // Target list with multiplicity = degree (preferential attachment).
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let seed_nodes = (m + 1).min(n);
+    for u in 0..seed_nodes {
+        for v in 0..u {
+            coo.push(u as u32, v as u32, 1.0);
+            coo.push(v as u32, u as u32, 1.0);
+            targets.push(u as u32);
+            targets.push(v as u32);
+        }
+    }
+    for u in seed_nodes..n {
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < m.min(u) {
+            let t = if targets.is_empty() {
+                rng.gen_range(0..u as u32)
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if t as usize != u {
+                chosen.insert(t);
+            }
+        }
+        // Sort for determinism: HashSet iteration order would otherwise leak
+        // into the target list and change downstream sampling.
+        let mut chosen: Vec<u32> = chosen.into_iter().collect();
+        chosen.sort_unstable();
+        for &t in &chosen {
+            coo.push(u as u32, t, 1.0);
+            coo.push(t, u as u32, 1.0);
+            targets.push(u as u32);
+            targets.push(t);
+        }
+    }
+    let mut c = coo;
+    c.deduplicate();
+    c.vals.iter_mut().for_each(|v| *v = 1.0);
+    c.to_csr()
+}
+
+/// R-MAT recursive generator (Kronecker-like skew, community structure).
+/// `scale` gives `n = 2^scale` vertices.
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let (a, b, c) = (0.57, 0.19, 0.19); // Graph500 parameters; d = 0.05
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::with_capacity(edges * 2);
+    let mut attempts = 0usize;
+    while seen.len() < edges && attempts < edges * 20 {
+        attempts += 1;
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Stochastic-block-model-like community graph: `communities` equal-size
+/// groups; a fraction `p_in` of edges fall within a group. High `p_in`
+/// yields the dense diagonal blocks that favor Tensor cores.
+pub fn community(n: usize, edges: usize, communities: usize, p_in: f64, seed: u64) -> Csr {
+    let k = communities.max(1);
+    let group = n.div_ceil(k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::with_capacity(edges * 2);
+    let mut attempts = 0usize;
+    while seen.len() < edges && attempts < edges * 40 {
+        attempts += 1;
+        let (u, v) = if rng.gen_bool(p_in) {
+            let g = rng.gen_range(0..k);
+            let lo = g * group;
+            let hi = ((g + 1) * group).min(n);
+            // Tiny graphs: the last group may be empty or a singleton.
+            if lo >= n || hi <= lo + 1 {
+                continue;
+            }
+            (rng.gen_range(lo..hi) as u32, rng.gen_range(lo..hi) as u32)
+        } else {
+            (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32)
+        };
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Regular banded mesh: every vertex links to its `band` successors. Very
+/// high locality — the "favorable original layout" the paper credits GH/DP
+/// with.
+pub fn banded(n: usize, band: usize, seed: u64) -> Csr {
+    let _ = seed;
+    let mut coo = Coo::new(n, n);
+    for u in 0..n {
+        for d in 1..=band {
+            let v = u + d;
+            if v < n {
+                coo.push(u as u32, v as u32, 1.0);
+                coo.push(v as u32, u as u32, 1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Union of small molecule-like graphs (the TUDataset shape of PROTEINS,
+/// DD, OVCAR, YeastH): each molecule is a hub with leaves plus intra-
+/// molecule bonds until the global `edges` target is met. Star patterns are
+/// what lets a low-average-degree graph form *dense row windows*: sixteen
+/// leaves of one hub touch a single column.
+pub fn molecules(n: usize, edges: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    let mut placed = 0usize;
+    let mut bounds: Vec<(usize, usize)> = Vec::new(); // molecule ranges
+    let mut u = 0usize;
+    while u < n {
+        let size = rng.gen_range(12..=24).min(n - u);
+        bounds.push((u, u + size));
+        // Star: hub = first vertex of the molecule.
+        for leaf in u + 1..u + size {
+            coo.push(u as u32, leaf as u32, 1.0);
+            coo.push(leaf as u32, u as u32, 1.0);
+            placed += 1;
+        }
+        u += size;
+    }
+    // Intra-molecule bonds (ring/bridge edges) until the edge target.
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while placed < edges && attempts < edges * 30 {
+        attempts += 1;
+        let (lo, hi) = bounds[rng.gen_range(0..bounds.len())];
+        if hi - lo < 3 {
+            continue;
+        }
+        let a = rng.gen_range(lo + 1..hi) as u32;
+        let b = rng.gen_range(lo + 1..hi) as u32;
+        if a == b {
+            continue;
+        }
+        if seen.insert((a.min(b), a.max(b))) {
+            coo.push(a, b, 1.0);
+            coo.push(b, a, 1.0);
+            placed += 1;
+        }
+    }
+    let mut c = coo;
+    c.deduplicate();
+    c.vals.iter_mut().for_each(|v| *v = 1.0);
+    c.to_csr()
+}
+
+/// Shuffle vertex IDs only *within* consecutive blocks of `block` vertices:
+/// coarse locality survives, but row windows no longer align with the
+/// underlying clusters — the mild layout imperfection every real-world
+/// dataset ships with (and the slack LOA exploits).
+pub fn local_shuffle(a: &Csr, block: usize, seed: u64) -> Csr {
+    let block = block.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..a.nrows as u32).collect();
+    for chunk in perm.chunks_mut(block) {
+        for i in (1..chunk.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            chunk.swap(i, j);
+        }
+    }
+    a.permute_symmetric(&perm)
+}
+
+/// Social-network generator: a preferential-attachment core (degree skew)
+/// overlaid with community edges (clustering) — the Reddit/Twitch shape.
+pub fn social(n: usize, edges: usize, seed: u64) -> Csr {
+    let hub_edges = edges / 2;
+    let comm_edges = edges - hub_edges;
+    let hubs = barabasi_albert(n, (hub_edges / n).max(1), seed);
+    let comm = community(n, comm_edges, (n / 40).max(1), 0.9, seed ^ 0x50c1a1);
+    let mut coo = hubs.to_coo();
+    let cc = comm.to_coo();
+    for i in 0..cc.nnz() {
+        coo.push(cc.rows[i], cc.cols[i], cc.vals[i]);
+    }
+    coo.deduplicate();
+    coo.vals.iter_mut().for_each(|v| *v = 1.0);
+    coo.to_csr()
+}
+
+/// Mesh with long-range noise: a banded core plus a fraction of uniformly
+/// random edges. Row windows stay dense (favorable layout, nothing for LOA
+/// to fix) while adjacency lists contain the scattered far neighbours that
+/// break untiled kernels — the DP profile of §VI-B1.
+pub fn mesh_noisy(n: usize, edges: usize, noise: f64, seed: u64) -> Csr {
+    let noise_edges = (edges as f64 * noise) as usize;
+    let band_edges = edges - noise_edges;
+    let base = banded(n, (band_edges / n).max(1), seed);
+    let er = erdos_renyi(n, noise_edges.max(1), seed ^ 0x0e15e);
+    let mut coo = base.to_coo();
+    let ec = er.to_coo();
+    for i in 0..ec.nnz() {
+        coo.push(ec.rows[i], ec.cols[i], ec.vals[i]);
+    }
+    coo.deduplicate();
+    coo.vals.iter_mut().for_each(|v| *v = 1.0);
+    coo.to_csr()
+}
+
+/// Relabel vertices with a random permutation, destroying neighbour-ID
+/// locality (the AZ/DP pathology the paper describes in §VI-B1).
+pub fn scatter_relabel(a: &Csr, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..a.nrows as u32).collect();
+    // Fisher–Yates.
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    a.permute_symmetric(&perm)
+}
+
+/// One synthetic row window as generated by the selector-training pipeline
+/// (§IV-C): `rows × cols`, every column gets at least one non-zero, then
+/// `nnz - cols` extra entries placed uniformly at random. Requires
+/// `cols <= nnz <= rows * cols`.
+pub fn training_window(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
+    assert!(cols >= 1 && nnz >= cols && nnz <= rows * cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+    let mut coo = Coo::new(rows, cols);
+    // One entry per column at a uniformly random row (paper's step 1).
+    for c in 0..cols {
+        let r = rng.gen_range(0..rows) as u32;
+        seen.insert((r, c as u32));
+        coo.push(r, c as u32, 1.0);
+    }
+    // Remaining entries uniformly at random (paper's step 2).
+    while seen.len() < nnz {
+        let r = rng.gen_range(0..rows) as u32;
+        let c = rng.gen_range(0..cols) as u32;
+        if seen.insert((r, c)) {
+            coo.push(r, c, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Block-structured synthetic matrix for the Appendix D sparsity sweep
+/// (Table X): `blocks` 16×8 non-zero blocks placed on a block diagonal,
+/// each filled to `1 - sparsity` density.
+pub fn block_sparse(blocks: usize, sparsity: f64, seed: u64) -> Csr {
+    assert!((0.0..1.0).contains(&sparsity));
+    let rows = blocks.div_ceil(2) * 16; // two 16×8 blocks per window row-band
+    let cols = rows;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(rows, cols);
+    let per_block = ((16.0 * 8.0) * (1.0 - sparsity)).round().max(1.0) as usize;
+    for b in 0..blocks {
+        let base_r = (b / 2) * 16;
+        let base_c = ((b / 2) * 16 + (b % 2) * 8) % cols;
+        let mut seen = std::collections::HashSet::new();
+        while seen.len() < per_block {
+            let r = base_r + rng.gen_range(0..16);
+            let c = base_c + rng.gen_range(0..8);
+            if seen.insert((r, c)) {
+                coo.push(r as u32, c as u32, 1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_has_requested_edges() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.nnz(), 600); // symmetric storage
+        assert_eq!(g.nrows, 100);
+    }
+
+    #[test]
+    fn erdos_renyi_is_symmetric() {
+        let g = erdos_renyi(50, 100, 2);
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(erdos_renyi(64, 128, 9), erdos_renyi(64, 128, 9));
+        assert_eq!(barabasi_albert(64, 3, 9), barabasi_albert(64, 3, 9));
+        assert_eq!(rmat(6, 100, 9), rmat(6, 100, 9));
+        assert_eq!(community(64, 100, 4, 0.9, 9), community(64, 100, 4, 0.9, 9));
+    }
+
+    #[test]
+    fn barabasi_albert_is_skewed() {
+        let g = barabasi_albert(500, 3, 3);
+        let mut degs: Vec<usize> = (0..g.nrows).map(|r| g.degree(r)).collect();
+        degs.sort_unstable();
+        let max = *degs.last().unwrap();
+        let median = degs[degs.len() / 2];
+        assert!(
+            max >= 4 * median,
+            "power-law tail expected: max {max}, median {median}"
+        );
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn community_graph_clusters() {
+        let g = community(128, 400, 8, 0.95, 4);
+        // Count intra-community edges.
+        let group = 16;
+        let mut intra = 0usize;
+        for r in 0..g.nrows {
+            for &c in g.row_cols(r) {
+                if r / group == c as usize / group {
+                    intra += 1;
+                }
+            }
+        }
+        assert!(intra as f64 > 0.8 * g.nnz() as f64);
+    }
+
+    #[test]
+    fn banded_has_high_locality() {
+        let g = banded(100, 4, 0);
+        for r in 0..g.nrows {
+            for &c in g.row_cols(r) {
+                assert!((c as i64 - r as i64).unsigned_abs() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_preserves_edge_count_and_symmetry() {
+        let g = banded(64, 3, 0);
+        let s = scatter_relabel(&g, 5);
+        assert_eq!(s.nnz(), g.nnz());
+        assert_eq!(s.transpose(), s);
+        assert_ne!(s, g);
+    }
+
+    #[test]
+    fn training_window_meets_spec() {
+        for (cols, nnz) in [(1, 1), (10, 10), (10, 100), (130, 800)] {
+            let w = training_window(16, cols, nnz, 7);
+            assert_eq!(w.nnz(), nnz);
+            // Every column occupied.
+            let t = w.transpose();
+            for c in 0..cols {
+                assert!(t.degree(c) >= 1, "column {c} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn block_sparse_density_tracks_request() {
+        for sp in [0.80, 0.90] {
+            let m = block_sparse(20, sp, 3);
+            let per_block = (128.0 * (1.0 - sp)).round() as usize;
+            assert_eq!(m.nnz(), per_block * 20);
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_symmetric() {
+        let g = rmat(8, 600, 11);
+        assert_eq!(g.transpose(), g);
+        let mut degs: Vec<usize> = (0..g.nrows).map(|r| g.degree(r)).collect();
+        degs.sort_unstable();
+        assert!(degs[degs.len() - 1] > degs[degs.len() / 2]);
+    }
+}

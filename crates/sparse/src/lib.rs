@@ -1,0 +1,29 @@
+//! # graph-sparse — sparse-matrix and graph substrate
+//!
+//! Data layer for the HC-SpMM reproduction: sparse formats (COO, CSR, CSC),
+//! dense row-major matrices, the row-window partition with TC-GNN-style
+//! column condensing that HC-SpMM computes over, synthetic graph generators,
+//! and a registry of analogues for the paper's 14 evaluation datasets
+//! (Table II).
+//!
+//! Everything is plain CPU data; the `gpu-sim` crate only sees the access
+//! patterns kernels derive from these structures.
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod metcf;
+pub mod metrics;
+pub mod window;
+
+pub use coo::Coo;
+pub use csr::{Csr, CsrError};
+pub use datasets::{Dataset, DatasetId, DatasetSpec};
+pub use dense::DenseMatrix;
+pub use metcf::MeTcf;
+pub use window::{RowWindow, RowWindowPartition, WINDOW_ROWS};

@@ -1,0 +1,302 @@
+//! Row-window partitioning with column condensing.
+//!
+//! HC-SpMM's hybrid unit (§IV-A) is the *row window*: 16 consecutive rows of
+//! the adjacency matrix. Within a window, the non-zero columns are moved to
+//! the front (TC-GNN-style condensing), so Tensor cores only traverse
+//! `ceil(nnz_cols / 8)` 16×8 tiles while CUDA cores read the original CSR
+//! entries directly. Both views of a window describe the same values, so no
+//! result merging is needed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::Csr;
+
+/// Rows per row window, fixed by the WMMA m-dimension (§IV-A).
+pub const WINDOW_ROWS: usize = 16;
+
+/// One condensed row window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowWindow {
+    /// First row of the window in the parent matrix.
+    pub start_row: usize,
+    /// Rows covered (equal to `WINDOW_ROWS` except possibly the last).
+    pub rows: usize,
+    /// Non-zero count within the window.
+    pub nnz: usize,
+    /// Sorted distinct column indices with at least one non-zero in the
+    /// window. The position of a column in this vector is its *condensed*
+    /// column index; `unique_cols.len()` is the paper's "#non-zero columns".
+    pub unique_cols: Vec<u32>,
+    /// Condensed column index of each CSR entry in the window, in CSR entry
+    /// order (parallel to the parent's `col_idx[entry_range]`).
+    pub cond_idx: Vec<u32>,
+}
+
+impl RowWindow {
+    /// Number of non-zero columns — one of the two selection features.
+    pub fn nnz_cols(&self) -> usize {
+        self.unique_cols.len()
+    }
+
+    /// Sparsity of the condensed window: fraction of zeros inside the
+    /// `rows × nnz_cols` region actually traversed by the Tensor cores —
+    /// the other selection feature (§IV-B).
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.rows * self.nnz_cols();
+        if cells == 0 {
+            return 1.0;
+        }
+        1.0 - self.nnz as f64 / cells as f64
+    }
+
+    /// Computing intensity = #nonzero elements / #nonzero columns (Eq. 5);
+    /// the objective LOA maximizes.
+    pub fn computing_intensity(&self) -> f64 {
+        if self.nnz_cols() == 0 {
+            return 0.0;
+        }
+        self.nnz as f64 / self.nnz_cols() as f64
+    }
+
+    /// Number of `rows × tile_k` tiles the Tensor cores traverse.
+    pub fn num_tiles(&self, tile_k: usize) -> usize {
+        self.nnz_cols().div_ceil(tile_k)
+    }
+
+    /// Whether the window holds no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.nnz == 0
+    }
+}
+
+/// A full partition of a CSR matrix into condensed row windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowWindowPartition {
+    /// The windows, in row order.
+    pub windows: Vec<RowWindow>,
+    /// Rows per window used to build the partition.
+    pub window_rows: usize,
+}
+
+impl RowWindowPartition {
+    /// Partition `a` into windows of [`WINDOW_ROWS`] rows.
+    pub fn build(a: &Csr) -> Self {
+        Self::build_with_rows(a, WINDOW_ROWS)
+    }
+
+    /// Partition with a custom window height (characterization experiments
+    /// use 16×32 synthetic windows). Windows are independent, so large
+    /// matrices are condensed on multiple threads (crossbeam scoped
+    /// threads; the output is deterministic regardless of thread count).
+    pub fn build_with_rows(a: &Csr, window_rows: usize) -> Self {
+        assert!(window_rows > 0);
+        let n_windows = a.nrows.div_ceil(window_rows);
+
+        let build_one = |w: usize, scratch: &mut Vec<u32>| -> RowWindow {
+            let start = w * window_rows;
+            let rows = window_rows.min(a.nrows - start);
+            let lo = a.row_ptr[start] as usize;
+            let hi = a.row_ptr[start + rows] as usize;
+
+            // Distinct sorted columns of the window.
+            scratch.clear();
+            scratch.extend_from_slice(&a.col_idx[lo..hi]);
+            scratch.sort_unstable();
+            scratch.dedup();
+            let unique_cols = scratch.clone();
+
+            // Condensed index per entry via binary search into unique_cols.
+            let cond_idx = a.col_idx[lo..hi]
+                .iter()
+                .map(|c| unique_cols.binary_search(c).expect("col present") as u32)
+                .collect();
+
+            RowWindow {
+                start_row: start,
+                rows,
+                nnz: hi - lo,
+                unique_cols,
+                cond_idx,
+            }
+        };
+
+        // Sequential below the threshold where thread spawn costs dominate.
+        const PARALLEL_THRESHOLD: usize = 4096;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let windows = if n_windows < PARALLEL_THRESHOLD || threads < 2 {
+            let mut scratch = Vec::new();
+            (0..n_windows).map(|w| build_one(w, &mut scratch)).collect()
+        } else {
+            let chunk = n_windows.div_ceil(threads);
+            let mut out: Vec<Option<RowWindow>> = vec![None; n_windows];
+            crossbeam::thread::scope(|scope| {
+                for slot in out.chunks_mut(chunk).enumerate() {
+                    let (t, slot) = slot;
+                    scope.spawn(move |_| {
+                        let base = t * chunk;
+                        let mut scratch = Vec::new();
+                        for (i, cell) in slot.iter_mut().enumerate() {
+                            *cell = Some(build_one(base + i, &mut scratch));
+                        }
+                    });
+                }
+            })
+            .expect("partition worker panicked");
+            out.into_iter()
+                .map(|w| w.expect("all windows built"))
+                .collect()
+        };
+
+        RowWindowPartition {
+            windows,
+            window_rows,
+        }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when the partition covers an empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Entry range `[lo, hi)` of window `w` in the parent CSR arrays.
+    pub fn entry_range(&self, a: &Csr, w: usize) -> (usize, usize) {
+        let win = &self.windows[w];
+        (
+            a.row_ptr[win.start_row] as usize,
+            a.row_ptr[win.start_row + win.rows] as usize,
+        )
+    }
+
+    /// Mean computing intensity across non-empty windows (LOA's global
+    /// objective, reported by Fig. 15-style analyses).
+    pub fn mean_computing_intensity(&self) -> f64 {
+        let live: Vec<&RowWindow> = self.windows.iter().filter(|w| !w.is_empty()).collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        live.iter().map(|w| w.computing_intensity()).sum::<f64>() / live.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn banded(n: usize, band: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            for d in 0..band {
+                let c = (r + d) % n;
+                coo.push(r as u32, c as u32, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn covers_all_rows() {
+        let a = banded(40, 3);
+        let p = RowWindowPartition::build(&a);
+        assert_eq!(p.len(), 3); // 16 + 16 + 8
+        assert_eq!(p.windows[2].rows, 8);
+        let total_rows: usize = p.windows.iter().map(|w| w.rows).sum();
+        assert_eq!(total_rows, 40);
+        let total_nnz: usize = p.windows.iter().map(|w| w.nnz).sum();
+        assert_eq!(total_nnz, a.nnz());
+    }
+
+    #[test]
+    fn condensed_indices_point_at_right_columns() {
+        let a = banded(32, 4);
+        let p = RowWindowPartition::build(&a);
+        for (wi, w) in p.windows.iter().enumerate() {
+            let (lo, hi) = p.entry_range(&a, wi);
+            for (e, &ci) in (lo..hi).zip(&w.cond_idx) {
+                assert_eq!(w.unique_cols[ci as usize], a.col_idx[e]);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_window_features() {
+        // A fully dense 16×16 block: sparsity 0, intensity 16.
+        let mut coo = Coo::new(16, 16);
+        for r in 0..16 {
+            for c in 0..16 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let p = RowWindowPartition::build(&coo.to_csr());
+        let w = &p.windows[0];
+        assert_eq!(w.nnz_cols(), 16);
+        assert_eq!(w.sparsity(), 0.0);
+        assert_eq!(w.computing_intensity(), 16.0);
+        assert_eq!(w.num_tiles(8), 2);
+    }
+
+    #[test]
+    fn diagonal_window_features() {
+        // Identity: each window has 16 nnz over 16 distinct columns.
+        let p = RowWindowPartition::build(&Csr::identity(16));
+        let w = &p.windows[0];
+        assert_eq!(w.nnz_cols(), 16);
+        assert!((w.sparsity() - (1.0 - 16.0 / 256.0)).abs() < 1e-12);
+        assert_eq!(w.computing_intensity(), 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_degenerate() {
+        let p = RowWindowPartition::build(&Csr::empty(16, 16));
+        let w = &p.windows[0];
+        assert!(w.is_empty());
+        assert_eq!(w.sparsity(), 1.0);
+        assert_eq!(w.computing_intensity(), 0.0);
+        assert_eq!(w.num_tiles(8), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Above the threshold the build runs threaded; the result must be
+        // identical to a window-by-window sequential construction.
+        let a = crate::gen::barabasi_albert(16 * 5000, 2, 9);
+        let parallel = RowWindowPartition::build(&a);
+        assert_eq!(parallel.len(), 5000);
+        // Sequential reference via the small-path (build per 16-row slice).
+        for probe in [0usize, 1, 2499, 4999] {
+            let start = probe * 16;
+            let rows = 16.min(a.nrows - start);
+            let lo = a.row_ptr[start] as usize;
+            let hi = a.row_ptr[start + rows] as usize;
+            let mut cols: Vec<u32> = a.col_idx[lo..hi].to_vec();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(parallel.windows[probe].unique_cols, cols);
+            assert_eq!(parallel.windows[probe].nnz, hi - lo);
+        }
+    }
+
+    #[test]
+    fn custom_window_height() {
+        let a = banded(64, 2);
+        let p = RowWindowPartition::build_with_rows(&a, 32);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.windows[0].rows, 32);
+    }
+
+    #[test]
+    fn condensing_shrinks_traversal() {
+        // One row window touching columns {0, 1000, 2000}: condensed width 3.
+        let coo = Coo::from_triples(16, 4096, [(0, 0, 1.0), (5, 1000, 1.0), (9, 2000, 1.0)]);
+        let p = RowWindowPartition::build(&coo.to_csr());
+        assert_eq!(p.windows[0].nnz_cols(), 3);
+        assert_eq!(p.windows[0].num_tiles(8), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! SpMM-powered graph analytics: batched personalized PageRank and
+//! semi-supervised label propagation over a simulated GPU — the class of
+//! graph-computing workloads the paper's introduction motivates.
+//!
+//! Run with `cargo run --release --example graph_analytics`.
+
+use hc_spmm::analytics;
+use hc_spmm::gpu_sim::DeviceSpec;
+use hc_spmm::graph_sparse::gen;
+use hc_spmm::hc_core::HcSpmm;
+
+fn main() {
+    let device = DeviceSpec::rtx3090();
+    let graph = gen::community(4_096, 24_576, 64, 0.92, 11);
+    let kernel = HcSpmm::default();
+    println!("graph: {} vertices, {} non-zeros", graph.nrows, graph.nnz());
+
+    // Batched personalized PageRank from 32 sources at once: the batch
+    // turns 32 SpMV sweeps into one SpMM per iteration.
+    let p = analytics::transition_matrix(&graph);
+    let sources: Vec<usize> = (0..32).map(|i| i * 128).collect();
+    let pr = analytics::personalized_pagerank(&p, &sources, 0.85, 1e-6, 200, &kernel, &device);
+    println!(
+        "\npersonalized PageRank: {} sources, converged in {} iterations \
+         (residual {:.2e}), simulated {:.3} ms",
+        sources.len(),
+        pr.iterations,
+        pr.residual,
+        pr.time_ms
+    );
+    let top = (0..graph.nrows)
+        .max_by(|&a, &b| pr.state[(a, 0)].partial_cmp(&pr.state[(b, 0)]).unwrap())
+        .unwrap();
+    println!(
+        "highest rank for source 0: vertex {top} ({:.4})",
+        pr.state[(top, 0)]
+    );
+
+    // Label propagation: one seed per community, 8 communities labeled.
+    let a_norm = graph.gcn_normalize();
+    let seeds: Vec<(usize, usize)> = (0..8).map(|c| (c * 512, c)).collect();
+    let lp = analytics::label_propagation(&a_norm, &seeds, 8, 20, &kernel, &device);
+    let labels = analytics::argmax_labels(&lp.state);
+    // The generator builds 64-vertex communities; each seed's own community
+    // should adopt its label.
+    let hits = seeds
+        .iter()
+        .map(|&(v, c)| {
+            let block = v / 64;
+            (block * 64..(block + 1) * 64)
+                .filter(|&u| labels[u] == c)
+                .count()
+        })
+        .sum::<usize>();
+    println!(
+        "\nlabel propagation: 20 rounds, 8 seeded communities of 64 vertices, \
+         simulated {:.3} ms, {hits}/512 seed-community vertices labeled correctly",
+        lp.time_ms
+    );
+}

@@ -1,0 +1,373 @@
+//! SpMM-backed graph analytics.
+//!
+//! The paper motivates HC-SpMM with graph-computing workloads beyond GNNs:
+//! PageRank, label propagation and other propagation-style algorithms whose
+//! inner loop is exactly `Z = Ā·X` (§I cites PageRank and graph clustering;
+//! batching personalized PageRank sources turns the SpMV into an SpMM).
+//! This module implements three such workloads on top of any
+//! [`SpmmKernel`], with simulated time accounting.
+
+use gpu_sim::{DeviceSpec, KernelRun};
+use graph_sparse::{Csr, DenseMatrix};
+use hc_core::SpmmKernel;
+
+/// Result of an iterative propagation run.
+#[derive(Debug, Clone)]
+pub struct PropagationResult {
+    /// Final state matrix (`|V| × k`).
+    pub state: DenseMatrix,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total simulated kernel time (ms).
+    pub time_ms: f64,
+    /// Final residual (max state change in the last iteration).
+    pub residual: f32,
+}
+
+/// Column-stochastic transition matrix `P = A·D⁻¹` for PageRank.
+pub fn transition_matrix(a: &Csr) -> Csr {
+    assert_eq!(a.nrows, a.ncols);
+    let mut out = a.clone();
+    // Out-degree of column j = degree of row j (symmetric storage not
+    // required; we use the transpose's row sums = column sums of A).
+    let at = a.transpose();
+    let mut inv_deg = vec![0f32; a.ncols];
+    for (j, d) in inv_deg.iter_mut().enumerate() {
+        let deg: f32 = at.row_vals(j).iter().sum();
+        *d = if deg > 0.0 { 1.0 / deg } else { 0.0 };
+    }
+    for r in 0..out.nrows {
+        let (s, e) = out.row_range(r);
+        for i in s..e {
+            out.vals[i] *= inv_deg[out.col_idx[i] as usize];
+        }
+    }
+    out
+}
+
+/// Batched personalized PageRank: each column of the state is the rank
+/// vector of one source. `P` must come from [`transition_matrix`].
+///
+/// Iterates `R ← (1-d)·E + d·P·R` until `max |ΔR| < tol` or `max_iters`.
+pub fn personalized_pagerank(
+    p: &Csr,
+    sources: &[usize],
+    damping: f32,
+    tol: f32,
+    max_iters: usize,
+    kernel: &dyn SpmmKernel,
+    dev: &DeviceSpec,
+) -> PropagationResult {
+    let n = p.nrows;
+    let k = sources.len();
+    let mut e = DenseMatrix::zeros(n, k);
+    for (j, &s) in sources.iter().enumerate() {
+        assert!(s < n, "source {s} out of range");
+        e[(s, j)] = 1.0;
+    }
+    let mut state = e.clone();
+    let mut time_ms = 0.0;
+    let mut residual = f32::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_iters && residual > tol {
+        let r = kernel.spmm(p, &state, dev);
+        time_ms += r.run.time_ms;
+        let next = r.z.scale(damping).add(&e.scale(1.0 - damping));
+        residual = next.max_abs_diff(&state);
+        state = next;
+        iterations += 1;
+    }
+    PropagationResult {
+        state,
+        iterations,
+        time_ms,
+        residual,
+    }
+}
+
+/// Semi-supervised label propagation: seed rows carry one-hot labels, which
+/// diffuse over the normalized adjacency; seeds are clamped each round.
+pub fn label_propagation(
+    a_norm: &Csr,
+    seeds: &[(usize, usize)],
+    classes: usize,
+    iters: usize,
+    kernel: &dyn SpmmKernel,
+    dev: &DeviceSpec,
+) -> PropagationResult {
+    let n = a_norm.nrows;
+    let mut state = DenseMatrix::zeros(n, classes);
+    for &(v, c) in seeds {
+        assert!(v < n && c < classes);
+        state[(v, c)] = 1.0;
+    }
+    let mut time_ms = 0.0;
+    let mut residual = 0.0;
+    for _ in 0..iters {
+        let r = kernel.spmm(a_norm, &state, dev);
+        time_ms += r.run.time_ms;
+        let mut next = r.z;
+        for &(v, c) in seeds {
+            let row = next.row_mut(v);
+            row.iter_mut().for_each(|x| *x = 0.0);
+            row[c] = 1.0;
+        }
+        residual = next.max_abs_diff(&state);
+        state = next;
+    }
+    PropagationResult {
+        state,
+        iterations: iters,
+        time_ms,
+        residual,
+    }
+}
+
+/// Predicted class per vertex = argmax over the propagated label matrix.
+pub fn argmax_labels(state: &DenseMatrix) -> Vec<usize> {
+    (0..state.rows)
+        .map(|r| {
+            state
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// K-hop feature aggregation (the SGC-style pre-propagation): returns
+/// `Āᵏ · X` and the accumulated kernel run.
+pub fn k_hop_features(
+    a_norm: &Csr,
+    x: &DenseMatrix,
+    hops: usize,
+    kernel: &dyn SpmmKernel,
+    dev: &DeviceSpec,
+) -> (DenseMatrix, KernelRun) {
+    let mut state = x.clone();
+    let mut run = KernelRun::default();
+    for _ in 0..hops {
+        let r = kernel.spmm(a_norm, &state, dev);
+        state = r.z;
+        run = run.then(&r.run);
+    }
+    (state, run)
+}
+
+/// Connected components via iterative min-label propagation. Each round is
+/// an SpMM-shaped sweep (gather neighbours, reduce) and is charged the cost
+/// of one SpMM with a single dense column; numerics use the min-semiring
+/// directly.
+pub fn connected_components(a: &Csr, kernel: &dyn SpmmKernel, dev: &DeviceSpec) -> (Vec<u32>, f64) {
+    assert_eq!(a.nrows, a.ncols);
+    let n = a.nrows;
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut time_ms = 0.0;
+    let probe = DenseMatrix::zeros(n, 1);
+    loop {
+        // Charge one single-column SpMM sweep.
+        time_ms += kernel.spmm(a, &probe, dev).run.time_ms;
+        let mut changed = false;
+        for u in 0..n {
+            let mut m = label[u];
+            for &v in a.row_cols(u) {
+                m = m.min(label[v as usize]);
+            }
+            if m < label[u] {
+                label[u] = m;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (label, time_ms)
+}
+
+/// Exact triangle count (each triangle once), the `(A²∘A)/6` computation
+/// the paper's introduction lists among SpMM-accelerated graph analytics.
+/// Numerics by sorted-neighbourhood intersection; the simulated cost is one
+/// masked SpMM sweep (gathering each edge's endpoint rows).
+pub fn triangle_count(a: &Csr, kernel: &dyn SpmmKernel, dev: &DeviceSpec) -> (u64, f64) {
+    assert_eq!(a.nrows, a.ncols);
+    let mut triangles = 0u64;
+    for u in 0..a.nrows {
+        let nu = a.row_cols(u);
+        for &v in nu {
+            if (v as usize) <= u {
+                continue;
+            }
+            let nv = a.row_cols(v as usize);
+            // |N(u) ∩ N(v)| restricted to w > v keeps each triangle once.
+            let mut i = 0;
+            let mut j = 0;
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            triangles += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    let probe = DenseMatrix::zeros(a.nrows, 1);
+    let time_ms = kernel.spmm(a, &probe, dev).run.time_ms;
+    (triangles, time_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::gen;
+    use hc_core::HcSpmm;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::rtx3090()
+    }
+
+    #[test]
+    fn transition_matrix_columns_sum_to_one() {
+        let a = gen::erdos_renyi(50, 150, 1);
+        let p = transition_matrix(&a);
+        let pt = p.transpose();
+        for c in 0..50 {
+            let sum: f32 = pt.row_vals(c).iter().sum();
+            if a.degree(c) > 0 {
+                assert!((sum - 1.0).abs() < 1e-5, "column {c} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_converges_and_sums_to_one_ish() {
+        let a = gen::community(128, 600, 8, 0.9, 2);
+        let p = transition_matrix(&a);
+        let hc = HcSpmm::default();
+        let res = personalized_pagerank(&p, &[0, 5], 0.85, 1e-6, 200, &hc, &device());
+        assert!(res.iterations < 200, "should converge: {}", res.residual);
+        // Without dangling nodes, mass is conserved: each column sums to 1.
+        for j in 0..2 {
+            let sum: f32 = (0..128).map(|r| res.state[(r, j)]).sum();
+            assert!((sum - 1.0).abs() < 0.02, "column {j} mass {sum}");
+        }
+        assert!(res.time_ms > 0.0);
+    }
+
+    #[test]
+    fn pagerank_favors_the_source_neighborhood() {
+        let a = gen::community(96, 400, 6, 0.95, 3);
+        let p = transition_matrix(&a);
+        let hc = HcSpmm::default();
+        let res = personalized_pagerank(&p, &[0], 0.85, 1e-7, 300, &hc, &device());
+        // The source itself should hold the largest rank in its column.
+        let source_rank = res.state[(0, 0)];
+        let max = (0..96).map(|r| res.state[(r, 0)]).fold(0.0f32, f32::max);
+        assert_eq!(source_rank, max);
+    }
+
+    #[test]
+    fn label_propagation_labels_everything_connected() {
+        // Two clean communities, one seed each.
+        let a = gen::community(64, 400, 2, 0.98, 4).gcn_normalize();
+        let hc = HcSpmm::default();
+        let res = label_propagation(&a, &[(0, 0), (63, 1)], 2, 30, &hc, &device());
+        let labels = argmax_labels(&res.state);
+        // Most of the first half should follow seed 0, second half seed 1.
+        let first_ok = labels[..32].iter().filter(|&&l| l == 0).count();
+        let second_ok = labels[32..].iter().filter(|&&l| l == 1).count();
+        assert!(first_ok > 24, "first community mislabeled: {first_ok}/32");
+        assert!(
+            second_ok > 24,
+            "second community mislabeled: {second_ok}/32"
+        );
+    }
+
+    #[test]
+    fn components_of_disconnected_communities() {
+        // Two disjoint cliques of 8.
+        let mut coo = graph_sparse::Coo::new(16, 16);
+        for base in [0u32, 8] {
+            for u in 0..8u32 {
+                for v in 0..8u32 {
+                    if u != v {
+                        coo.push(base + u, base + v, 1.0);
+                    }
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let hc = HcSpmm::default();
+        let (labels, ms) = connected_components(&a, &hc, &device());
+        assert!(labels[..8].iter().all(|&l| l == 0));
+        assert!(labels[8..].iter().all(|&l| l == 8));
+        assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn triangles_of_known_graphs() {
+        let hc = HcSpmm::default();
+        // K4 has 4 triangles.
+        let mut coo = graph_sparse::Coo::new(4, 4);
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    coo.push(u, v, 1.0);
+                }
+            }
+        }
+        let (t, _) = triangle_count(&coo.to_csr(), &hc, &device());
+        assert_eq!(t, 4);
+        // A star has none.
+        let mut coo = graph_sparse::Coo::new(6, 6);
+        for v in 1..6u32 {
+            coo.push(0, v, 1.0);
+            coo.push(v, 0, 1.0);
+        }
+        let (t, _) = triangle_count(&coo.to_csr(), &hc, &device());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn triangle_count_matches_clustering_metric() {
+        // Consistency with graph_sparse::metrics on a random graph: both
+        // count the same triangles (transitivity = 3T / wedges... compare T
+        // via an independent wedge-closure count).
+        let a = gen::community(96, 500, 6, 0.9, 5);
+        let hc = HcSpmm::default();
+        let (t, _) = triangle_count(&a, &hc, &device());
+        // Brute force over vertex triples.
+        let d = a.to_dense();
+        let mut brute = 0u64;
+        for u in 0..96 {
+            for v in (u + 1)..96 {
+                for w in (v + 1)..96 {
+                    if d[(u, v)] != 0.0 && d[(v, w)] != 0.0 && d[(u, w)] != 0.0 {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(t, brute);
+    }
+
+    #[test]
+    fn k_hop_matches_repeated_reference() {
+        let a = gen::erdos_renyi(80, 300, 5).gcn_normalize();
+        let x = DenseMatrix::random_features(80, 8, 6);
+        let hc = HcSpmm::default();
+        let (z, run) = k_hop_features(&a, &x, 3, &hc, &device());
+        let want = a.spmm_reference(&a.spmm_reference(&a.spmm_reference(&x)));
+        assert!(want.max_abs_diff(&z) < 0.05);
+        assert_eq!(run.profile.launches, 3);
+    }
+}

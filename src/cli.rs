@@ -1,0 +1,408 @@
+//! Command-line interface for the `hc-spmm` binary.
+//!
+//! Hand-rolled flag parsing (no CLI dependency): subcommands `datasets`,
+//! `spmm`, `loa`, `train`, `selector`. Run `hc-spmm help` for usage.
+
+use std::collections::HashMap;
+
+use gnn::aggregator::{HcAggregator, KernelAggregator};
+use gnn::gin::gin_propagation;
+use gnn::train::{mean_timing, synthetic_labels, Trainer};
+use gnn::{Gcn, Gin};
+use gpu_sim::{DeviceKind, DeviceSpec};
+use graph_sparse::{io, Csr, DatasetId, DenseMatrix};
+use hc_core::{HcSpmm, Loa, SpmmKernel};
+
+/// Entry point; returns the process exit code.
+pub fn run(args: Vec<String>) -> i32 {
+    let mut it = args.into_iter();
+    let cmd = it.next().unwrap_or_else(|| "help".into());
+    let flags = parse_flags(it.collect());
+    match cmd.as_str() {
+        "datasets" => cmd_datasets(),
+        "metrics" => cmd_metrics(&flags),
+        "spmm" => cmd_spmm(&flags),
+        "loa" => cmd_loa(&flags),
+        "train" => cmd_train(&flags),
+        "selector" => cmd_selector(),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            0
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{}", usage());
+            2
+        }
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+hc-spmm — hybrid-core SpMM reproduction toolkit
+
+USAGE:
+  hc-spmm datasets                               list the Table II registry
+  hc-spmm spmm     [--dataset CODE | --edge-list FILE] [--scale N]
+                   [--kernel hc|cusparse|sputnik|ge|tcgnn|dtc] [--dim N]
+                   [--gpu 3090|4090|a100]        run one SpMM, report time
+  hc-spmm metrics  [--dataset CODE | --edge-list FILE] [--scale N]
+                   structural report: degrees, clustering, locality, windows
+  hc-spmm loa      [--dataset CODE | --edge-list FILE] [--scale N] [--vw N]
+                   run the layout optimizer, report improvement
+  hc-spmm train    [--dataset CODE] [--scale N] [--model gcn|gin]
+                   [--epochs N] [--hidden N]     train a GNN, report epochs
+  hc-spmm selector retrain the core-selection model on every GPU preset
+"
+    .into()
+}
+
+fn parse_flags(rest: Vec<String>) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = rest.into_iter().peekable();
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            let val = if it.peek().map(|v| !v.starts_with("--")).unwrap_or(false) {
+                it.next().unwrap_or_default()
+            } else {
+                "true".into()
+            };
+            flags.insert(name.to_string(), val);
+        } else {
+            eprintln!("ignoring stray argument {tok:?}");
+        }
+    }
+    flags
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn device_for(flags: &HashMap<String, String>) -> DeviceSpec {
+    match flags.get("gpu").map(|s| s.as_str()) {
+        Some("4090") => DeviceSpec::new(DeviceKind::Rtx4090),
+        Some("a100") | Some("A100") => DeviceSpec::new(DeviceKind::A100),
+        _ => DeviceSpec::rtx3090(),
+    }
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Result<(Csr, usize, String), String> {
+    if let Some(path) = flags.get("edge-list") {
+        let g = io::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let dim = flag_usize(flags, "dim", 64);
+        return Ok((g, dim, path.clone()));
+    }
+    let code = flags
+        .get("dataset")
+        .map(|s| s.to_uppercase())
+        .unwrap_or_else(|| "PM".into());
+    let id = DatasetId::ALL
+        .into_iter()
+        .find(|d| d.code() == code)
+        .ok_or_else(|| format!("unknown dataset code {code:?} (try `hc-spmm datasets`)"))?;
+    let scale = flag_usize(flags, "scale", graph_sparse::datasets::DEFAULT_SCALE);
+    let ds = id.load_scaled(scale);
+    let dim = flag_usize(flags, "dim", ds.spec.dim.min(512));
+    Ok((ds.adj, dim, format!("{} (1/{scale} scale)", ds.spec.name)))
+}
+
+fn cmd_datasets() -> i32 {
+    println!(
+        "{:<4} {:<12} {:>12} {:>13} {:>6}  structure",
+        "code", "name", "vertices", "edges", "dim"
+    );
+    for id in DatasetId::ALL {
+        let e = id.spec();
+        println!(
+            "{:<4} {:<12} {:>12} {:>13} {:>6}  {:?}",
+            e.name_code, e.name, e.vertices, e.edges, e.dim, e.structure
+        );
+    }
+    0
+}
+
+fn cmd_metrics(flags: &HashMap<String, String>) -> i32 {
+    use graph_sparse::metrics;
+    let (graph, _, label) = match load_graph(flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let d = metrics::degree_stats(&graph);
+    let w = metrics::window_stats(&graph);
+    println!(
+        "{label}: {} vertices, {} non-zeros",
+        graph.nrows,
+        graph.nnz()
+    );
+    println!(
+        "degrees: mean {:.2}, median {}, max {} (skew {:.1}), isolated {:.1}%",
+        d.mean,
+        d.median,
+        d.max,
+        d.skew,
+        d.isolated * 100.0
+    );
+    println!(
+        "clustering {:.4} | locality spread {:.4} | far-gather fraction {:.3}",
+        metrics::clustering_coefficient(&graph),
+        metrics::locality_spread(&graph),
+        metrics::far_gather_fraction(&graph, 64)
+    );
+    println!(
+        "row windows: {} live, mean sparsity {:.3}, mean nnz-cols {:.1}, mean intensity {:.2}",
+        w.windows, w.mean_sparsity, w.mean_nnz_cols, w.mean_intensity
+    );
+    0
+}
+
+fn cmd_spmm(flags: &HashMap<String, String>) -> i32 {
+    let (graph, dim, label) = match load_graph(flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let dev = device_for(flags);
+    let x = DenseMatrix::random_features(graph.nrows, dim, 1);
+    let kernel: Box<dyn SpmmKernel> = match flags.get("kernel").map(|s| s.as_str()) {
+        None | Some("hc") => Box::new(HcSpmm::default()),
+        Some("cusparse") => Box::new(baselines::CusparseSpmm),
+        Some("sputnik") => Box::new(baselines::SputnikSpmm),
+        Some("ge") => Box::new(baselines::GeSpmm),
+        Some("tcgnn") => Box::new(baselines::TcGnnSpmm::default()),
+        Some("dtc") => Box::new(baselines::DtcSpmm::default()),
+        Some(other) => {
+            eprintln!("unknown kernel {other:?}");
+            return 2;
+        }
+    };
+    println!(
+        "{label}: {} vertices, {} non-zeros, dim {dim}, {} on {:?}",
+        graph.nrows,
+        graph.nnz(),
+        kernel.name(),
+        dev.kind
+    );
+    let r = kernel.spmm(&graph, &x, &dev);
+    let err = graph.spmm_reference(&x).max_abs_diff(&r.z);
+    println!(
+        "time {:.4} ms | DRAM {:.2} MB | blocks {} | max error vs reference {err:.2e}",
+        r.run.time_ms,
+        r.run.profile.dram_bytes() as f64 / 1e6,
+        r.run.profile.blocks
+    );
+    0
+}
+
+fn cmd_loa(flags: &HashMap<String, String>) -> i32 {
+    let (graph, dim, label) = match load_graph(flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let dev = device_for(flags);
+    let x = DenseMatrix::random_features(graph.nrows, dim, 1);
+    let hc = HcSpmm::default();
+    let before = hc.spmm(&graph, &x, &dev);
+    let loa = Loa {
+        vw: flag_usize(flags, "vw", Loa::default().vw),
+    };
+    let (optimized, rep) = loa.optimize(&graph);
+    let after = hc.spmm(&optimized, &x, &dev);
+    let (cb, tb) = hc.preprocess(&graph, &dev).window_split();
+    let (ca, ta) = hc.preprocess(&optimized, &dev).window_split();
+    println!("{label}: LOA with VW={}", loa.vw);
+    println!(
+        "SpMM {:.4} → {:.4} ms ({:+.2}%) | windows CUDA/Tensor {cb}/{tb} → {ca}/{ta} | \
+         LOA host cost {:.4} s ({} ops)",
+        before.run.time_ms,
+        after.run.time_ms,
+        (before.run.time_ms - after.run.time_ms) / before.run.time_ms * 100.0,
+        rep.seconds,
+        rep.ops
+    );
+    0
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> i32 {
+    let (graph, dim, label) = match load_graph(flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let dev = device_for(flags);
+    let hidden = flag_usize(flags, "hidden", 32);
+    let epochs = flag_usize(flags, "epochs", 5);
+    let classes = 22;
+    let x = DenseMatrix::random_features(graph.nrows, dim, 1);
+    let labels = synthetic_labels(graph.nrows, classes);
+    let tr = Trainer { lr: 0.05, epochs };
+
+    let model_kind = flags.get("model").map(|s| s.as_str()).unwrap_or("gcn");
+    println!("{label}: training {model_kind} ({epochs} epochs, hidden {hidden})");
+    let timings = match model_kind {
+        "gin" => {
+            let s = gin_propagation(&graph, 0.1);
+            let agg = HcAggregator::new(&s, &dev);
+            let mut m = Gin::new(dim, hidden, classes, 3);
+            tr.train_gin(&mut m, &s, &x, &labels, &agg, &dev)
+        }
+        "gcn" => {
+            let a = graph.gcn_normalize();
+            let agg = HcAggregator::new(&a, &dev);
+            let mut m = Gcn::new(dim, hidden, classes, 3);
+            tr.train_gcn(&mut m, &a, &x, &labels, &agg, &dev)
+        }
+        other => {
+            eprintln!("unknown model {other:?} (gcn|gin)");
+            return 2;
+        }
+    };
+    for (i, e) in timings.iter().enumerate() {
+        println!(
+            "  epoch {i}: forward {:.4} ms, backward {:.4} ms, loss {:.4}",
+            e.forward_ms, e.backward_ms, e.loss
+        );
+    }
+    let m = mean_timing(&timings);
+    println!(
+        "mean: forward {:.4} ms, backward {:.4} ms",
+        m.forward_ms, m.backward_ms
+    );
+
+    // Baseline comparison for context.
+    if model_kind == "gcn" {
+        let a = graph.gcn_normalize();
+        let ge = KernelAggregator::new(baselines::GeSpmm);
+        let mut mm = Gcn::new(dim, hidden, classes, 3);
+        let t = mean_timing(&tr.train_gcn(&mut mm, &a, &x, &labels, &ge, &dev));
+        println!(
+            "GE-SpMM backend for reference: forward {:.4} ms, backward {:.4} ms",
+            t.forward_ms, t.backward_ms
+        );
+    }
+    0
+}
+
+fn cmd_selector() -> i32 {
+    print!("{}", bench_free_selector_report());
+    0
+}
+
+/// Selector pipeline report (duplicated from the bench crate to keep the
+/// CLI dependency-light).
+fn bench_free_selector_report() -> String {
+    let mut out = String::from("§IV-C selector training pipeline\n");
+    for kind in DeviceKind::ALL {
+        let dev = DeviceSpec::new(kind);
+        let (m, acc) = hc_core::selector::train_default(&dev);
+        out.push_str(&format!(
+            "{:>5}: w1={:+.6} w2={:+.6} b={:+.6} accuracy={:.2}%\n",
+            kind.name(),
+            m.w1,
+            m.w2,
+            m.b,
+            acc * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_values_and_booleans() {
+        let f = parse_flags(vec![
+            "--dataset".into(),
+            "rd".into(),
+            "--verbose".into(),
+            "--scale".into(),
+            "128".into(),
+        ]);
+        assert_eq!(f.get("dataset").unwrap(), "rd");
+        assert_eq!(f.get("verbose").unwrap(), "true");
+        assert_eq!(flag_usize(&f, "scale", 64), 128);
+        assert_eq!(flag_usize(&f, "missing", 7), 7);
+    }
+
+    #[test]
+    fn dataset_lookup_is_case_insensitive() {
+        let mut f = HashMap::new();
+        f.insert("dataset".to_string(), "cr".to_string());
+        f.insert("scale".to_string(), "1024".to_string());
+        let (g, dim, label) = load_graph(&f).unwrap();
+        assert!(g.nrows >= 64);
+        assert_eq!(dim, 512);
+        assert!(label.contains("Cora"));
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let mut f = HashMap::new();
+        f.insert("dataset".to_string(), "zz".to_string());
+        assert!(load_graph(&f).is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        assert_eq!(
+            run(vec![
+                "spmm".into(),
+                "--dataset".into(),
+                "cs".into(),
+                "--scale".into(),
+                "1024".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            run(vec![
+                "loa".into(),
+                "--dataset".into(),
+                "pt".into(),
+                "--scale".into(),
+                "1024".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            run(vec![
+                "train".into(),
+                "--dataset".into(),
+                "cr".into(),
+                "--scale".into(),
+                "1024".into(),
+                "--epochs".into(),
+                "1".into(),
+            ]),
+            0
+        );
+        assert_eq!(run(vec!["datasets".into()]), 0);
+        assert_eq!(
+            run(vec![
+                "metrics".into(),
+                "--dataset".into(),
+                "gh".into(),
+                "--scale".into(),
+                "1024".into(),
+            ]),
+            0
+        );
+        assert_eq!(run(vec!["help".into()]), 0);
+        assert_eq!(run(vec!["bogus".into()]), 2);
+    }
+}

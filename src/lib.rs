@@ -1,0 +1,17 @@
+//! # hc-spmm — reproduction suite for HC-SpMM (ICDE 2025)
+//!
+//! Umbrella crate re-exporting the whole workspace: the GPU performance
+//! model, the sparse/graph substrate, the HC-SpMM hybrid kernel, the
+//! baseline kernels, and the GNN training pipeline. See `README.md` for the
+//! architecture and `DESIGN.md` for the paper-to-module mapping.
+
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod cli;
+
+pub use baselines;
+pub use gnn;
+pub use gpu_sim;
+pub use graph_sparse;
+pub use hc_core;

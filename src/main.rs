@@ -1,0 +1,21 @@
+//! `hc-spmm` command-line tool: run SpMM kernels, LOA, GNN training and the
+//! selector pipeline from the shell. See `hc-spmm help`.
+
+fn main() {
+    // Piping into `head` (or any consumer that exits early) closes stdout;
+    // the std print macros panic on the resulting EPIPE. Exit quietly like
+    // other line-oriented tools instead of dumping a backtrace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info.payload().downcast_ref::<String>().is_some_and(|s| {
+            s.contains("failed printing to") && s.contains("Broken pipe")
+        });
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(hc_spmm::cli::run(args));
+}

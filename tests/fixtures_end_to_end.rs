@@ -1,0 +1,82 @@
+//! End-to-end runs over a real (public-domain) graph fixture: Zachary's
+//! karate club, loaded through the edge-list IO path — the same route a
+//! downstream user's SNAP download would take.
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{io, metrics, DenseMatrix};
+use hc_core::{HcSpmm, Loa, SpmmKernel};
+use hc_spmm::analytics;
+
+fn karate() -> graph_sparse::Csr {
+    let g = io::read_edge_list_file(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/karate.txt"))
+        .expect("fixture parses");
+    g.validate().expect("fixture is well-formed");
+    g
+}
+
+#[test]
+fn karate_club_loads_with_known_structure() {
+    let g = karate();
+    assert_eq!(g.nrows, 34);
+    assert_eq!(g.nnz(), 156); // 78 undirected edges, stored both ways
+    let d = metrics::degree_stats(&g);
+    assert_eq!(d.max, 17); // the instructor (vertex 34 / id 33)
+                           // The club is one connected component with 45 triangles (known values).
+    let dev = DeviceSpec::rtx3090();
+    let hc = HcSpmm::default();
+    let (labels, _) = analytics::connected_components(&g, &hc, &dev);
+    assert!(labels.iter().all(|&l| l == 0));
+    let (tri, _) = analytics::triangle_count(&g, &hc, &dev);
+    assert_eq!(tri, 45);
+}
+
+#[test]
+fn karate_club_spmm_pipeline_runs() {
+    let g = karate();
+    let dev = DeviceSpec::rtx3090();
+    let x = DenseMatrix::random_features(g.nrows, 16, 1);
+    let r = HcSpmm::default().spmm(&g, &x, &dev);
+    assert!(g.spmm_reference(&x).max_abs_diff(&r.z) < 0.05);
+    // LOA on a 34-vertex graph is a no-op-scale exercise but must be sound.
+    let (opt, rep) = Loa::default().optimize(&g);
+    assert_eq!(opt.nnz(), g.nnz());
+    assert_eq!(rep.perm.len(), 34);
+}
+
+#[test]
+fn karate_club_pagerank_finds_the_hubs() {
+    // The two faction leaders (ids 0 and 33) hold the top global PageRank.
+    let g = karate();
+    let dev = DeviceSpec::rtx3090();
+    let p = analytics::transition_matrix(&g);
+    let hc = HcSpmm::default();
+    // Global PageRank = personalized with uniform restart: approximate by
+    // averaging over all sources... instead run with damping toward every
+    // vertex via a uniform seed column.
+    let res = analytics::personalized_pagerank(
+        &p,
+        &(0..34).collect::<Vec<_>>(),
+        0.85,
+        1e-7,
+        500,
+        &hc,
+        &dev,
+    );
+    // Sum each row across source columns ≈ global rank (uniform restart).
+    let mut global: Vec<(usize, f32)> = (0..34)
+        .map(|v| (v, (0..34).map(|s| res.state[(v, s)]).sum::<f32>()))
+        .collect();
+    global.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // Vertex ids are remapped by first appearance in the edge list, so
+    // identify the two faction leaders by their degrees (16 and 17).
+    let mut by_degree: Vec<(usize, usize)> = (0..34).map(|v| (v, g.degree(v))).collect();
+    by_degree.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+    let leaders: Vec<usize> = by_degree[..2].iter().map(|&(v, _)| v).collect();
+    let top2: Vec<usize> = global[..2].iter().map(|&(v, _)| v).collect();
+    for l in &leaders {
+        assert!(
+            top2.contains(l),
+            "leaders {leaders:?} should top the rank: {top2:?}"
+        );
+    }
+}

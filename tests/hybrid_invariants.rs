@@ -1,0 +1,148 @@
+//! Invariants of the hybrid kernel, the selector, and preprocessing.
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, DenseMatrix, RowWindowPartition};
+use hc_core::{CoreChoice, CudaSpmm, HcSpmm, Selector, SpmmKernel, TensorSpmm, WindowFeatures};
+use proptest::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::rtx3090()
+}
+
+#[test]
+fn hybrid_never_loses_badly_to_either_pure_path() {
+    // Across a spread of graph shapes, the hybrid kernel stays within a few
+    // percent of the better pure path (selector errors at the decision
+    // boundary bound the loss) and usually beats both.
+    let dev = device();
+    let graphs = [
+        gen::erdos_renyi(2_048, 10_000, 1),
+        gen::community(2_048, 16_000, 64, 0.95, 2),
+        gen::barabasi_albert(2_048, 5, 3),
+        gen::molecules(2_048, 4_000, 4),
+        gen::banded(2_048, 6, 5),
+        gen::scatter_relabel(&gen::molecules(2_048, 8_000, 6), 7),
+    ];
+    for (i, a) in graphs.iter().enumerate() {
+        let x = DenseMatrix::random_features(a.nrows, 64, i as u64);
+        let hybrid = HcSpmm::default().spmm(a, &x, &dev).run.time_ms;
+        let cuda = CudaSpmm::optimized().spmm(a, &x, &dev).run.time_ms;
+        let tensor = TensorSpmm::optimized().spmm(a, &x, &dev).run.time_ms;
+        let best = cuda.min(tensor);
+        assert!(
+            hybrid <= best * 1.05,
+            "graph {i}: hybrid {hybrid} vs best pure {best}"
+        );
+    }
+}
+
+#[test]
+fn forced_selectors_reduce_to_pure_paths() {
+    let dev = device();
+    let a = gen::community(1_024, 8_000, 32, 0.9, 1);
+    let x = DenseMatrix::random_features(1_024, 32, 2);
+
+    let all_cuda = HcSpmm {
+        selector: Selector {
+            w1: 0.0,
+            w2: 0.0,
+            b: 1.0,
+        },
+        ..HcSpmm::default()
+    };
+    let all_tensor = HcSpmm {
+        selector: Selector {
+            w1: 0.0,
+            w2: 0.0,
+            b: -1.0,
+        },
+        ..HcSpmm::default()
+    };
+    let tc = all_cuda.spmm(&a, &x, &dev);
+    let tt = all_tensor.spmm(&a, &x, &dev);
+    let pure_cuda = CudaSpmm::optimized().spmm(&a, &x, &dev);
+    let pure_tensor = TensorSpmm::optimized().spmm(&a, &x, &dev);
+    assert!((tc.run.time_ms - pure_cuda.run.time_ms).abs() < 1e-9);
+    assert!((tt.run.time_ms - pure_tensor.run.time_ms).abs() < 1e-9);
+    assert_eq!(tc.z, pure_cuda.z);
+    assert_eq!(tt.z, pure_tensor.z);
+}
+
+#[test]
+fn preprocessing_is_reusable_and_consistent() {
+    let dev = device();
+    let a = gen::molecules(1_024, 2_000, 3);
+    let hc = HcSpmm::default();
+    let pre1 = hc.preprocess(&a, &dev);
+    let pre2 = hc.preprocess(&a, &dev);
+    assert_eq!(pre1.choices, pre2.choices);
+    assert_eq!(pre1.partition, pre2.partition);
+    // Choices must agree with direct selector evaluation on each window.
+    for (w, c) in pre1.partition.windows.iter().zip(&pre1.choices) {
+        let expect = hc.selector.choose(&WindowFeatures::of(w));
+        assert_eq!(*c, expect);
+    }
+}
+
+#[test]
+fn per_core_times_bracket_the_combined_makespan() {
+    let dev = device();
+    let a = gen::molecules(4_096, 8_000, 5);
+    let hc = HcSpmm::default();
+    let pre = hc.preprocess(&a, &dev);
+    let (tc, tt) = hc.per_core_time(&pre, 64, &dev);
+    let combined = hc
+        .spmm_preprocessed(&pre, &a, &DenseMatrix::random_features(4_096, 64, 6), &dev)
+        .run
+        .time_ms
+        - dev.launch_overhead_us * 1e-3;
+    // One launch, blocks of both kinds: combined makespan is at least each
+    // side alone minus scheduling slack, and at most their sum.
+    assert!(combined <= (tc + tt) * 1.01 + 1e-9);
+    assert!(combined >= tc.max(tt) * 0.5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn selector_is_monotone_in_sparsity(cols in 1.0f64..130.0, s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+        // Denser window (lower sparsity) can only move the choice toward
+        // Tensor, never away from it.
+        let sel = Selector::DEFAULT;
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        let dense = sel.choose(&WindowFeatures { nnz_cols: cols, sparsity: lo });
+        let sparse = sel.choose(&WindowFeatures { nnz_cols: cols, sparsity: hi });
+        if dense == CoreChoice::Cuda {
+            prop_assert_eq!(sparse, CoreChoice::Cuda);
+        }
+    }
+
+    #[test]
+    fn window_partition_preserves_mass(n in 16usize..300, edges in 1usize..2000, seed in 0u64..50) {
+        let a = gen::erdos_renyi(n, edges, seed);
+        let p = RowWindowPartition::build(&a);
+        let total: usize = p.windows.iter().map(|w| w.nnz).sum();
+        prop_assert_eq!(total, a.nnz());
+        for w in &p.windows {
+            // Sparsity and intensity are consistent: nnz = intensity·cols
+            // and nnz = (1-sparsity)·rows·cols.
+            if !w.is_empty() {
+                let via_intensity = w.computing_intensity() * w.nnz_cols() as f64;
+                prop_assert!((via_intensity - w.nnz as f64).abs() < 1e-9);
+                let via_sparsity = (1.0 - w.sparsity()) * (w.rows * w.nnz_cols()) as f64;
+                prop_assert!((via_sparsity - w.nnz as f64).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_numeric_matches_reference_loosely(n in 32usize..200, edges in 10usize..1500, seed in 0u64..50) {
+        let a = gen::erdos_renyi(n, edges, seed);
+        let x = DenseMatrix::random_features(n, 8, seed);
+        let dev = device();
+        let r = HcSpmm::default().spmm(&a, &x, &dev);
+        let want = a.spmm_reference(&x);
+        prop_assert!(want.max_abs_diff(&r.z) < 0.1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the LOA layout optimizer.
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, Coo, Csr, DenseMatrix, RowWindowPartition};
+use hc_core::{HcSpmm, Loa, SpmmKernel};
+use proptest::prelude::*;
+
+fn arb_symmetric_graph() -> impl Strategy<Value = Csr> {
+    (4usize..120, 0usize..400, 0u64..1000).prop_map(|(n, e, seed)| {
+        if e == 0 {
+            Csr::empty(n, n)
+        } else {
+            gen::erdos_renyi(n, e, seed)
+        }
+    })
+}
+
+fn is_permutation(perm: &[u32], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p as usize >= n || seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn loa_always_emits_a_valid_permutation(a in arb_symmetric_graph(), vw in 1usize..200) {
+        let rep = Loa { vw }.run(&a);
+        prop_assert!(is_permutation(&rep.perm, a.nrows));
+    }
+
+    #[test]
+    fn reordered_graph_is_isomorphic(a in arb_symmetric_graph()) {
+        let (b, rep) = Loa::default().optimize(&a);
+        prop_assert_eq!(b.nnz(), a.nnz());
+        prop_assert_eq!(b.transpose(), b.clone()); // stays symmetric
+        // Degree multiset is preserved.
+        let mut da: Vec<usize> = (0..a.nrows).map(|r| a.degree(r)).collect();
+        let mut db: Vec<usize> = (0..b.nrows).map(|r| b.degree(r)).collect();
+        da.sort_unstable();
+        db.sort_unstable();
+        prop_assert_eq!(da, db);
+        // And specifically: new row i is old row perm[i].
+        for (new, &old) in rep.perm.iter().enumerate() {
+            prop_assert_eq!(b.degree(new), a.degree(old as usize));
+        }
+    }
+
+    #[test]
+    fn spmm_result_is_equivalent_up_to_permutation(
+        entries in proptest::collection::vec((0u32..48, 0u32..48), 1..150),
+        seed in 0u64..100,
+    ) {
+        // Build a symmetric matrix from random pairs.
+        let mut coo = Coo::new(48, 48);
+        for (u, v) in entries {
+            if u != v {
+                coo.push(u, v, 1.0);
+                coo.push(v, u, 1.0);
+            }
+        }
+        coo.deduplicate();
+        coo.vals.iter_mut().for_each(|x| *x = 1.0);
+        let a = coo.to_csr();
+
+        let x = DenseMatrix::random_features(48, 8, seed);
+        let (b, rep) = Loa::default().optimize(&a);
+        let mut xp = DenseMatrix::zeros(48, 8);
+        for (new, &old) in rep.perm.iter().enumerate() {
+            xp.row_mut(new).copy_from_slice(x.row(old as usize));
+        }
+        let z = a.spmm_reference(&x);
+        let zp = b.spmm_reference(&xp);
+        for (new, &old) in rep.perm.iter().enumerate() {
+            for (p, q) in zp.row(new).iter().zip(z.row(old as usize)) {
+                prop_assert!((p - q).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn loa_never_panics_on_pathologies(n in 1usize..80) {
+        // Fully isolated vertices, a clique, and a star.
+        let empty = Csr::empty(n, n);
+        prop_assert!(is_permutation(&Loa::default().run(&empty).perm, n));
+        if n >= 3 {
+            let mut coo = Coo::new(n, n);
+            for v in 1..n as u32 {
+                coo.push(0, v, 1.0);
+                coo.push(v, 0, 1.0);
+            }
+            let star = coo.to_csr();
+            prop_assert!(is_permutation(&Loa::default().run(&star).perm, n));
+        }
+    }
+}
+
+#[test]
+fn loa_recovers_scattered_molecule_layouts() {
+    // The headline behaviour: scatter a molecule collection, run LOA, and
+    // both the computing intensity and the simulated SpMM time recover.
+    let dev = DeviceSpec::rtx3090();
+    let clean = gen::molecules(4_096, 10_000, 3);
+    let scattered = gen::scatter_relabel(&clean, 4);
+    let x = DenseMatrix::random_features(4_096, 64, 5);
+    let hc = HcSpmm::default();
+
+    let t_scattered = hc.spmm(&scattered, &x, &dev).run.time_ms;
+    let (optimized, rep) = Loa::default().optimize(&scattered);
+    let t_optimized = hc.spmm(&optimized, &x, &dev).run.time_ms;
+
+    let i_scattered = RowWindowPartition::build(&scattered).mean_computing_intensity();
+    let i_optimized = RowWindowPartition::build(&optimized).mean_computing_intensity();
+
+    assert!(
+        i_optimized > i_scattered * 1.3,
+        "intensity should recover: {i_scattered:.2} → {i_optimized:.2}"
+    );
+    assert!(
+        t_optimized < t_scattered,
+        "time should recover: {t_scattered} → {t_optimized}"
+    );
+    assert!(rep.ops > 0 && rep.seconds > 0.0);
+}
+
+#[test]
+fn larger_vw_searches_no_worse_windows() {
+    // A wider candidate window can only improve (or tie) the greedy's
+    // objective on average.
+    let scattered = gen::scatter_relabel(&gen::molecules(2_048, 5_000, 7), 8);
+    let narrow = Loa { vw: 8 }.optimize(&scattered).0;
+    let wide = Loa { vw: 256 }.optimize(&scattered).0;
+    let i_narrow = RowWindowPartition::build(&narrow).mean_computing_intensity();
+    let i_wide = RowWindowPartition::build(&wide).mean_computing_intensity();
+    assert!(
+        i_wide >= i_narrow * 0.95,
+        "wider VW should not be much worse: {i_narrow:.3} vs {i_wide:.3}"
+    );
+}

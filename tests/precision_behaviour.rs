@@ -1,0 +1,81 @@
+//! Precision behaviour through the full kernels (Appendix B territory).
+
+use gpu_sim::{DeviceSpec, Precision};
+use graph_sparse::{gen, Coo, DenseMatrix};
+use hc_core::{HcSpmm, SpmmKernel, TensorSpmm};
+
+fn device() -> DeviceSpec {
+    DeviceSpec::rtx3090()
+}
+
+#[test]
+fn error_ordering_fp32_tf32_bf16() {
+    // Through a full SpMM: fp32 exact, tf32 better than bf16.
+    let a = gen::community(512, 4_000, 16, 0.9, 1);
+    let x = DenseMatrix::random_features(512, 32, 2);
+    let dev = device();
+    let want = a.spmm_reference(&x);
+    let err = |p: Precision| -> f64 {
+        want.max_abs_diff(&TensorSpmm::with_precision(p).spmm(&a, &x, &dev).z) as f64
+    };
+    assert_eq!(err(Precision::Fp32), 0.0);
+    let tf = err(Precision::Tf32);
+    let bf = err(Precision::Bf16);
+    assert!(tf > 0.0 && bf > tf, "tf32 {tf} should beat bf16 {bf}");
+}
+
+#[test]
+fn fp16_overflows_where_bf16_does_not() {
+    // Values beyond the f16 range collapse to infinity under half but
+    // survive bfloat16 — the classic range-vs-precision trade.
+    let a = Coo::from_triples(16, 16, [(0, 0, 70_000.0)]).to_csr();
+    let x = DenseMatrix::from_fn(16, 8, |_, _| 1.0);
+    let dev = device();
+    let half = TensorSpmm::with_precision(Precision::Fp16).spmm(&a, &x, &dev);
+    let bf = TensorSpmm::with_precision(Precision::Bf16).spmm(&a, &x, &dev);
+    assert!(half.z[(0, 0)].is_infinite(), "fp16 should overflow");
+    assert!(bf.z[(0, 0)].is_finite(), "bf16 should survive");
+    assert!((bf.z[(0, 0)] - 70_000.0).abs() / 70_000.0 < 0.01);
+}
+
+#[test]
+fn reduced_precision_is_faster_due_to_halved_traffic() {
+    let a = gen::molecules(4_096, 8_000, 3);
+    let x = DenseMatrix::random_features(4_096, 96, 4);
+    let dev = device();
+    let full = HcSpmm::default().spmm(&a, &x, &dev).run.time_ms;
+    let half = HcSpmm::with_precision(Precision::Fp16)
+        .spmm(&a, &x, &dev)
+        .run
+        .time_ms;
+    assert!(
+        half < full,
+        "half precision should be faster: {half} vs {full}"
+    );
+}
+
+#[test]
+fn half_tile_shape_reduces_wmma_issue_count() {
+    // 16×16×16 tiles consume twice the K per issue (Appendix B's TC-GNN
+    // observation, inverted: fewer issues but more wasted zeros).
+    let dev = device();
+    let tf = TensorSpmm::with_precision(Precision::Tf32);
+    let fp16 = TensorSpmm::with_precision(Precision::Fp16);
+    let b_tf = tf.window_block_cost(100, 64, 16, 64, &dev);
+    let b_half = fp16.window_block_cost(100, 64, 16, 64, &dev);
+    assert_eq!(b_tf.wmma_issues, 8 * 4); // ceil(64/8) tiles × 4 chunks
+    assert_eq!(b_half.wmma_issues, 4 * 4); // ceil(64/16) tiles × 4 chunks
+    assert!(b_half.dram.bytes_loaded < b_tf.dram.bytes_loaded);
+}
+
+#[test]
+fn quantized_kernels_are_deterministic() {
+    let a = gen::erdos_renyi(256, 1_200, 5);
+    let x = DenseMatrix::random_features(256, 32, 6);
+    let dev = device();
+    for p in [Precision::Tf32, Precision::Fp16, Precision::Bf16] {
+        let z1 = HcSpmm::with_precision(p).spmm(&a, &x, &dev).z;
+        let z2 = HcSpmm::with_precision(p).spmm(&a, &x, &dev).z;
+        assert_eq!(z1, z2, "{p:?} nondeterministic");
+    }
+}
