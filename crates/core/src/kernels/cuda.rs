@@ -11,6 +11,7 @@
 //!   memory by all threads cooperatively, replacing the per-iteration
 //!   global-memory broadcast reads.
 
+use gpu_sim::trace::{BlockTrace, WarpOp, WarpTrace};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
 use graph_sparse::{Csr, DenseMatrix, RowWindowPartition};
 
@@ -132,6 +133,105 @@ impl CudaSpmm {
             rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
 
         b
+    }
+
+    /// Sanitizer-grade per-warp trace of the same row window: the op counts
+    /// mirror [`window_block_cost`](CudaSpmm::window_block_cost) term by
+    /// term (the cost-conformance lint holds this emitter to that), with
+    /// the shared-memory staging of Algorithm 3 lines 1–5 made explicit —
+    /// cooperative disjoint stores, a block barrier, then broadcast entry
+    /// reads during the multiply phase.
+    pub fn window_trace(
+        &self,
+        nnz: usize,
+        distinct_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> BlockTrace {
+        let _ = distinct_cols; // only affects byte traffic, not op counts
+        let nwarps = rows.clamp(1, 16);
+        let full_slices = dim / 32;
+        let rem = dim % 32;
+        let mem_slices = full_slices + usize::from(rem > 0);
+        let tail_issue = if rem == 0 {
+            0.0
+        } else if self.generalized {
+            rem as f64 / 32.0
+        } else {
+            1.0
+        };
+        let fma = (nnz as f64 * (full_slices as f64 + tail_issue)).ceil() as u64;
+        let entry_bytes = 4 + self.precision.storage_bytes();
+
+        let mut t = BlockTrace {
+            warps: vec![WarpTrace::default(); nwarps],
+            shared_alloc_words: 0,
+        };
+        let mut turn = 0usize;
+        let mut push = |t: &mut BlockTrace, op: WarpOp| {
+            t.warps[turn % nwarps].ops.push(op);
+            turn += 1;
+        };
+
+        if self.shared_mem_edges {
+            // Cooperative coalesced edge-list load + staging: two words
+            // (colIdx, value) per entry, one 32-word store per warp step.
+            let stage_loads =
+                coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
+            let stage_stores = (nnz as u64).div_ceil(dev.warp_size as u64) * 2;
+            t.shared_alloc_words = stage_stores as u32 * 32;
+            for _ in 0..stage_loads {
+                push(
+                    &mut t,
+                    WarpOp::Global {
+                        bytes: dev.transaction_bytes,
+                    },
+                );
+            }
+            for i in 0..stage_stores {
+                push(&mut t, WarpOp::shared_write(i as u32 * 32, 32));
+            }
+            t.push_all(WarpOp::Barrier);
+            // Multiply phase: per (slice, entry) a broadcast read of the
+            // staged colIdx+value pair, then the X gather.
+            for j in 0..nnz * mem_slices {
+                let entry = (j % nnz.max(1)) as u32;
+                push(&mut t, WarpOp::shared_read(entry * 2, 2));
+                push(
+                    &mut t,
+                    WarpOp::Global {
+                        bytes: dev.transaction_bytes.min(dim as u32 * 4),
+                    },
+                );
+            }
+        } else {
+            // Per-iteration global broadcast reads of colIdx[k] and val[k],
+            // plus the X gather — no shared memory, no barrier needed.
+            for _ in 0..nnz * mem_slices {
+                for _ in 0..3 {
+                    push(
+                        &mut t,
+                        WarpOp::Global {
+                            bytes: dev.transaction_bytes.min(dim as u32 * 4),
+                        },
+                    );
+                }
+            }
+        }
+        for _ in 0..fma {
+            push(&mut t, WarpOp::Compute);
+        }
+        // Result stores, one coalesced run per row.
+        let z_tx = coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
+        for r in 0..rows {
+            for _ in 0..z_tx {
+                t.warps[r % nwarps].ops.push(WarpOp::Global {
+                    bytes: dev.transaction_bytes,
+                });
+            }
+        }
+        t
     }
 }
 

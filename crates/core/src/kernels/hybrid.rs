@@ -6,8 +6,9 @@
 //! window's result rows are produced entirely by one core type, no result
 //! merging between cores is ever needed.
 
+use gpu_sim::trace::BlockTrace;
 use gpu_sim::{BlockCost, DeviceSpec, Precision};
-use graph_sparse::{Csr, DenseMatrix};
+use graph_sparse::{Csr, DenseMatrix, RowWindow};
 
 use super::cuda::CudaSpmm;
 use super::tensor::TensorSpmm;
@@ -131,6 +132,46 @@ impl HcSpmm {
             blocks.push(b);
         }
         blocks
+    }
+
+    /// Cost of one window on its assigned core type.
+    pub fn window_cost(
+        &self,
+        w: &RowWindow,
+        choice: CoreChoice,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> BlockCost {
+        match choice {
+            CoreChoice::Cuda => self
+                .cuda
+                .window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+            CoreChoice::Tensor => {
+                self.tensor
+                    .window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev)
+            }
+        }
+    }
+
+    /// Sanitizer-grade trace of one window on its assigned core type. A
+    /// window runs entirely on one core type (the §IV-A row-window unit),
+    /// so the hybrid kernel's trace is exactly the chosen path's trace —
+    /// no cross-core merge phase can ever appear here.
+    pub fn window_trace(
+        &self,
+        w: &RowWindow,
+        choice: CoreChoice,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> BlockTrace {
+        match choice {
+            CoreChoice::Cuda => self
+                .cuda
+                .window_trace(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+            CoreChoice::Tensor => self
+                .tensor
+                .window_trace(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+        }
     }
 
     /// Numerical result under the current assignment: CUDA windows compute

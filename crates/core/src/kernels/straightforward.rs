@@ -17,8 +17,9 @@
 //! 3. **Per-tile times are too small to measure**, leaving sparsity as the
 //!    only usable selection feature (footnote 5).
 
+use gpu_sim::trace::{BlockTrace, WarpOp, WarpTrace};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
-use graph_sparse::{Csr, DenseMatrix, RowWindowPartition};
+use graph_sparse::{Csr, DenseMatrix, RowWindow, RowWindowPartition};
 
 use super::cuda::CudaSpmm;
 use super::tensor::TensorSpmm;
@@ -41,6 +42,195 @@ impl Default for StraightforwardHybrid {
     }
 }
 
+/// How one window's 16×8 tiles split across core types after the Fig. 4(a)
+/// density rearrangement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TileSplit {
+    /// Tiles dense enough for Tensor cores.
+    pub tensor_tiles: usize,
+    /// Non-zeros inside the Tensor tiles.
+    pub tensor_nnz: usize,
+    /// Non-zeros left to the CUDA tail.
+    pub cuda_nnz: usize,
+    /// Condensed columns in the CUDA tail.
+    pub cuda_cols: usize,
+}
+
+impl TileSplit {
+    /// True when both core types contribute to the window's output rows —
+    /// the case that pays the result-merging overhead.
+    pub fn is_mixed(&self) -> bool {
+        self.tensor_tiles > 0 && self.cuda_nnz > 0
+    }
+}
+
+impl StraightforwardHybrid {
+    /// Classify one window's tiles by density (the Fig. 4a rearrangement):
+    /// per-column non-zero counts over the condensed window, sorted
+    /// densest-first, walked in `tile_k`-wide tiles.
+    pub fn tile_split(&self, w: &RowWindow, tile_k: usize) -> TileSplit {
+        let mut col_counts = vec![0u32; w.nnz_cols()];
+        for &ci in &w.cond_idx {
+            col_counts[ci as usize] += 1;
+        }
+        col_counts.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut split = TileSplit::default();
+        for tile in col_counts.chunks(tile_k) {
+            let fill: u32 = tile.iter().sum();
+            let density = fill as f64 / (w.rows * tile_k) as f64;
+            if density >= self.tile_density_threshold {
+                split.tensor_tiles += 1;
+                split.tensor_nnz += fill as usize;
+            } else {
+                split.cuda_nnz += fill as usize;
+                split.cuda_cols += tile.len();
+            }
+        }
+        split
+    }
+
+    /// Cost of one window under the per-tile strategy: both fragments run
+    /// through the regular per-path models, plus — when both core types
+    /// contribute — the result-merging overhead the row-window unit avoids.
+    pub fn window_cost(&self, w: &RowWindow, dim: usize, dev: &DeviceSpec) -> BlockCost {
+        let cuda = CudaSpmm::optimized();
+        let tensor = TensorSpmm::optimized();
+        let tile_k = Precision::Tf32.tile_k();
+        let split = self.tile_split(w, tile_k);
+
+        // Cost both fragments through the regular per-path models…
+        let mut b = BlockCost {
+            warps: 8,
+            ..Default::default()
+        };
+        if split.tensor_tiles > 0 {
+            let tb = tensor.window_block_cost(
+                split.tensor_nnz,
+                split.tensor_tiles * tile_k,
+                w.rows,
+                dim,
+                dev,
+            );
+            merge_block(&mut b, &tb);
+        }
+        if split.cuda_nnz > 0 {
+            let cb = cuda.window_block_cost(split.cuda_nnz, split.cuda_cols, w.rows, dim, dev);
+            merge_block(&mut b, &cb);
+        }
+        // …then add what the row-window strategy avoids: when BOTH core
+        // types contribute to the same output rows, the Tensor-side
+        // fragments must spill to shared memory, be added to the CUDA
+        // partials, and the combined rows stored — an extra Z-sized
+        // shared round trip plus an add pass (footnote 4's ≤31 %).
+        if split.is_mixed() {
+            let z_words = (w.rows * dim) as u64;
+            // Every Tensor warp's accumulator fragments spill to shared
+            // memory once per 16-wide dim chunk (they cannot stay in
+            // registers across the merge barrier), the CUDA partials
+            // are read back, added, and the sum re-staged for the
+            // store — two full passes over the window's output.
+            b.shared.stores += z_words.div_ceil(8) * 2;
+            b.shared.loads += z_words.div_ceil(8) * 2;
+            b.cuda_fma_issues += z_words.div_ceil(32); // the add pass
+                                                       // Double Z store removed: only one final store, but the
+                                                       // split edge segments cost an extra index stream.
+            b.dram.transactions += coalesced_transactions(w.nnz as u64 * 4, dev.transaction_bytes);
+            b.dram.bytes_loaded += w.nnz as u64 * 4;
+            // The per-path models each charged a Z store; merging means it
+            // is stored once.
+            let z_bytes = (w.rows * dim) as u64 * 4;
+            b.dram.bytes_stored = b.dram.bytes_stored.saturating_sub(z_bytes);
+            b.dram.transactions = b.dram.transactions.saturating_sub(
+                w.rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes),
+            );
+        }
+        b
+    }
+
+    /// Sanitizer-grade trace of one window under the per-tile strategy:
+    /// the Tensor sub-program, the CUDA tail and — for mixed windows — the
+    /// merge pass run as barrier-separated sequential phases of one block,
+    /// mirroring [`window_cost`](StraightforwardHybrid::window_cost). In a
+    /// mixed window only the CUDA phase stores Z (the cost model likewise
+    /// removes the double store).
+    pub fn window_trace(&self, w: &RowWindow, dim: usize, dev: &DeviceSpec) -> BlockTrace {
+        let cuda = CudaSpmm::optimized();
+        let tensor = TensorSpmm::optimized();
+        let tile_k = Precision::Tf32.tile_k();
+        let split = self.tile_split(w, tile_k);
+        let mixed = split.is_mixed();
+
+        // The merged block always runs at least the 8 warps the cost model
+        // starts from; sub-phases with fewer warps leave the rest idle.
+        let mut t = BlockTrace {
+            warps: vec![WarpTrace::default(); 8],
+            shared_alloc_words: 0,
+        };
+        if split.tensor_tiles > 0 {
+            t.append_sequential(&tensor.window_trace_impl(
+                split.tensor_nnz,
+                split.tensor_tiles * tile_k,
+                w.rows,
+                dim,
+                dev,
+                !mixed,
+            ));
+        }
+        if split.cuda_nnz > 0 {
+            t.append_sequential(&cuda.window_trace(
+                split.cuda_nnz,
+                split.cuda_cols,
+                w.rows,
+                dim,
+                dev,
+            ));
+        }
+        if mixed {
+            t.append_sequential(&self.merge_phase_trace(w, dim, dev));
+        }
+        t
+    }
+
+    /// The result-merging pass of a mixed window: Tensor accumulators and
+    /// CUDA partials spill into a Z-sized shared region, a barrier, then
+    /// the read-back + add pass and the split-edge index stream.
+    fn merge_phase_trace(&self, w: &RowWindow, dim: usize, dev: &DeviceSpec) -> BlockTrace {
+        let nwarps = 8usize;
+        let z_words = (w.rows * dim) as u64;
+        let spill_ops = z_words.div_ceil(8) * 2;
+        let mut t = BlockTrace {
+            warps: vec![WarpTrace::default(); nwarps],
+            // Each spill store covers a 4-word slice of the region.
+            shared_alloc_words: (spill_ops * 4) as u32,
+        };
+        let mut turn = 0usize;
+        let mut push = |t: &mut BlockTrace, op: WarpOp| {
+            t.warps[turn % nwarps].ops.push(op);
+            turn += 1;
+        };
+        for i in 0..spill_ops {
+            push(&mut t, WarpOp::shared_write(i as u32 * 4, 4));
+        }
+        t.push_all(WarpOp::Barrier);
+        for i in 0..spill_ops {
+            push(&mut t, WarpOp::shared_read(i as u32 * 4, 4));
+        }
+        for _ in 0..z_words.div_ceil(32) {
+            push(&mut t, WarpOp::Compute);
+        }
+        for _ in 0..coalesced_transactions(w.nnz as u64 * 4, dev.transaction_bytes) {
+            push(
+                &mut t,
+                WarpOp::Global {
+                    bytes: dev.transaction_bytes,
+                },
+            );
+        }
+        t
+    }
+}
+
 impl SpmmKernel for StraightforwardHybrid {
     fn name(&self) -> &'static str {
         "Per-tile hybrid"
@@ -48,84 +238,15 @@ impl SpmmKernel for StraightforwardHybrid {
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         let part = RowWindowPartition::build(a);
-        let cuda = CudaSpmm::optimized();
-        let tensor = TensorSpmm::optimized();
         let tile_k = Precision::Tf32.tile_k();
         let dim = x.cols;
 
-        let mut blocks = Vec::with_capacity(part.len());
-        for w in part.windows.iter().filter(|w| !w.is_empty()) {
-            // Per-column non-zero counts over the condensed window, sorted
-            // densest-first (the Fig. 4a rearrangement).
-            let mut col_counts = vec![0u32; w.nnz_cols()];
-            for &ci in &w.cond_idx {
-                col_counts[ci as usize] += 1;
-            }
-            col_counts.sort_unstable_by(|a, b| b.cmp(a));
-
-            // Walk the 16×8 tiles of the rearranged window and classify.
-            let mut tensor_tiles = 0usize;
-            let mut tensor_nnz = 0usize;
-            let mut cuda_nnz = 0usize;
-            let mut cuda_cols = 0usize;
-            for tile in col_counts.chunks(tile_k) {
-                let fill: u32 = tile.iter().sum();
-                let density = fill as f64 / (w.rows * tile_k) as f64;
-                if density >= self.tile_density_threshold {
-                    tensor_tiles += 1;
-                    tensor_nnz += fill as usize;
-                } else {
-                    cuda_nnz += fill as usize;
-                    cuda_cols += tile.len();
-                }
-            }
-
-            // Cost both fragments through the regular per-path models…
-            let mut b = BlockCost {
-                warps: 8,
-                ..Default::default()
-            };
-            if tensor_tiles > 0 {
-                let tb =
-                    tensor.window_block_cost(tensor_nnz, tensor_tiles * tile_k, w.rows, dim, dev);
-                merge_block(&mut b, &tb);
-            }
-            if cuda_nnz > 0 {
-                let cb = cuda.window_block_cost(cuda_nnz, cuda_cols, w.rows, dim, dev);
-                merge_block(&mut b, &cb);
-            }
-            // …then add what the row-window strategy avoids: when BOTH core
-            // types contribute to the same output rows, the Tensor-side
-            // fragments must spill to shared memory, be added to the CUDA
-            // partials, and the combined rows stored — an extra Z-sized
-            // shared round trip plus an add pass (footnote 4's ≤31 %).
-            if tensor_tiles > 0 && cuda_nnz > 0 {
-                let z_words = (w.rows * dim) as u64;
-                // Every Tensor warp's accumulator fragments spill to shared
-                // memory once per 16-wide dim chunk (they cannot stay in
-                // registers across the merge barrier), the CUDA partials
-                // are read back, added, and the sum re-staged for the
-                // store — two full passes over the window's output.
-                b.shared.stores += z_words.div_ceil(8) * 2;
-                b.shared.loads += z_words.div_ceil(8) * 2;
-                b.cuda_fma_issues += z_words.div_ceil(32); // the add pass
-                                                           // Double Z store removed: only one final store, but the
-                                                           // split edge segments cost an extra index stream.
-                b.dram.transactions +=
-                    coalesced_transactions(w.nnz as u64 * 4, dev.transaction_bytes);
-                b.dram.bytes_loaded += w.nnz as u64 * 4;
-            }
-            // The per-path models each charged a Z store; merging means it
-            // is stored once.
-            if tensor_tiles > 0 && cuda_nnz > 0 {
-                let z_bytes = (w.rows * dim) as u64 * 4;
-                b.dram.bytes_stored = b.dram.bytes_stored.saturating_sub(z_bytes);
-                b.dram.transactions = b.dram.transactions.saturating_sub(
-                    w.rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes),
-                );
-            }
-            blocks.push(b);
-        }
+        let blocks: Vec<BlockCost> = part
+            .windows
+            .iter()
+            .filter(|w| !w.is_empty())
+            .map(|w| self.window_cost(w, dim, dev))
+            .collect();
         let run = dev.execute(&blocks);
 
         // Numerics: tiles with density ≥ threshold are quantized (TF32),

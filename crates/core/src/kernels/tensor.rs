@@ -14,6 +14,7 @@
 //! bank conflicts and hiding gather latency across warps; the plain kernel
 //! loads per-warp with a conflicting layout.
 
+use gpu_sim::trace::{BlockTrace, WarpOp, WarpTrace};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
 use graph_sparse::{Csr, DenseMatrix, RowWindow, RowWindowPartition};
 
@@ -127,6 +128,144 @@ impl TensorSpmm {
         b.dram.transactions +=
             rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
         b
+    }
+
+    /// Sanitizer-grade per-warp trace of one condensed window, mirroring
+    /// [`window_block_cost`](TensorSpmm::window_block_cost) term by term:
+    /// A-fragment conversion into a shared tile region, then per (tile,
+    /// dim-chunk) fragment a cooperative X staging pass into a reused
+    /// buffer, a barrier, the owning warp's two fragment loads and WMMA
+    /// issue, and a closing barrier before the buffer is overwritten.
+    pub fn window_trace(
+        &self,
+        nnz: usize,
+        nnz_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> BlockTrace {
+        self.window_trace_impl(nnz, nnz_cols, rows, dim, dev, true)
+    }
+
+    /// Trace builder with the Z store made optional: the per-tile hybrid
+    /// merges a Tensor part and a CUDA part over the same output rows and
+    /// stores Z exactly once, so its Tensor sub-trace must omit the store
+    /// (matching the transaction subtraction in its cost merge).
+    pub(crate) fn window_trace_impl(
+        &self,
+        nnz: usize,
+        nnz_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+        z_store: bool,
+    ) -> BlockTrace {
+        let tile_k = self.precision.tile_k();
+        let tiles = nnz_cols.div_ceil(tile_k);
+        let dim_chunks = dim.div_ceil(16);
+        let nwarps = 8usize;
+        let mut t = BlockTrace {
+            warps: vec![WarpTrace::default(); nwarps],
+            shared_alloc_words: 0,
+        };
+        if tiles == 0 {
+            return t;
+        }
+        let entry_bytes = 6 + self.precision.storage_bytes();
+        let eb = self.precision.storage_bytes();
+        let fragments = (tiles * dim_chunks) as u64;
+        let frag_rows = tile_k as u64;
+        let frag_bytes = tile_k as u64 * 16 * eb;
+        let frag_stores_each = frag_bytes.div_ceil(dev.warp_size as u64 * 4);
+        // Shared layout: [A tile region | X staging buffer]; the X buffer
+        // holds one fragment and is reused, fenced by barriers.
+        let a_stores = (nnz as u64).div_ceil(dev.warp_size as u64);
+        let a_words = (a_stores as u32).max(1) * 32;
+        let x_words = frag_stores_each as u32 * 32;
+        t.shared_alloc_words = a_words + x_words;
+        // Replays billed per staging store step by the unoptimized layout
+        // (Fig. 6's 4-way pathology).
+        let store_conflicts = if self.optimized_loading { 0 } else { 3 };
+
+        let mut turn = 0usize;
+        let mut push = |t: &mut BlockTrace, op: WarpOp| {
+            t.warps[turn % nwarps].ops.push(op);
+            turn += 1;
+        };
+
+        // -- A-fragment conversion: coalesced entry loads, scattered
+        // single-lane stores into the tile region.
+        let a_loads = coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
+        for _ in 0..a_loads {
+            push(
+                &mut t,
+                WarpOp::Global {
+                    bytes: dev.transaction_bytes,
+                },
+            );
+        }
+        for i in 0..a_stores {
+            push(&mut t, WarpOp::shared_write(i as u32 * 32 % a_words, 32));
+        }
+        t.push_all(WarpOp::Barrier);
+
+        // -- Per-fragment staging + MMA. The unoptimized kernel also pays
+        // extra partial-sector gathers (fragments*frag_rows/2 in total),
+        // spread one batch per fragment with the remainder up front.
+        let extra_gathers = if self.optimized_loading {
+            0
+        } else {
+            fragments * frag_rows / 2
+        };
+        let mut extra_left = extra_gathers;
+        let frag_read_words = ((frag_bytes / 4) as u32).clamp(1, x_words);
+        for f in 0..fragments {
+            let chunk = (f as usize) % dim_chunks;
+            for _ in 0..frag_rows {
+                push(&mut t, WarpOp::Global { bytes: 64 });
+            }
+            let batch = extra_left.div_ceil(fragments - f);
+            for _ in 0..batch {
+                push(&mut t, WarpOp::Global { bytes: 32 });
+            }
+            extra_left -= batch;
+            for s in 0..frag_stores_each {
+                push(
+                    &mut t,
+                    WarpOp::shared_access(
+                        gpu_sim::AccessKind::Write,
+                        a_words + s as u32 * 32,
+                        32,
+                        store_conflicts,
+                    ),
+                );
+            }
+            t.push_all(WarpOp::Barrier);
+            // Owning warp (Fig. 5b): two fragment loads, one WMMA.
+            let w = chunk % nwarps;
+            let tile_slice = (f / dim_chunks as u64 * 32 % a_words as u64) as u32;
+            t.warps[w]
+                .ops
+                .push(WarpOp::shared_read(tile_slice.min(a_words - 32), 32));
+            t.warps[w]
+                .ops
+                .push(WarpOp::shared_read(a_words, frag_read_words));
+            t.warps[w].ops.push(WarpOp::Wmma);
+            t.push_all(WarpOp::Barrier); // fence before buffer reuse
+        }
+
+        // -- Result store, coalesced, once per output row.
+        if z_store {
+            let z_tx = coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
+            for r in 0..rows {
+                for _ in 0..z_tx {
+                    t.warps[r % nwarps].ops.push(WarpOp::Global {
+                        bytes: dev.transaction_bytes,
+                    });
+                }
+            }
+        }
+        t
     }
 
     /// Numerically multiply one window at this kernel's precision,

@@ -15,7 +15,9 @@
 //!   whose overhead Table XI accounts;
 //! * [`loa`] — the LOA graph-layout reorganization algorithm
 //!   (Algorithms 5/6, §V-B);
-//! * [`fusion`] — the Aggregation+Update kernel-fusion strategy (§V-A).
+//! * [`fusion`] — the Aggregation+Update kernel-fusion strategy (§V-A);
+//! * [`sanitize`] — compute-sanitizer-style checking of every kernel
+//!   family's window traces against the costs it bills.
 //!
 //! Kernels compute real `f32` numerics on the CPU while charging simulated
 //! GPU time through the `gpu-sim` substrate; see that crate's docs.
@@ -28,6 +30,7 @@ pub mod fusion;
 pub mod kernels;
 pub mod loa;
 pub mod preprocess;
+pub mod sanitize;
 pub mod selector;
 
 pub use features::WindowFeatures;
@@ -38,4 +41,5 @@ pub use kernels::tensor::TensorSpmm;
 pub use kernels::{SpmmKernel, SpmmResult};
 pub use loa::{Loa, LoaBrute, LoaReport};
 pub use preprocess::{preprocess_oracle, Preprocessed};
+pub use sanitize::{sanitize_family, sanitize_graph, FamilyReport, KernelFamily, SampleSpec};
 pub use selector::{CoreChoice, SelectionPolicy, Selector};

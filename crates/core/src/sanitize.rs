@@ -1,0 +1,258 @@
+//! Kernel-sanitizer driver: runs the `gpu_sim::sanitizer` battery over the
+//! window traces of every kernel family.
+//!
+//! Each shipped kernel family exposes a sanitizer-grade trace emitter next
+//! to its analytic cost function (`window_trace` beside
+//! `window_block_cost`); this module samples a configurable number of row
+//! windows from a graph, pairs each window's trace with the cost the kernel
+//! bills for it, and reports what racecheck / memcheck / synccheck / the
+//! cost-conformance lint find. The CLI's `sanitize` subcommand is a thin
+//! wrapper around [`sanitize_graph`].
+
+use gpu_sim::sanitizer::{sanitize_block, Finding, SanitizerConfig, SanitizerReport};
+use gpu_sim::DeviceSpec;
+use graph_sparse::{Csr, RowWindowPartition};
+
+use crate::kernels::straightforward::StraightforwardHybrid;
+use crate::{CudaSpmm, HcSpmm, TensorSpmm};
+
+/// The four shipped kernel families the sanitizer covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelFamily {
+    /// The §IV-A per-tile hybrid (Fig. 4a).
+    Straightforward,
+    /// The CUDA-core path (Algorithm 3).
+    Cuda,
+    /// The Tensor-core path (Algorithm 4).
+    Tensor,
+    /// HC-SpMM — selector-dispatched row windows.
+    Hybrid,
+}
+
+impl KernelFamily {
+    /// All families, in report order.
+    pub const ALL: [KernelFamily; 4] = [
+        KernelFamily::Straightforward,
+        KernelFamily::Cuda,
+        KernelFamily::Tensor,
+        KernelFamily::Hybrid,
+    ];
+
+    /// Stable lowercase name (CLI flag values / report labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelFamily::Straightforward => "straightforward",
+            KernelFamily::Cuda => "cuda",
+            KernelFamily::Tensor => "tensor",
+            KernelFamily::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<KernelFamily> {
+        KernelFamily::ALL.iter().copied().find(|f| f.name() == s)
+    }
+}
+
+/// How many row windows to sample per family.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleSpec {
+    /// Upper bound on sampled windows (evenly spaced over the partition's
+    /// non-empty windows). `usize::MAX` checks everything.
+    pub max_windows: usize,
+}
+
+impl Default for SampleSpec {
+    fn default() -> Self {
+        // Windows of one graph share their structure; a spread sample
+        // catches shape-dependent bugs without tracing every block.
+        SampleSpec { max_windows: 48 }
+    }
+}
+
+/// Sanitizer outcome for one kernel family on one graph.
+#[derive(Debug, Clone)]
+pub struct FamilyReport {
+    /// Which family ran.
+    pub family: KernelFamily,
+    /// Windows actually traced.
+    pub windows_checked: usize,
+    /// Total trace ops examined.
+    pub ops_checked: usize,
+    /// Findings, tagged with the window index they occurred in.
+    pub findings: Vec<(usize, Finding)>,
+    /// Findings dropped by the per-check cap, summed over windows.
+    pub suppressed: usize,
+}
+
+impl FamilyReport {
+    /// True when every checked window came back clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.suppressed == 0
+    }
+}
+
+/// Indices of up to `max` evenly-spaced elements of `0..n`.
+fn sample_indices(n: usize, max: usize) -> Vec<usize> {
+    if n <= max || max == 0 {
+        return (0..n).collect();
+    }
+    (0..max).map(|i| i * n / max).collect()
+}
+
+/// Run the sanitizer battery for one kernel family over a sample of the
+/// graph's row windows.
+pub fn sanitize_family(
+    family: KernelFamily,
+    a: &Csr,
+    dim: usize,
+    dev: &DeviceSpec,
+    cfg: &SanitizerConfig,
+    sample: SampleSpec,
+) -> FamilyReport {
+    let part = RowWindowPartition::build(a);
+    let windows: Vec<usize> = part
+        .windows
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| !w.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let picked = sample_indices(windows.len(), sample.max_windows);
+
+    // The hybrid family needs the selector's per-window choices.
+    let hc = HcSpmm::default();
+    let pre = matches!(family, KernelFamily::Hybrid).then(|| hc.preprocess(a, dev));
+
+    let mut report = FamilyReport {
+        family,
+        windows_checked: 0,
+        ops_checked: 0,
+        findings: Vec::new(),
+        suppressed: 0,
+    };
+    for &pi in &picked {
+        let wi = windows[pi];
+        let w = &part.windows[wi];
+        let (cost, trace) = match family {
+            KernelFamily::Straightforward => {
+                let k = StraightforwardHybrid::default();
+                (k.window_cost(w, dim, dev), k.window_trace(w, dim, dev))
+            }
+            KernelFamily::Cuda => {
+                let k = CudaSpmm::optimized();
+                (
+                    k.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                    k.window_trace(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                )
+            }
+            KernelFamily::Tensor => {
+                let k = TensorSpmm::optimized();
+                (
+                    k.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                    k.window_trace(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                )
+            }
+            KernelFamily::Hybrid => {
+                let choice = pre.as_ref().expect("preprocessed above").choices[wi];
+                (
+                    hc.window_cost(w, choice, dim, dev),
+                    hc.window_trace(w, choice, dim, dev),
+                )
+            }
+        };
+        let block = sanitize_block(&trace, Some(&cost), dev, cfg);
+        absorb(&mut report, wi, block);
+    }
+    report
+}
+
+/// Merge one block's report into the family report.
+fn absorb(report: &mut FamilyReport, window: usize, block: SanitizerReport) {
+    report.windows_checked += 1;
+    report.ops_checked += block.ops_checked;
+    report.suppressed += block.suppressed;
+    report
+        .findings
+        .extend(block.findings.into_iter().map(|f| (window, f)));
+}
+
+/// Run every kernel family over one graph.
+pub fn sanitize_graph(
+    a: &Csr,
+    dim: usize,
+    dev: &DeviceSpec,
+    cfg: &SanitizerConfig,
+    sample: SampleSpec,
+) -> Vec<FamilyReport> {
+    KernelFamily::ALL
+        .iter()
+        .map(|&f| sanitize_family(f, a, dim, dev, cfg, sample))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::gen;
+
+    #[test]
+    fn all_families_clean_on_mixed_graph() {
+        let a = gen::community(1024, 8_000, 32, 0.9, 11);
+        let dev = DeviceSpec::rtx3090();
+        let cfg = SanitizerConfig::default();
+        for report in sanitize_graph(&a, 32, &dev, &cfg, SampleSpec::default()) {
+            assert!(
+                report.is_clean(),
+                "{}: {:?}",
+                report.family.name(),
+                report.findings
+            );
+            assert!(report.windows_checked > 0);
+            assert!(report.ops_checked > 0);
+        }
+    }
+
+    #[test]
+    fn unaligned_dim_and_other_devices_stay_clean() {
+        // dim 47 exercises the generalized tail; the A100 has a different
+        // shared capacity.
+        let a = gen::molecules(2_048, 5_000, 13);
+        let cfg = SanitizerConfig::default();
+        for dev in [DeviceSpec::rtx3090(), DeviceSpec::a100()] {
+            for report in sanitize_graph(&a, 47, &dev, &cfg, SampleSpec { max_windows: 16 }) {
+                assert!(
+                    report.is_clean(),
+                    "{} on {:?}: {:?}",
+                    report.family.name(),
+                    dev.kind,
+                    report.findings
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_caps_window_count() {
+        let a = gen::erdos_renyi(2_048, 12_000, 17);
+        let dev = DeviceSpec::rtx3090();
+        let cfg = SanitizerConfig::default();
+        let r = sanitize_family(
+            KernelFamily::Cuda,
+            &a,
+            32,
+            &dev,
+            &cfg,
+            SampleSpec { max_windows: 5 },
+        );
+        assert_eq!(r.windows_checked, 5);
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in KernelFamily::ALL {
+            assert_eq!(KernelFamily::parse(f.name()), Some(f));
+        }
+        assert_eq!(KernelFamily::parse("nope"), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fault injection: seeded kernel mutants that each sanitizer check must
+//! catch — and catch *alone*.
+//!
+//! Each mutant starts from the real CUDA-kernel window trace of a generated
+//! graph and applies one targeted defect: a dropped barrier, a shared-memory
+//! overflow, a skewed `BlockCost` counter, or a cross-warp shared-memory
+//! race. The test then asserts that exactly the intended check fires and the
+//! other three stay silent, so a regression that makes one analysis
+//! over-eager (or blind) shows up immediately. The unmutated trace is
+//! checked clean first, proving the mutation — not the baseline — is what
+//! trips the check.
+
+use gpu_sim::{
+    sanitize_block, BlockCost, BlockTrace, CheckKind, DeviceSpec, SanitizerConfig, WarpOp,
+};
+use graph_sparse::{gen, RowWindowPartition};
+use hc_core::CudaSpmm;
+
+const DIM: usize = 16;
+
+/// Cost + trace of a real multi-warp CUDA-kernel row window.
+fn real_pair(dev: &DeviceSpec) -> (BlockCost, BlockTrace) {
+    let a = gen::community(512, 4_000, 16, 0.9, 7);
+    let part = RowWindowPartition::build(&a);
+    let w = part
+        .windows
+        .iter()
+        .find(|w| w.rows >= 2 && w.nnz >= 8)
+        .expect("community graph has a dense-enough window");
+    let k = CudaSpmm::optimized();
+    (
+        k.window_block_cost(w.nnz, w.nnz_cols(), w.rows, DIM, dev),
+        k.window_trace(w.nnz, w.nnz_cols(), w.rows, DIM, dev),
+    )
+}
+
+/// Assert that `check` fired and the other three checks stayed silent.
+fn assert_only(trace: &BlockTrace, cost: &BlockCost, dev: &DeviceSpec, check: CheckKind) {
+    let report = sanitize_block(trace, Some(cost), dev, &SanitizerConfig::default());
+    assert!(
+        report.findings_for(check).next().is_some(),
+        "{} missed its seeded defect",
+        check.name()
+    );
+    for other in CheckKind::ALL {
+        if other != check {
+            let stray: Vec<_> = report.findings_for(other).collect();
+            assert!(
+                stray.is_empty(),
+                "{} fired on a defect seeded for {}: {:?}",
+                other.name(),
+                check.name(),
+                stray
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_window_is_clean() {
+    let dev = DeviceSpec::rtx3090();
+    let (cost, trace) = real_pair(&dev);
+    let report = sanitize_block(&trace, Some(&cost), &dev, &SanitizerConfig::default());
+    assert!(report.is_clean(), "unmutated trace: {:?}", report.findings);
+    assert!(trace.warps.len() >= 2, "mutants need at least two warps");
+    assert!(trace.shared_alloc_words > 0, "mutants need a shared buffer");
+}
+
+#[test]
+fn dropped_barrier_trips_synccheck_only() {
+    let dev = DeviceSpec::rtx3090();
+    let (cost, mut trace) = real_pair(&dev);
+    // Warp 0 skips the epilogue __syncthreads every other warp executes.
+    for w in trace.warps.iter_mut().skip(1) {
+        w.ops.push(WarpOp::Barrier);
+    }
+    assert_only(&trace, &cost, &dev, CheckKind::SyncCheck);
+}
+
+#[test]
+fn shared_overflow_trips_memcheck_only() {
+    let dev = DeviceSpec::rtx3090();
+    let (cost, mut trace) = real_pair(&dev);
+    // One lane writes the word just past the declared allocation. A single
+    // extra access stays inside the conformance lint's absolute tolerance,
+    // so only the bounds check may fire.
+    let past_end = trace.shared_alloc_words;
+    trace.warps[0].ops.push(WarpOp::shared_write(past_end, 1));
+    assert_only(&trace, &cost, &dev, CheckKind::MemCheck);
+}
+
+#[test]
+fn skewed_cost_counter_trips_conformance_only() {
+    let dev = DeviceSpec::rtx3090();
+    let (mut cost, trace) = real_pair(&dev);
+    // The kernel bills far more FMA issues than its trace performs —
+    // the classic copy-paste error in an analytic cost term.
+    cost.cuda_fma_issues += 1_000;
+    assert_only(&trace, &cost, &dev, CheckKind::CostConformance);
+}
+
+#[test]
+fn cross_warp_race_trips_racecheck_only() {
+    let dev = DeviceSpec::rtx3090();
+    let (cost, mut trace) = real_pair(&dev);
+    // Warps 0 and 1 both write shared word 0 in the final epoch with no
+    // separating barrier: a write/write hazard. The word is inside the
+    // allocation and the two extra accesses stay inside the conformance
+    // tolerance, so only racecheck may fire.
+    trace.warps[0].ops.push(WarpOp::shared_write(0, 1));
+    trace.warps[1].ops.push(WarpOp::shared_write(0, 1));
+    assert_only(&trace, &cost, &dev, CheckKind::RaceCheck);
+}

@@ -24,6 +24,8 @@
 //! * [`DeviceSpec::execute`] — schedule blocks onto SMs and produce a
 //!   [`KernelRun`] with simulated time and a [`KernelProfile`] of counters.
 //! * [`precision`] — TF32/FP16/BF16 emulation used by the Tensor-core path.
+//! * [`sanitizer`] — compute-sanitizer-style race / bounds / barrier checks
+//!   and cost-model conformance lints over [`trace`]-level kernel programs.
 
 #![warn(missing_docs)]
 
@@ -32,6 +34,7 @@ pub mod device;
 pub mod memory;
 pub mod precision;
 pub mod profile;
+pub mod sanitizer;
 pub mod scheduler;
 pub mod trace;
 
@@ -40,3 +43,7 @@ pub use device::{DeviceKind, DeviceSpec};
 pub use memory::{coalesced_transactions, gather_transactions, shared_store_conflicts};
 pub use precision::Precision;
 pub use profile::KernelProfile;
+pub use sanitizer::{
+    sanitize_block, CheckKind, Finding, SanitizerConfig, SanitizerReport, TraceCounters,
+};
+pub use trace::{AccessKind, BlockTrace, SharedAccess, WarpOp, WarpTrace};

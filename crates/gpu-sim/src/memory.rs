@@ -18,9 +18,12 @@ pub fn coalesced_transactions(bytes: u64, transaction_bytes: u32) -> u64 {
 /// by CSR column indices): every distinct address costs a full transaction,
 /// no matter how few bytes are used from it.
 pub fn gather_transactions(count: u64, item_bytes: u32, transaction_bytes: u32) -> u64 {
+    debug_assert!(transaction_bytes > 0);
     // Each gathered item may span several transactions if it is larger than
-    // one transaction; smaller items still cost one each.
-    count * (item_bytes.div_ceil(transaction_bytes).max(1)) as u64
+    // one transaction; smaller items — even degenerate zero-byte probes,
+    // whose address must still reach the LSU — cost one each.
+    let per_item = item_bytes.div_ceil(transaction_bytes).max(1) as u64;
+    count * per_item
 }
 
 /// Transactions for a warp reading `rows` rows of a row-major matrix with
@@ -84,6 +87,13 @@ mod tests {
         assert_eq!(gather_transactions(32, 4, 128), 32);
         // A 256-byte item spans two transactions.
         assert_eq!(gather_transactions(2, 256, 128), 4);
+    }
+
+    #[test]
+    fn gather_charges_zero_byte_items_one_transaction() {
+        // A zero-byte gather still dereferences `count` addresses.
+        assert_eq!(gather_transactions(5, 0, 128), 5);
+        assert_eq!(gather_transactions(0, 0, 128), 0);
     }
 
     #[test]

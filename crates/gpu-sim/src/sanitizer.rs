@@ -1,0 +1,727 @@
+//! Kernel sanitizer: static analyses over [`BlockTrace`]s, modeled on CUDA
+//! `compute-sanitizer`.
+//!
+//! The simulator executes *declared* work — nothing stops a kernel's trace
+//! builder from billing one access pattern to the cost model while the
+//! trace (or the real kernel it mirrors) does something else. This module
+//! closes that gap with four checks:
+//!
+//! * **racecheck** — shared-memory hazards: two warps touching a common
+//!   word within the same barrier epoch, at least one of them writing.
+//! * **memcheck** — shared accesses outside the block's declared
+//!   allocation, allocations exceeding [`DeviceSpec::shared_mem_per_sm`],
+//!   and address-less accesses in blocks that declare shared memory.
+//! * **synccheck** — barrier divergence: warps of one block retiring
+//!   different numbers of `__syncthreads()`.
+//! * **cost conformance** — recount FMA issues, WMMA issues, global
+//!   transactions, shared accesses and bank-conflict replays from the trace
+//!   and diff them against the analytic [`BlockCost`] the kernel billed.
+//!
+//! All checks are pure functions of the trace (plus the billed cost for
+//! conformance); [`sanitize_block`] runs the full battery and returns a
+//! structured [`SanitizerReport`].
+
+use std::fmt;
+
+use crate::cost::BlockCost;
+use crate::device::DeviceSpec;
+use crate::trace::{AccessKind, BlockTrace, SharedAccess, WarpOp};
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Shared-memory race detection.
+    RaceCheck,
+    /// Shared-memory bounds / capacity checking.
+    MemCheck,
+    /// Barrier-divergence detection.
+    SyncCheck,
+    /// Trace-vs-BlockCost counter conformance.
+    CostConformance,
+}
+
+impl CheckKind {
+    /// All checks, in report order.
+    pub const ALL: [CheckKind; 4] = [
+        CheckKind::RaceCheck,
+        CheckKind::MemCheck,
+        CheckKind::SyncCheck,
+        CheckKind::CostConformance,
+    ];
+
+    /// Stable lowercase name (CLI / report labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckKind::RaceCheck => "racecheck",
+            CheckKind::MemCheck => "memcheck",
+            CheckKind::SyncCheck => "synccheck",
+            CheckKind::CostConformance => "cost-conformance",
+        }
+    }
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Location of an op inside a block trace: warp index and op index within
+/// that warp's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRef {
+    /// Warp index within the block.
+    pub warp: usize,
+    /// Op index within the warp's program.
+    pub op: usize,
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warp {} op {}", self.warp, self.op)
+    }
+}
+
+/// One sanitizer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The analysis that fired.
+    pub check: CheckKind,
+    /// Human-readable description with addresses / counters inline.
+    pub message: String,
+    /// Primary op involved, when the finding is op-granular.
+    pub site: Option<OpRef>,
+    /// Second op involved (the other side of a race).
+    pub other: Option<OpRef>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.message)?;
+        if let Some(site) = self.site {
+            write!(f, " ({site}")?;
+            if let Some(other) = self.other {
+                write!(f, " vs {other}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tunables for the sanitizer battery.
+#[derive(Debug, Clone)]
+pub struct SanitizerConfig {
+    /// Cap on reported findings per check (analysis still runs to
+    /// completion; `SanitizerReport::suppressed` counts the overflow).
+    pub max_findings_per_check: usize,
+    /// Absolute slack allowed on each conformance counter.
+    pub cost_abs_tolerance: u64,
+    /// Relative slack allowed on each conformance counter (fraction of the
+    /// larger side).
+    pub cost_rel_tolerance: f64,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            max_findings_per_check: 16,
+            cost_abs_tolerance: 2,
+            cost_rel_tolerance: 0.01,
+        }
+    }
+}
+
+/// Outcome of running the sanitizer battery on one block.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizerReport {
+    /// Findings across all checks, in check order.
+    pub findings: Vec<Finding>,
+    /// Findings dropped by `max_findings_per_check`.
+    pub suppressed: usize,
+    /// Total ops examined.
+    pub ops_checked: usize,
+    /// Barriers retired per warp, as seen by synccheck (empty for empty
+    /// traces).
+    pub barriers_per_warp: Vec<usize>,
+}
+
+impl SanitizerReport {
+    /// True when no check fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.suppressed == 0
+    }
+
+    /// Findings produced by one specific check.
+    pub fn findings_for(&self, check: CheckKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.check == check)
+    }
+
+    fn push_capped(&mut self, cap: usize, counted: &mut usize, finding: Finding) {
+        *counted += 1;
+        if *counted <= cap {
+            self.findings.push(finding);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+}
+
+/// One shared access annotated with its position and barrier epoch.
+#[derive(Debug, Clone, Copy)]
+struct EpochAccess {
+    site: OpRef,
+    epoch: usize,
+    access: SharedAccess,
+}
+
+/// Run the full sanitizer battery on one block trace.
+///
+/// `cost` is the analytic [`BlockCost`] the kernel billed for this block;
+/// pass `None` to skip the conformance lint (e.g. for hand-built traces
+/// with no analytic counterpart).
+pub fn sanitize_block(
+    trace: &BlockTrace,
+    cost: Option<&BlockCost>,
+    dev: &DeviceSpec,
+    cfg: &SanitizerConfig,
+) -> SanitizerReport {
+    let mut report = SanitizerReport {
+        ops_checked: trace.len(),
+        ..SanitizerReport::default()
+    };
+    memcheck(trace, dev, cfg, &mut report);
+    synccheck(trace, cfg, &mut report);
+    racecheck(trace, cfg, &mut report);
+    if let Some(cost) = cost {
+        cost_conformance(trace, cost, cfg, &mut report);
+    }
+    report
+}
+
+/// Shared-memory bounds and capacity checking.
+fn memcheck(
+    trace: &BlockTrace,
+    dev: &DeviceSpec,
+    cfg: &SanitizerConfig,
+    out: &mut SanitizerReport,
+) {
+    let cap = cfg.max_findings_per_check;
+    let mut counted = 0usize;
+    let alloc = trace.shared_alloc_words;
+    let alloc_bytes = alloc as u64 * 4;
+    if alloc_bytes > dev.shared_mem_per_sm as u64 {
+        out.push_capped(
+            cap,
+            &mut counted,
+            Finding {
+                check: CheckKind::MemCheck,
+                message: format!(
+                    "declared shared allocation of {alloc_bytes} B exceeds the SM's {} B",
+                    dev.shared_mem_per_sm
+                ),
+                site: None,
+                other: None,
+            },
+        );
+    }
+    for (wi, warp) in trace.warps.iter().enumerate() {
+        for (oi, op) in warp.ops.iter().enumerate() {
+            let WarpOp::Shared { access, .. } = op else {
+                continue;
+            };
+            let site = OpRef { warp: wi, op: oi };
+            match access {
+                None if alloc > 0 => out.push_capped(
+                    cap,
+                    &mut counted,
+                    Finding {
+                        check: CheckKind::MemCheck,
+                        message: "shared access carries no address footprint in a block that \
+                                  declares shared memory"
+                            .to_string(),
+                        site: Some(site),
+                        other: None,
+                    },
+                ),
+                None => {}
+                Some(a) if alloc == 0 => out.push_capped(
+                    cap,
+                    &mut counted,
+                    Finding {
+                        check: CheckKind::MemCheck,
+                        message: format!(
+                            "shared {} of words [{}, {}) in a block with no declared allocation",
+                            kind_name(a.kind),
+                            a.offset,
+                            a.end()
+                        ),
+                        site: Some(site),
+                        other: None,
+                    },
+                ),
+                Some(a) if a.end() > alloc || a.words == 0 => out.push_capped(
+                    cap,
+                    &mut counted,
+                    Finding {
+                        check: CheckKind::MemCheck,
+                        message: if a.words == 0 {
+                            format!(
+                                "zero-width shared {} at word {}",
+                                kind_name(a.kind),
+                                a.offset
+                            )
+                        } else {
+                            format!(
+                                "shared {} of words [{}, {}) overruns the declared allocation \
+                                 of {alloc} words",
+                                kind_name(a.kind),
+                                a.offset,
+                                a.end()
+                            )
+                        },
+                        site: Some(site),
+                        other: None,
+                    },
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Barrier-divergence detection: every warp of a block must retire the same
+/// number of `__syncthreads()`.
+fn synccheck(trace: &BlockTrace, cfg: &SanitizerConfig, out: &mut SanitizerReport) {
+    out.barriers_per_warp = trace.warps.iter().map(|w| w.barrier_count()).collect();
+    let (Some(&min), Some(&max)) = (
+        out.barriers_per_warp.iter().min(),
+        out.barriers_per_warp.iter().max(),
+    ) else {
+        return;
+    };
+    if min == max {
+        return;
+    }
+    let cap = cfg.max_findings_per_check;
+    let mut counted = 0usize;
+    let per_warp = out.barriers_per_warp.clone();
+    for (wi, &bars) in per_warp.iter().enumerate() {
+        if bars != max {
+            out.push_capped(
+                cap,
+                &mut counted,
+                Finding {
+                    check: CheckKind::SyncCheck,
+                    message: format!(
+                        "warp {wi} retires {bars} barrier(s) while its block peaks at {max} — \
+                         divergent __syncthreads()"
+                    ),
+                    site: Some(OpRef { warp: wi, op: 0 }),
+                    other: None,
+                },
+            );
+        }
+    }
+}
+
+/// Shared-memory race detection.
+///
+/// Accesses are bucketed by barrier epoch (the number of barriers the warp
+/// retired before issuing the access). Within one epoch, any two accesses
+/// from *different* warps whose word footprints overlap race unless both
+/// are reads. Same-warp accesses are program-ordered and never race.
+///
+/// The sweep keeps reads and writes separate: a new access only has to be
+/// compared against prior *writes* (plus, for a write, prior reads), so
+/// broadcast-heavy read phases stay near-linear.
+fn racecheck(trace: &BlockTrace, cfg: &SanitizerConfig, out: &mut SanitizerReport) {
+    let mut accesses: Vec<EpochAccess> = Vec::new();
+    for (wi, warp) in trace.warps.iter().enumerate() {
+        let mut epoch = 0usize;
+        for (oi, op) in warp.ops.iter().enumerate() {
+            match op {
+                WarpOp::Barrier => epoch += 1,
+                WarpOp::Shared {
+                    access: Some(a), ..
+                } if a.words > 0 => accesses.push(EpochAccess {
+                    site: OpRef { warp: wi, op: oi },
+                    epoch,
+                    access: *a,
+                }),
+                _ => {}
+            }
+        }
+    }
+    // Bucket by epoch, then sweep each bucket by start offset.
+    accesses.sort_unstable_by_key(|a| (a.epoch, a.access.offset));
+    let cap = cfg.max_findings_per_check;
+    let mut counted = 0usize;
+    let mut i = 0usize;
+    while i < accesses.len() {
+        let mut j = i;
+        while j < accesses.len() && accesses[j].epoch == accesses[i].epoch {
+            j += 1;
+        }
+        sweep_epoch(&accesses[i..j], cap, &mut counted, out);
+        i = j;
+    }
+}
+
+/// Interval sweep over one epoch's accesses (sorted by start offset).
+fn sweep_epoch(bucket: &[EpochAccess], cap: usize, counted: &mut usize, out: &mut SanitizerReport) {
+    // Active intervals still overlapping the sweep line, reads and writes
+    // kept apart so read-vs-read pairs are never enumerated.
+    let mut active_reads: Vec<EpochAccess> = Vec::new();
+    let mut active_writes: Vec<EpochAccess> = Vec::new();
+    for cur in bucket {
+        let start = cur.access.offset;
+        active_reads.retain(|a| a.access.end() > start);
+        active_writes.retain(|a| a.access.end() > start);
+        let against_writes = active_writes.iter();
+        let against: Vec<&EpochAccess> = if cur.access.kind == AccessKind::Write {
+            against_writes.chain(active_reads.iter()).collect()
+        } else {
+            against_writes.collect()
+        };
+        for prior in against {
+            if prior.site.warp == cur.site.warp || !prior.access.overlaps(&cur.access) {
+                continue;
+            }
+            out.push_capped(
+                cap,
+                counted,
+                Finding {
+                    check: CheckKind::RaceCheck,
+                    message: format!(
+                        "{} of words [{}, {}) races with {} of words [{}, {}) in barrier \
+                         epoch {} (no separating __syncthreads())",
+                        kind_name(cur.access.kind),
+                        cur.access.offset,
+                        cur.access.end(),
+                        kind_name(prior.access.kind),
+                        prior.access.offset,
+                        prior.access.end(),
+                        cur.epoch,
+                    ),
+                    site: Some(cur.site),
+                    other: Some(prior.site),
+                },
+            );
+        }
+        match cur.access.kind {
+            AccessKind::Read => active_reads.push(*cur),
+            AccessKind::Write => active_writes.push(*cur),
+        }
+    }
+}
+
+/// Counters recomputed from a trace, mirroring [`BlockCost`]'s accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// CUDA-pipe FMA issues ([`WarpOp::Compute`] ops).
+    pub fma_issues: u64,
+    /// Tensor-core issues ([`WarpOp::Wmma`] ops).
+    pub wmma_issues: u64,
+    /// Global-memory transactions ([`WarpOp::Global`] ops).
+    pub global_transactions: u64,
+    /// Shared accesses (loads + stores).
+    pub shared_accesses: u64,
+    /// Bank-conflict replays summed over shared ops.
+    pub bank_conflicts: u64,
+    /// Warps with at least one op.
+    pub warps: u32,
+}
+
+/// Recount the billable work in a trace.
+pub fn count_trace(trace: &BlockTrace) -> TraceCounters {
+    let mut c = TraceCounters {
+        warps: trace.warps.len() as u32,
+        ..TraceCounters::default()
+    };
+    for warp in &trace.warps {
+        for op in &warp.ops {
+            match op {
+                WarpOp::Compute => c.fma_issues += 1,
+                WarpOp::Wmma => c.wmma_issues += 1,
+                WarpOp::Global { .. } => c.global_transactions += 1,
+                WarpOp::Shared { conflicts, .. } => {
+                    c.shared_accesses += 1;
+                    c.bank_conflicts += *conflicts as u64;
+                }
+                WarpOp::Barrier => {}
+            }
+        }
+    }
+    c
+}
+
+/// Trace-vs-cost conformance lint: the counters a kernel bills to the
+/// analytic model must match what its trace actually performs, within the
+/// configured tolerance.
+fn cost_conformance(
+    trace: &BlockTrace,
+    cost: &BlockCost,
+    cfg: &SanitizerConfig,
+    out: &mut SanitizerReport,
+) {
+    let traced = count_trace(trace);
+    let cap = cfg.max_findings_per_check;
+    let mut counted = 0usize;
+    let mut diff = |name: &str, traced_v: u64, billed_v: u64, out: &mut SanitizerReport| {
+        let gap = traced_v.abs_diff(billed_v);
+        let slack = cfg.cost_abs_tolerance
+            + (cfg.cost_rel_tolerance * traced_v.max(billed_v) as f64).floor() as u64;
+        if gap > slack {
+            out.push_capped(
+                cap,
+                &mut counted,
+                Finding {
+                    check: CheckKind::CostConformance,
+                    message: format!(
+                        "{name}: trace performs {traced_v} but the kernel billed {billed_v} \
+                         (gap {gap} > slack {slack})"
+                    ),
+                    site: None,
+                    other: None,
+                },
+            );
+        }
+    };
+    diff(
+        "cuda_fma_issues",
+        traced.fma_issues,
+        cost.cuda_fma_issues,
+        out,
+    );
+    diff("wmma_issues", traced.wmma_issues, cost.wmma_issues, out);
+    diff(
+        "dram.transactions",
+        traced.global_transactions,
+        cost.dram.transactions,
+        out,
+    );
+    diff(
+        "shared accesses (loads+stores)",
+        traced.shared_accesses,
+        cost.shared.loads + cost.shared.stores,
+        out,
+    );
+    diff(
+        "shared.bank_conflicts",
+        traced.bank_conflicts,
+        cost.shared.bank_conflicts,
+        out,
+    );
+    if traced.warps != cost.warps {
+        out.push_capped(
+            cap,
+            &mut counted,
+            Finding {
+                check: CheckKind::CostConformance,
+                message: format!(
+                    "warps: trace has {} but the kernel billed {}",
+                    traced.warps, cost.warps
+                ),
+                site: None,
+                other: None,
+            },
+        );
+    }
+}
+
+fn kind_name(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "read",
+        AccessKind::Write => "write",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::WarpTrace;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::rtx3090()
+    }
+
+    fn two_warps(a: Vec<WarpOp>, b: Vec<WarpOp>, alloc: u32) -> BlockTrace {
+        BlockTrace {
+            warps: vec![WarpTrace { ops: a }, WarpTrace { ops: b }],
+            shared_alloc_words: alloc,
+        }
+    }
+
+    fn run(trace: &BlockTrace) -> SanitizerReport {
+        sanitize_block(trace, None, &dev(), &SanitizerConfig::default())
+    }
+
+    #[test]
+    fn clean_disjoint_block_reports_nothing() {
+        let t = two_warps(
+            vec![
+                WarpOp::shared_write(0, 32),
+                WarpOp::Barrier,
+                WarpOp::shared_read(32, 32),
+                WarpOp::Compute,
+            ],
+            vec![
+                WarpOp::shared_write(32, 32),
+                WarpOp::Barrier,
+                WarpOp::shared_read(0, 32),
+                WarpOp::Compute,
+            ],
+            64,
+        );
+        let r = run(&t);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.barriers_per_warp, vec![1, 1]);
+    }
+
+    #[test]
+    fn racecheck_flags_same_epoch_write_write() {
+        let t = two_warps(
+            vec![WarpOp::shared_write(0, 8)],
+            vec![WarpOp::shared_write(4, 8)],
+            32,
+        );
+        let r = run(&t);
+        assert_eq!(r.findings_for(CheckKind::RaceCheck).count(), 1);
+        assert_eq!(r.findings_for(CheckKind::MemCheck).count(), 0);
+    }
+
+    #[test]
+    fn racecheck_flags_read_write_but_not_read_read() {
+        let rw = two_warps(
+            vec![WarpOp::shared_read(0, 8)],
+            vec![WarpOp::shared_write(0, 8)],
+            32,
+        );
+        assert_eq!(run(&rw).findings_for(CheckKind::RaceCheck).count(), 1);
+        let rr = two_warps(
+            vec![WarpOp::shared_read(0, 8)],
+            vec![WarpOp::shared_read(0, 8)],
+            32,
+        );
+        assert!(run(&rr).is_clean());
+    }
+
+    #[test]
+    fn barrier_separates_epochs() {
+        // Same words, but a barrier between the write and the read.
+        let t = two_warps(
+            vec![WarpOp::shared_write(0, 8), WarpOp::Barrier],
+            vec![WarpOp::Barrier, WarpOp::shared_read(0, 8)],
+            32,
+        );
+        assert!(run(&t).is_clean());
+    }
+
+    #[test]
+    fn same_warp_never_races() {
+        let t = BlockTrace {
+            warps: vec![WarpTrace {
+                ops: vec![WarpOp::shared_write(0, 8), WarpOp::shared_read(0, 8)],
+            }],
+            shared_alloc_words: 32,
+        };
+        assert!(run(&t).is_clean());
+    }
+
+    #[test]
+    fn memcheck_flags_overrun_and_capacity() {
+        let t = two_warps(vec![WarpOp::shared_read(30, 8)], vec![], 32);
+        let r = run(&t);
+        assert_eq!(r.findings_for(CheckKind::MemCheck).count(), 1);
+
+        let d = dev();
+        let words = d.shared_mem_per_sm / 4 + 1;
+        let big = BlockTrace {
+            warps: vec![WarpTrace::default()],
+            shared_alloc_words: words,
+        };
+        let r = run(&big);
+        assert_eq!(r.findings_for(CheckKind::MemCheck).count(), 1);
+    }
+
+    #[test]
+    fn memcheck_flags_unaddressed_access_only_with_alloc() {
+        let with_alloc = two_warps(vec![WarpOp::shared(0)], vec![], 32);
+        assert_eq!(
+            run(&with_alloc).findings_for(CheckKind::MemCheck).count(),
+            1
+        );
+        // Legacy conflict-only traces with no declared allocation pass.
+        let legacy = two_warps(vec![WarpOp::shared(0)], vec![], 0);
+        assert!(run(&legacy).is_clean());
+    }
+
+    #[test]
+    fn synccheck_flags_divergent_barriers() {
+        let t = two_warps(
+            vec![WarpOp::Barrier, WarpOp::Compute],
+            vec![WarpOp::Compute],
+            0,
+        );
+        let r = run(&t);
+        assert_eq!(r.findings_for(CheckKind::SyncCheck).count(), 1);
+        assert_eq!(r.barriers_per_warp, vec![1, 0]);
+    }
+
+    #[test]
+    fn conformance_flags_skewed_counter() {
+        let t = two_warps(vec![WarpOp::Compute; 100], vec![WarpOp::Compute; 100], 0);
+        let mut cost = BlockCost {
+            cuda_fma_issues: 200,
+            warps: 2,
+            ..BlockCost::default()
+        };
+        let cfg = SanitizerConfig::default();
+        let clean = sanitize_block(&t, Some(&cost), &dev(), &cfg);
+        assert!(clean.is_clean(), "{:?}", clean.findings);
+        cost.cuda_fma_issues = 150;
+        let skewed = sanitize_block(&t, Some(&cost), &dev(), &cfg);
+        assert_eq!(skewed.findings_for(CheckKind::CostConformance).count(), 1);
+    }
+
+    #[test]
+    fn conformance_tolerates_rounding_slack() {
+        // Gap of 3 against a slack of abs 2 + 1% of 103 = 3: just inside.
+        let t = two_warps(vec![WarpOp::Compute; 100], vec![], 0);
+        let cost = BlockCost {
+            cuda_fma_issues: 103,
+            warps: 2,
+            ..BlockCost::default()
+        };
+        let r = sanitize_block(&t, Some(&cost), &dev(), &SanitizerConfig::default());
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn finding_cap_suppresses_overflow() {
+        // 40 overlapping write pairs -> more findings than the default cap.
+        let a: Vec<WarpOp> = (0..40).map(|_| WarpOp::shared_write(0, 4)).collect();
+        let b = a.clone();
+        let t = two_warps(a, b, 32);
+        let cfg = SanitizerConfig {
+            max_findings_per_check: 4,
+            ..SanitizerConfig::default()
+        };
+        let r = sanitize_block(&t, None, &dev(), &cfg);
+        assert_eq!(r.findings_for(CheckKind::RaceCheck).count(), 4);
+        assert!(r.suppressed > 0);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn builtin_window_traces_are_clean() {
+        let d = dev();
+        let cuda = crate::trace::cuda_window_trace(&[5, 9, 2, 14], 64, &d);
+        let r = run(&cuda);
+        assert!(r.is_clean(), "cuda trace: {:?}", r.findings);
+        let tensor = crate::trace::tensor_window_trace(96, 24, 64, &d);
+        let r = run(&tensor);
+        assert!(r.is_clean(), "tensor trace: {:?}", r.findings);
+    }
+}

@@ -10,9 +10,49 @@
 //! check that the analytic model *ranks* workloads the same way a
 //! mechanistic execution would (see `tests/model_validation.rs`).
 //!
+//! Traces are also the substrate for the [`sanitizer`]: shared-memory ops
+//! can carry a word-granular address footprint, blocks declare their shared
+//! allocation, and `__syncthreads()` is an explicit [`WarpOp::Barrier`] so
+//! race / bounds / barrier-divergence analyses have something to chew on.
+//!
 //! [`BlockCost`]: crate::BlockCost
+//! [`sanitizer`]: crate::sanitizer
 
 use crate::device::DeviceSpec;
+
+/// Direction of a shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load from shared memory.
+    Read,
+    /// Store to shared memory.
+    Write,
+}
+
+/// Word-granular footprint of one warp-wide shared-memory access: the warp
+/// touches `words` consecutive 4-byte words starting at word `offset` of the
+/// block's shared allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedAccess {
+    /// Load or store.
+    pub kind: AccessKind,
+    /// First 4-byte word touched, relative to the block's allocation.
+    pub offset: u32,
+    /// Number of consecutive words touched.
+    pub words: u32,
+}
+
+impl SharedAccess {
+    /// One-past-the-end word of the footprint (saturating).
+    pub fn end(&self) -> u32 {
+        self.offset.saturating_add(self.words)
+    }
+
+    /// True when two footprints touch at least one common word.
+    pub fn overlaps(&self, other: &SharedAccess) -> bool {
+        self.offset < other.end() && other.offset < self.end()
+    }
+}
 
 /// One instruction a warp issues, in program order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,11 +61,18 @@ pub enum WarpOp {
     Compute,
     /// WMMA issue on a Tensor core.
     Wmma,
+    /// Block-wide barrier (`__syncthreads()`): the warp stalls until every
+    /// warp of the block has arrived at its matching barrier.
+    Barrier,
     /// Warp-wide shared-memory access with `1 + conflicts` serialized
-    /// passes.
+    /// passes. `access` carries the sanitizer-grade address footprint;
+    /// `None` means the trace was built without address information (the
+    /// interpreter does not need it, the sanitizer flags it).
     Shared {
         /// Extra serialized replays.
         conflicts: u32,
+        /// Word-granular footprint, when known.
+        access: Option<SharedAccess>,
     },
     /// Global-memory transaction of `bytes` (the warp stalls until data
     /// returns — the conservative in-order assumption).
@@ -35,6 +82,38 @@ pub enum WarpOp {
     },
 }
 
+impl WarpOp {
+    /// Shared access with replay count only (no address footprint).
+    pub fn shared(conflicts: u32) -> WarpOp {
+        WarpOp::Shared {
+            conflicts,
+            access: None,
+        }
+    }
+
+    /// Conflict-free shared load of `words` words at word `offset`.
+    pub fn shared_read(offset: u32, words: u32) -> WarpOp {
+        WarpOp::shared_access(AccessKind::Read, offset, words, 0)
+    }
+
+    /// Conflict-free shared store of `words` words at word `offset`.
+    pub fn shared_write(offset: u32, words: u32) -> WarpOp {
+        WarpOp::shared_access(AccessKind::Write, offset, words, 0)
+    }
+
+    /// Fully-specified shared access.
+    pub fn shared_access(kind: AccessKind, offset: u32, words: u32, conflicts: u32) -> WarpOp {
+        WarpOp::Shared {
+            conflicts,
+            access: Some(SharedAccess {
+                kind,
+                offset,
+                words,
+            }),
+        }
+    }
+}
+
 /// The program of one warp.
 #[derive(Debug, Clone, Default)]
 pub struct WarpTrace {
@@ -42,11 +121,26 @@ pub struct WarpTrace {
     pub ops: Vec<WarpOp>,
 }
 
-/// A thread block: one trace per warp.
+impl WarpTrace {
+    /// Number of [`WarpOp::Barrier`]s in the program.
+    pub fn barrier_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, WarpOp::Barrier))
+            .count()
+    }
+}
+
+/// A thread block: one trace per warp plus the block's declared
+/// shared-memory allocation (in 4-byte words), against which the sanitizer
+/// bounds-checks every addressed access.
 #[derive(Debug, Clone, Default)]
 pub struct BlockTrace {
     /// Per-warp programs.
     pub warps: Vec<WarpTrace>,
+    /// Declared shared-memory allocation of the block, in 4-byte words.
+    /// Zero means "no shared memory declared".
+    pub shared_alloc_words: u32,
 }
 
 impl BlockTrace {
@@ -59,6 +153,67 @@ impl BlockTrace {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Append `op` to every warp — used for block-wide barriers.
+    pub fn push_all(&mut self, op: WarpOp) {
+        for w in &mut self.warps {
+            w.ops.push(op);
+        }
+    }
+
+    /// Append `other`'s program after this block's, as a sequential phase:
+    /// the warp count grows to the larger of the two, a separating barrier
+    /// is inserted, `other`'s shared offsets are rebased past this block's
+    /// allocation, and warps absent from either side receive matching
+    /// barrier counts so the combined block stays barrier-balanced. Both
+    /// traces are expected to be barrier-uniform across their own warps
+    /// (every builder in this workspace is).
+    pub fn append_sequential(&mut self, other: &BlockTrace) {
+        let base = self.shared_alloc_words;
+        let self_bars = self
+            .warps
+            .iter()
+            .map(|w| w.barrier_count())
+            .max()
+            .unwrap_or(0);
+        let n = self.warps.len().max(other.warps.len());
+        while self.warps.len() < n {
+            self.warps.push(WarpTrace {
+                ops: vec![WarpOp::Barrier; self_bars],
+            });
+        }
+        self.push_all(WarpOp::Barrier);
+        let other_bars = other
+            .warps
+            .iter()
+            .map(|w| w.barrier_count())
+            .max()
+            .unwrap_or(0);
+        for i in 0..n {
+            let target = &mut self.warps[i].ops;
+            match other.warps.get(i) {
+                Some(src) => {
+                    for op in &src.ops {
+                        target.push(match *op {
+                            WarpOp::Shared {
+                                conflicts,
+                                access: Some(a),
+                            } => WarpOp::Shared {
+                                conflicts,
+                                access: Some(SharedAccess {
+                                    offset: a.offset + base,
+                                    ..a
+                                }),
+                            },
+                            op => op,
+                        });
+                    }
+                }
+                None => target.extend(std::iter::repeat_n(WarpOp::Barrier, other_bars)),
+            }
+        }
+        self.shared_alloc_words = base + other.shared_alloc_words;
+    }
 }
 
 /// Execute a block trace on one SM; returns the cycle count.
@@ -68,6 +223,9 @@ impl BlockTrace {
 /// by `tensor_cores_per_sm`; the LSU serves one shared access pass per
 /// cycle; global loads enter a DRAM queue that returns data after
 /// `dram_latency_cycles` plus queuing delay at the SM's bandwidth share.
+/// A [`WarpOp::Barrier`] retires only once every other warp has arrived at
+/// a matching barrier (or run out of ops — a divergence the sanitizer
+/// reports, but which must not hang the interpreter).
 pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
     let n = trace.warps.len();
     if n == 0 || trace.is_empty() {
@@ -80,6 +238,8 @@ pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
     // Per-warp state.
     let mut pc = vec![0usize; n];
     let mut ready_at = vec![0f64; n];
+    // Barriers each warp has retired so far.
+    let mut bars = vec![0usize; n];
     // Port availability.
     let mut lsu_free_at = 0f64;
     let mut dram_free_at = 0f64;
@@ -88,6 +248,15 @@ pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
     let mut remaining: usize = trace.len();
     // Round-robin pointer for fairness.
     let mut rr = 0usize;
+
+    // A warp counts as "arrived" at barrier epoch `epoch` when it has either
+    // already retired more barriers, is parked on its matching barrier, or
+    // has exhausted its program (divergent trace; see doc comment).
+    let arrived = |w: usize, epoch: usize, pc: &[usize], bars: &[usize]| -> bool {
+        bars[w] > epoch
+            || pc[w] >= trace.warps[w].ops.len()
+            || (bars[w] == epoch && matches!(trace.warps[w].ops[pc[w]], WarpOp::Barrier))
+    };
 
     while remaining > 0 {
         let mut issued_sched = 0usize;
@@ -114,7 +283,15 @@ pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
                     issued_tensor += 1;
                     ready_at[w] = cycle + d.wmma_cycles;
                 }
-                WarpOp::Shared { conflicts } => {
+                WarpOp::Barrier => {
+                    let epoch = bars[w];
+                    if (0..n).any(|o| o != w && !arrived(o, epoch, &pc, &bars)) {
+                        continue;
+                    }
+                    bars[w] += 1;
+                    ready_at[w] = cycle + 1.0;
+                }
+                WarpOp::Shared { conflicts, .. } => {
                     if lsu_free_at > cycle {
                         continue;
                     }
@@ -141,7 +318,10 @@ pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
         if progressed {
             cycle += 1.0;
         } else {
-            // Nothing issuable: jump to the next wake-up.
+            // Nothing issuable: jump to the next wake-up. Barrier-parked
+            // warps have ready_at in the past, so this degrades to +1-cycle
+            // steps until the lagging warps arrive — correct and finite,
+            // since the least-synchronized warp can always make progress.
             let mut next = f64::INFINITY;
             for w in 0..n {
                 if pc[w] < trace.warps[w].ops.len() {
@@ -158,70 +338,107 @@ pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
 }
 
 /// Build the trace of the optimized CUDA SpMM kernel (Algorithm 3) for one
-/// row window: per row, a warp walks its CSR entries issuing shared index
-/// reads, global X gathers and FMA steps per 32-wide slice.
+/// row window: the block cooperatively stages the window's CSR entries in
+/// shared memory (two words — column index and value — per edge), barriers,
+/// then each warp walks its row issuing shared entry reads, global X
+/// gathers and FMA steps per 32-wide slice.
 pub fn cuda_window_trace(row_nnz: &[usize], dim: usize, d: &DeviceSpec) -> BlockTrace {
     let slices = dim.div_ceil(32);
-    let warps = row_nnz
-        .iter()
-        .map(|&nnz| {
-            let mut ops = Vec::with_capacity(nnz * slices * 3 + 2);
-            for _slice in 0..slices {
-                for _k in 0..nnz {
-                    ops.push(WarpOp::Shared { conflicts: 0 }); // colIdx+val broadcast
-                    ops.push(WarpOp::Global {
-                        bytes: d.transaction_bytes.min(dim as u32 * 4),
-                    }); // X row gather
-                    ops.push(WarpOp::Compute); // FMA step
-                }
+    let nwarps = row_nnz.len().max(1);
+    let total_nnz: usize = row_nnz.iter().sum();
+    // Two words (colIdx, value) per staged edge, stored 32 words per
+    // cooperative write.
+    let stage_stores = (total_nnz * 2).div_ceil(32);
+    let alloc_words = (stage_stores * 32) as u32;
+    let mut t = BlockTrace {
+        warps: vec![WarpTrace::default(); nwarps],
+        shared_alloc_words: alloc_words,
+    };
+    for i in 0..stage_stores {
+        let w = i % nwarps;
+        t.warps[w].ops.push(WarpOp::Global {
+            bytes: d.transaction_bytes,
+        }); // edge list load
+        t.warps[w]
+            .ops
+            .push(WarpOp::shared_write((i * 32) as u32, 32));
+    }
+    t.push_all(WarpOp::Barrier);
+    // Per-row compute phase: warp r owns row r.
+    let mut row_base = 0usize;
+    for (r, &nnz) in row_nnz.iter().enumerate() {
+        let ops = &mut t.warps[r].ops;
+        for _slice in 0..slices {
+            for k in 0..nnz {
+                // colIdx+val broadcast read of staged entry k of this row.
+                ops.push(WarpOp::shared_read((2 * (row_base + k)) as u32, 2));
                 ops.push(WarpOp::Global {
                     bytes: d.transaction_bytes.min(dim as u32 * 4),
-                }); // Z store
+                }); // X row gather
+                ops.push(WarpOp::Compute); // FMA step
             }
-            WarpTrace { ops }
-        })
-        .collect();
-    BlockTrace { warps }
+            ops.push(WarpOp::Global {
+                bytes: d.transaction_bytes.min(dim as u32 * 4),
+            }); // Z store
+        }
+        row_base += nnz;
+    }
+    t
 }
 
 /// Build the trace of the optimized Tensor SpMM kernel (Algorithm 4) for
-/// one condensed window: cooperative fragment loads then WMMA issues.
+/// one condensed window: A-fragment conversion into shared memory, then per
+/// (tile, chunk) fragment a cooperative conflict-free X staging pass
+/// (Fig. 6), a barrier, the owning warp's fragment loads + WMMA issue, and
+/// a closing barrier before the staging buffer is reused.
 pub fn tensor_window_trace(nnz: usize, nnz_cols: usize, dim: usize, d: &DeviceSpec) -> BlockTrace {
     let tiles = nnz_cols.div_ceil(8);
     let chunks = dim.div_ceil(16);
     let nwarps = 8usize;
-    let mut warps: Vec<WarpTrace> = (0..nwarps).map(|_| WarpTrace::default()).collect();
+    // Shared layout: [A-fragment region | X staging buffer]. The X buffer
+    // holds one 8×16-value half-precision-in-f32-words fragment (8 rows of
+    // 16 words) and is reused across fragments, fenced by barriers.
+    let a_stores = nnz.div_ceil(32);
+    let a_words = (a_stores * 32) as u32;
+    let x_words = 8u32 * 16;
+    let mut t = BlockTrace {
+        warps: vec![WarpTrace::default(); nwarps],
+        shared_alloc_words: a_words + x_words,
+    };
     // A-fragment conversion, spread over warps.
-    for i in 0..nnz.div_ceil(32) {
-        warps[i % nwarps].ops.push(WarpOp::Global {
+    for i in 0..a_stores {
+        let w = i % nwarps;
+        t.warps[w].ops.push(WarpOp::Global {
             bytes: d.transaction_bytes,
         });
-        warps[i % nwarps].ops.push(WarpOp::Shared { conflicts: 0 });
+        t.warps[w]
+            .ops
+            .push(WarpOp::shared_write((i * 32) as u32, 32));
     }
-    // X fragments: per (tile, chunk), 8 gathers of a 64-byte strip +
-    // conflict-free staging, spread across all warps (Fig. 6).
+    t.push_all(WarpOp::Barrier);
+    // X fragments: per (tile, chunk), 8 gathers of a 64-byte strip staged
+    // conflict-free (Fig. 6), then the owning warp (chunk c → warp c,
+    // Fig. 5b) loads the fragment and issues the WMMA.
     let mut turn = 0usize;
-    for _t in 0..tiles {
-        for _c in 0..chunks {
-            for _row in 0..8 {
-                warps[turn % nwarps].ops.push(WarpOp::Global { bytes: 64 });
-                warps[turn % nwarps]
+    for t_idx in 0..tiles {
+        for c in 0..chunks {
+            for row in 0..8 {
+                let w = turn % nwarps;
+                t.warps[w].ops.push(WarpOp::Global { bytes: 64 });
+                t.warps[w]
                     .ops
-                    .push(WarpOp::Shared { conflicts: 0 });
+                    .push(WarpOp::shared_write(a_words + row as u32 * 16, 16));
                 turn += 1;
             }
-        }
-    }
-    // WMMA phase: chunk c belongs to warp c (Fig. 5b).
-    for t in 0..tiles {
-        for c in 0..chunks {
+            t.push_all(WarpOp::Barrier);
             let w = c % nwarps;
-            warps[w].ops.push(WarpOp::Shared { conflicts: 0 }); // frag loads
-            warps[w].ops.push(WarpOp::Wmma);
-            let _ = t;
+            t.warps[w].ops.push(WarpOp::shared_read(a_words, x_words)); // frag loads
+            t.warps[w].ops.push(WarpOp::Wmma);
+            t.push_all(WarpOp::Barrier); // fence before buffer reuse
+            let _ = t_idx;
         }
     }
-    BlockTrace { warps }
+    t
 }
 
 #[cfg(test)]
@@ -242,6 +459,7 @@ mod tests {
             warps: vec![WarpTrace {
                 ops: vec![WarpOp::Compute; 100],
             }],
+            shared_alloc_words: 0,
         };
         let c = simulate_block(&t, &d);
         assert!(c >= 100.0 * d.cuda_fma_cycles * 0.9, "{c}");
@@ -254,6 +472,7 @@ mod tests {
                 };
                 4
             ],
+            shared_alloc_words: 0,
         };
         let c4 = simulate_block(&t4, &d);
         assert!(c4 < 2.0 * c, "parallel warps should overlap: {c4} vs {c}");
@@ -266,6 +485,7 @@ mod tests {
             warps: vec![WarpTrace {
                 ops: vec![WarpOp::Global { bytes: 128 }; n],
             }],
+            shared_alloc_words: 0,
         };
         let c1 = simulate_block(&mk(10), &d);
         let c2 = simulate_block(&mk(100), &d);
@@ -277,15 +497,71 @@ mod tests {
         let d = DeviceSpec::rtx3090();
         let clean = BlockTrace {
             warps: vec![WarpTrace {
-                ops: vec![WarpOp::Shared { conflicts: 0 }; 200],
+                ops: vec![WarpOp::shared(0); 200],
             }],
+            shared_alloc_words: 0,
         };
         let conflicted = BlockTrace {
             warps: vec![WarpTrace {
-                ops: vec![WarpOp::Shared { conflicts: 3 }; 200],
+                ops: vec![WarpOp::shared(3); 200],
             }],
+            shared_alloc_words: 0,
         };
         assert!(simulate_block(&conflicted, &d) > 2.0 * simulate_block(&clean, &d));
+    }
+
+    #[test]
+    fn barrier_joins_unbalanced_warps() {
+        let d = DeviceSpec::rtx3090();
+        // Warp 0 computes a long phase; warp 1 barriers immediately. The
+        // barrier must hold warp 1 until warp 0 arrives, so total time is
+        // ~the long phase plus the short one, not their overlap.
+        let mut long_then_short = vec![WarpOp::Compute; 50];
+        long_then_short.push(WarpOp::Barrier);
+        long_then_short.extend([WarpOp::Compute; 5]);
+        let mut short_then_long = vec![WarpOp::Barrier];
+        short_then_long.extend([WarpOp::Compute; 50]);
+        let t = BlockTrace {
+            warps: vec![
+                WarpTrace {
+                    ops: long_then_short,
+                },
+                WarpTrace {
+                    ops: short_then_long,
+                },
+            ],
+            shared_alloc_words: 0,
+        };
+        let with_barrier = simulate_block(&t, &d);
+        let mut no_bar = t.clone();
+        for w in &mut no_bar.warps {
+            w.ops.retain(|op| !matches!(op, WarpOp::Barrier));
+        }
+        let without_barrier = simulate_block(&no_bar, &d);
+        assert!(
+            with_barrier > 1.5 * without_barrier,
+            "barrier must serialize the phases: {with_barrier} vs {without_barrier}"
+        );
+    }
+
+    #[test]
+    fn divergent_barrier_does_not_hang() {
+        let d = DeviceSpec::rtx3090();
+        // Warp 1 never reaches a barrier: the interpreter must treat its
+        // exhausted program as arrival and still terminate.
+        let t = BlockTrace {
+            warps: vec![
+                WarpTrace {
+                    ops: vec![WarpOp::Barrier, WarpOp::Compute],
+                },
+                WarpTrace {
+                    ops: vec![WarpOp::Compute; 3],
+                },
+            ],
+            shared_alloc_words: 0,
+        };
+        let c = simulate_block(&t, &d);
+        assert!(c.is_finite() && c > 0.0);
     }
 
     #[test]

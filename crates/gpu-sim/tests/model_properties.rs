@@ -90,6 +90,33 @@ proptest! {
     }
 
     #[test]
+    fn gather_charges_ceil_per_item_at_least_one(
+        count in 0u64..100_000,
+        item in 0u32..100_000,
+        tx in 1u32..4_096,
+    ) {
+        // Per-item cost is exactly ceil(item_bytes / transaction_bytes),
+        // floored at one transaction — including item_bytes = 0, where the
+        // address still has to be dereferenced.
+        let per_item = (item as u64).div_ceil(tx as u64).max(1);
+        prop_assert!(per_item >= 1);
+        prop_assert_eq!(gather_transactions(count, item, tx), count * per_item);
+    }
+
+    #[test]
+    fn gather_is_monotone_in_every_argument(
+        count in 0u64..10_000,
+        item in 0u32..10_000,
+        tx in 1u32..2_048,
+    ) {
+        let base = gather_transactions(count, item, tx);
+        prop_assert!(gather_transactions(count + 1, item, tx) >= base);
+        prop_assert!(gather_transactions(count, item + 1, tx) >= base);
+        // A wider transaction never costs more.
+        prop_assert!(gather_transactions(count, item, tx * 2) <= base);
+    }
+
+    #[test]
     fn bank_conflicts_bounded_by_warp_size(offsets in proptest::collection::vec(0u32..4096, 1..32)) {
         let conflicts = shared_store_conflicts(&offsets, 32);
         prop_assert!(conflicts < offsets.len() as u64);

@@ -9,9 +9,10 @@ use gnn::aggregator::{HcAggregator, KernelAggregator};
 use gnn::gin::gin_propagation;
 use gnn::train::{mean_timing, synthetic_labels, Trainer};
 use gnn::{Gcn, Gin};
+use gpu_sim::sanitizer::SanitizerConfig;
 use gpu_sim::{DeviceKind, DeviceSpec};
-use graph_sparse::{io, Csr, DatasetId, DenseMatrix};
-use hc_core::{HcSpmm, Loa, SpmmKernel};
+use graph_sparse::{gen, io, Csr, DatasetId, DenseMatrix};
+use hc_core::{sanitize_family, HcSpmm, KernelFamily, Loa, SampleSpec, SpmmKernel};
 
 /// Entry point; returns the process exit code.
 pub fn run(args: Vec<String>) -> i32 {
@@ -25,6 +26,7 @@ pub fn run(args: Vec<String>) -> i32 {
         "loa" => cmd_loa(&flags),
         "train" => cmd_train(&flags),
         "selector" => cmd_selector(),
+        "sanitize" => cmd_sanitize(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             0
@@ -53,6 +55,13 @@ USAGE:
   hc-spmm train    [--dataset CODE] [--scale N] [--model gcn|gin]
                    [--epochs N] [--hidden N]     train a GNN, report epochs
   hc-spmm selector retrain the core-selection model on every GPU preset
+  hc-spmm sanitize [--dataset CODE | --edge-list FILE] [--scale N] [--dim N]
+                   [--gpu 3090|4090|a100] [--windows N]
+                   [--kernel straightforward|cuda|tensor|hybrid]
+                   race / bounds / barrier / cost-conformance checks over
+                   kernel window traces; with no graph flags, runs the
+                   built-in suite (3 generated graphs + fixtures).
+                   Exits non-zero when any check finds something.
 "
     .into()
 }
@@ -296,6 +305,102 @@ fn cmd_train(flags: &HashMap<String, String>) -> i32 {
     0
 }
 
+fn cmd_sanitize(flags: &HashMap<String, String>) -> i32 {
+    let dev = device_for(flags);
+    let sample = SampleSpec {
+        max_windows: flag_usize(flags, "windows", SampleSpec::default().max_windows),
+    };
+    let cfg = SanitizerConfig::default();
+    let families: Vec<KernelFamily> = match flags.get("kernel") {
+        None => KernelFamily::ALL.to_vec(),
+        Some(name) => match KernelFamily::parse(name) {
+            Some(f) => vec![f],
+            None => {
+                eprintln!("unknown kernel family {name:?} (straightforward|cuda|tensor|hybrid)");
+                return 2;
+            }
+        },
+    };
+
+    // Either the explicitly requested graph, or the built-in acceptance
+    // suite: three structurally different generated graphs plus fixtures.
+    let mut graphs: Vec<(String, Csr, usize)> = Vec::new();
+    if flags.contains_key("edge-list") || flags.contains_key("dataset") {
+        match load_graph(flags) {
+            Ok((g, dim, label)) => graphs.push((label, g, dim)),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    } else {
+        let dim = flag_usize(flags, "dim", 32);
+        graphs.push((
+            "community(1024, 8000)".into(),
+            gen::community(1024, 8_000, 32, 0.9, 1),
+            dim,
+        ));
+        graphs.push((
+            "molecules(2048, 5000)".into(),
+            gen::molecules(2_048, 5_000, 2),
+            dim,
+        ));
+        graphs.push((
+            "erdos_renyi(2048, 12000)".into(),
+            gen::erdos_renyi(2_048, 12_000, 3),
+            dim,
+        ));
+        match io::read_edge_list_file("fixtures/karate.txt") {
+            Ok(g) => graphs.push(("fixtures/karate.txt".into(), g, dim)),
+            Err(e) => eprintln!("skipping fixtures/karate.txt: {e}"),
+        }
+    }
+
+    println!(
+        "kernel sanitizer on {:?}: racecheck · memcheck · synccheck · cost-conformance",
+        dev.kind
+    );
+    let mut total_findings = 0usize;
+    for (label, graph, dim) in &graphs {
+        println!(
+            "{label}: {} vertices, {} non-zeros, dim {dim}",
+            graph.nrows,
+            graph.nnz()
+        );
+        for &family in &families {
+            let r = sanitize_family(family, graph, *dim, &dev, &cfg, sample);
+            let verdict = if r.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} finding(s)", r.findings.len() + r.suppressed)
+            };
+            println!(
+                "  {:<16} windows {:>4}  ops {:>9}  {verdict}",
+                family.name(),
+                r.windows_checked,
+                r.ops_checked
+            );
+            for (w, f) in &r.findings {
+                println!("    window {w}: {f}");
+            }
+            if r.suppressed > 0 {
+                println!(
+                    "    … {} more finding(s) suppressed by the cap",
+                    r.suppressed
+                );
+            }
+            total_findings += r.findings.len() + r.suppressed;
+        }
+    }
+    if total_findings > 0 {
+        eprintln!("sanitize: {total_findings} finding(s)");
+        1
+    } else {
+        println!("sanitize: all checks clean");
+        0
+    }
+}
+
 fn cmd_selector() -> i32 {
     print!("{}", bench_free_selector_report());
     0
@@ -392,6 +497,22 @@ mod tests {
             0
         );
         assert_eq!(run(vec!["datasets".into()]), 0);
+        assert_eq!(
+            run(vec![
+                "sanitize".into(),
+                "--dataset".into(),
+                "cr".into(),
+                "--scale".into(),
+                "1024".into(),
+                "--windows".into(),
+                "8".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            run(vec!["sanitize".into(), "--kernel".into(), "bogus".into()]),
+            2
+        );
         assert_eq!(
             run(vec![
                 "metrics".into(),

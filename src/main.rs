@@ -7,9 +7,10 @@ fn main() {
     // other line-oriented tools instead of dumping a backtrace.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let broken_pipe = info.payload().downcast_ref::<String>().is_some_and(|s| {
-            s.contains("failed printing to") && s.contains("Broken pipe")
-        });
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("failed printing to") && s.contains("Broken pipe"));
         if broken_pipe {
             std::process::exit(0);
         }

@@ -1,0 +1,57 @@
+//! Offline stand-in for `crossbeam`, providing `crossbeam::thread::scope` on
+//! top of `std::thread::scope` (stable since Rust 1.63). Only the scoped
+//! spawning API the workspace uses is reproduced.
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle through which scoped threads are spawned. Mirrors crossbeam's
+    /// `Scope`, whose `spawn` passes the scope back into the closure so
+    /// workers can spawn nested workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope. The closure receives the scope
+        /// (crossbeam's signature); most callers ignore it (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; all are joined before `scope` returns. Unlike crossbeam,
+    /// a panicking child propagates its panic at join rather than being
+    /// captured into the `Result` — callers that `.expect()` the result see
+    /// the same process-level failure either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_disjoint_chunks() {
+        let mut data = vec![0u32; 64];
+        super::thread::scope(|scope| {
+            for (t, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, cell) in chunk.iter_mut().enumerate() {
+                        *cell = (t * 16 + i) as u32;
+                    }
+                });
+            }
+        })
+        .expect("workers joined");
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never instantiates a serializer (no serde_json or bincode is present), so
+//! the traits here are pure markers and the derive macros emit empty impls.
+//! If a future change needs real serialization, replace this shim with the
+//! actual crate once the build environment has registry access.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! No-op derive macros for the vendored `serde` shim: each derive emits an
+//! empty marker-trait impl for the annotated type. Only plain (non-generic)
+//! structs and enums are supported, which covers every derived type in this
+//! workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Locate the type name: the identifier following `struct` or `enum`,
+/// skipping visibility modifiers, attributes and doc comments.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+                panic!("serde_derive shim: expected a type name after `{kw}`");
+            }
+        }
+    }
+    panic!("serde_derive shim: input is not a struct or enum");
+}
+
+/// Emit `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Emit `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
