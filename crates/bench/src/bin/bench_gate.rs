@@ -1,0 +1,98 @@
+//! CI perf-regression gate: compares a fresh `BENCH.json` against the
+//! committed baseline and exits non-zero when any experiment slowed down by
+//! more than the threshold (or disappeared from the run).
+//!
+//! ```text
+//! bench_gate --baseline BENCH_baseline.json --current BENCH.json \
+//!            [--threshold 0.25] [--min-ms 10]
+//! ```
+//!
+//! Each experiment is compared on process CPU time when both reports
+//! measured it (CPU time does not advance while the process is preempted,
+//! so it is stable on oversubscribed runners where wall clock swings 2x
+//! between identical runs), falling back to wall clock otherwise.
+//!
+//! `--threshold` is the allowed fractional slowdown (0.25 = +25 %);
+//! `--min-ms` is the noise floor — experiments where both sides run under
+//! it are skipped, and a regression must also exceed it as an absolute
+//! delta (absorbs the 10 ms CPU-tick quantization). In CI, applying the
+//! `perf-override` label to a PR skips this gate for intentional
+//! slowdowns (see the workflow).
+
+use bench::metrics::{gate, BenchReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline <path> --current <path> \
+         [--threshold 0.25] [--min-ms 10]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("ERROR: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    BenchReport::from_json(&text).unwrap_or_else(|err| {
+        eprintln!("ERROR: cannot parse {path}: {err}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.25f64;
+    let mut min_ms = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value()),
+            "--current" => current = Some(value()),
+            "--threshold" => threshold = value().parse().unwrap_or_else(|_| usage()),
+            "--min-ms" => min_ms = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage();
+    };
+
+    let base = load(&baseline);
+    let cur = load(&current);
+    if base.scale != cur.scale {
+        eprintln!(
+            "WARNING: scale mismatch (baseline 1/{}, current 1/{}) — \
+             timings are not comparable across scales",
+            base.scale, cur.scale
+        );
+    }
+
+    let out = gate(&base, &cur, threshold, min_ms);
+    println!(
+        "perf gate: {} experiments compared (threshold +{:.0}%, noise floor {min_ms} ms)",
+        out.compared,
+        threshold * 100.0
+    );
+    for m in &out.missing {
+        println!("  MISSING    {m}: in baseline but absent from current run");
+    }
+    for r in &out.regressions {
+        println!(
+            "  REGRESSED  {}: {:.1} ms -> {:.1} ms ({:.2}x, {} time)",
+            r.name, r.base_ms, r.cur_ms, r.ratio, r.metric
+        );
+    }
+    if out.failed() {
+        println!(
+            "FAIL: perf gate found {} regression(s), {} missing experiment(s)",
+            out.regressions.len(),
+            out.missing.len()
+        );
+        println!("(intentional? apply the `perf-override` PR label to skip this gate)");
+        std::process::exit(1);
+    }
+    println!("PASS: no experiment regressed past the threshold");
+}

@@ -249,21 +249,27 @@ impl SpmmKernel for CudaSpmm {
             .map(|w| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev))
             .collect();
         let run = dev.execute(&blocks);
-        // Numerics: exact at FP32; operand-quantized otherwise.
+        // Numerics: exact at FP32; operand-quantized otherwise. Either way
+        // output rows are computed on the hc-parallel pool, one worker per
+        // row, in the serial entry order — bit-identical at any thread
+        // count.
         let z = if self.precision == Precision::Fp32 {
             a.spmm_reference(x)
         } else {
             let mut z = DenseMatrix::zeros(a.nrows, x.cols);
-            for r in 0..a.nrows {
-                let (s, e) = a.row_range(r);
-                for i in s..e {
-                    let v = self.precision.quantize(a.vals[i]);
-                    let xrow = x.row(a.col_idx[i] as usize);
-                    let zrow = z.row_mut(r);
-                    for (o, &xv) in zrow.iter_mut().zip(xrow) {
-                        *o += v * self.precision.quantize(xv);
+            if a.nrows > 0 && x.cols > 0 {
+                let p = self.precision;
+                let work = 2 * a.nnz() as u64 * x.cols as u64;
+                hc_parallel::par_chunks_mut(&mut z.data, x.cols, work, |r, zrow| {
+                    let (s, e) = a.row_range(r);
+                    for i in s..e {
+                        let v = p.quantize(a.vals[i]);
+                        let xrow = x.row(a.col_idx[i] as usize);
+                        for (o, &xv) in zrow.iter_mut().zip(xrow) {
+                            *o += v * p.quantize(xv);
+                        }
                     }
-                }
+                });
             }
             z
         };

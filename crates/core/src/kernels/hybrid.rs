@@ -112,14 +112,16 @@ impl HcSpmm {
     }
 
     /// Per-window block costs under the current assignment (used by the
-    /// fusion kernel too).
+    /// fusion kernel too). Evaluated per window on the pool; empty windows
+    /// launch no block and the survivors keep window order.
     pub fn block_costs(&self, pre: &Preprocessed, dim: usize, dev: &DeviceSpec) -> Vec<BlockCost> {
-        let mut blocks = Vec::with_capacity(pre.partition.len());
-        for (w, choice) in pre.partition.windows.iter().zip(&pre.choices) {
+        let n = pre.partition.len();
+        hc_parallel::par_map_indexed(n, n as u64 * 64, |wi| {
+            let w = &pre.partition.windows[wi];
             if w.is_empty() {
-                continue;
+                return None;
             }
-            let b = match choice {
+            Some(match pre.choices[wi] {
                 CoreChoice::Cuda => {
                     self.cuda
                         .window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev)
@@ -128,10 +130,11 @@ impl HcSpmm {
                     self.tensor
                         .window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev)
                 }
-            };
-            blocks.push(b);
-        }
-        blocks
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Cost of one window on its assigned core type.
@@ -176,18 +179,30 @@ impl HcSpmm {
 
     /// Numerical result under the current assignment: CUDA windows compute
     /// exact f32; Tensor windows compute at the configured precision.
+    /// Windows tile the rows contiguously, so chunking `z.data` by
+    /// `window_rows · cols` gives each pool worker exclusive ownership of
+    /// its window's output rows — results are bit-identical to the serial
+    /// window loop at any thread count.
     pub fn numeric(&self, pre: &Preprocessed, a: &Csr, x: &DenseMatrix) -> DenseMatrix {
         let mut z = DenseMatrix::zeros(a.nrows, x.cols);
-        for (w, choice) in pre.partition.windows.iter().zip(&pre.choices) {
+        if a.nrows == 0 || x.cols == 0 {
+            return z;
+        }
+        let cols = x.cols;
+        let chunk = pre.partition.window_rows * cols;
+        let work = 2 * a.nnz() as u64 * cols as u64;
+        hc_parallel::par_chunks_mut(&mut z.data, chunk, work, |wi, zc| {
+            let w = &pre.partition.windows[wi];
             if w.is_empty() {
-                continue;
+                return;
             }
-            match choice {
+            match pre.choices[wi] {
                 CoreChoice::Cuda => {
                     let p = self.cuda.precision;
                     for r in w.start_row..w.start_row + w.rows {
                         let (s, e) = a.row_range(r);
-                        let zrow = z.row_mut(r);
+                        let local = r - w.start_row;
+                        let zrow = &mut zc[local * cols..(local + 1) * cols];
                         for i in s..e {
                             let v = p.quantize(a.vals[i]);
                             let xrow = x.row(a.col_idx[i] as usize);
@@ -197,9 +212,9 @@ impl HcSpmm {
                         }
                     }
                 }
-                CoreChoice::Tensor => self.tensor.window_numeric(a, w, x, &mut z),
+                CoreChoice::Tensor => self.tensor.window_numeric_into(a, w, x, zc),
             }
-        }
+        });
         z
     }
 

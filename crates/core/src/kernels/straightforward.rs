@@ -241,60 +241,76 @@ impl SpmmKernel for StraightforwardHybrid {
         let tile_k = Precision::Tf32.tile_k();
         let dim = x.cols;
 
-        let blocks: Vec<BlockCost> = part
-            .windows
-            .iter()
-            .filter(|w| !w.is_empty())
-            .map(|w| self.window_cost(w, dim, dev))
-            .collect();
+        // Window costs (tile_split + both path models) are per-window
+        // independent — evaluated on the pool, window order preserved.
+        let cost_work = 2 * a.nnz() as u64 + part.len() as u64 * 64;
+        let blocks: Vec<BlockCost> = hc_parallel::par_map(&part.windows, cost_work, |w| {
+            (!w.is_empty()).then(|| self.window_cost(w, dim, dev))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let run = dev.execute(&blocks);
 
         // Numerics: tiles with density ≥ threshold are quantized (TF32),
         // the rest exact — per entry, by its column's rank in the window.
+        // All ranking state is window-local, and windows tile the rows
+        // contiguously, so each pool worker owns its window's chunk of
+        // z.data exclusively (chunk index == window index).
         let mut z = DenseMatrix::zeros(a.nrows, x.cols);
-        for w in part.windows.iter().filter(|w| !w.is_empty()) {
-            let mut col_counts = vec![0u32; w.nnz_cols()];
-            for &ci in &w.cond_idx {
-                col_counts[ci as usize] += 1;
-            }
-            // Rank columns by density to find each column's tile.
-            let mut order: Vec<usize> = (0..col_counts.len()).collect();
-            order.sort_unstable_by(|&i, &j| col_counts[j].cmp(&col_counts[i]));
-            let mut rank_of = vec![0usize; col_counts.len()];
-            for (rank, &col) in order.iter().enumerate() {
-                rank_of[col] = rank;
-            }
-            let tile_of = |cond: usize| rank_of[cond] / tile_k;
-            // Tile densities in rank order.
-            let mut tile_fill = vec![0u32; col_counts.len().div_ceil(tile_k)];
-            for (rank, &col) in order.iter().enumerate() {
-                tile_fill[rank / tile_k] += col_counts[col];
-            }
-            let (lo, _) = (a.row_ptr[w.start_row] as usize, 0);
-            for (r, _) in (w.start_row..w.start_row + w.rows).zip(0..) {
-                let (s, e) = a.row_range(r);
-                for i in s..e {
-                    let cond = w.cond_idx[i - lo] as usize;
-                    let t = tile_of(cond);
-                    let dense = tile_fill[t] as f64 / (w.rows * tile_k) as f64
-                        >= self.tile_density_threshold;
-                    let (av, quant) = if dense {
-                        (Precision::Tf32.quantize(a.vals[i]), true)
-                    } else {
-                        (a.vals[i], false)
-                    };
-                    let xrow = x.row(a.col_idx[i] as usize);
-                    let zrow = z.row_mut(r);
-                    for (o, &xv) in zrow.iter_mut().zip(xrow) {
-                        let xq = if quant {
-                            Precision::Tf32.quantize(xv)
+        if a.nrows > 0 && x.cols > 0 {
+            let cols = x.cols;
+            let work = 2 * a.nnz() as u64 * cols as u64;
+            let chunk = part.window_rows * cols;
+            hc_parallel::par_chunks_mut(&mut z.data, chunk, work, |wi, zc| {
+                let w = &part.windows[wi];
+                if w.is_empty() {
+                    return;
+                }
+                let mut col_counts = vec![0u32; w.nnz_cols()];
+                for &ci in &w.cond_idx {
+                    col_counts[ci as usize] += 1;
+                }
+                // Rank columns by density to find each column's tile.
+                let mut order: Vec<usize> = (0..col_counts.len()).collect();
+                order.sort_unstable_by(|&i, &j| col_counts[j].cmp(&col_counts[i]));
+                let mut rank_of = vec![0usize; col_counts.len()];
+                for (rank, &col) in order.iter().enumerate() {
+                    rank_of[col] = rank;
+                }
+                let tile_of = |cond: usize| rank_of[cond] / tile_k;
+                // Tile densities in rank order.
+                let mut tile_fill = vec![0u32; col_counts.len().div_ceil(tile_k)];
+                for (rank, &col) in order.iter().enumerate() {
+                    tile_fill[rank / tile_k] += col_counts[col];
+                }
+                let lo = a.row_ptr[w.start_row] as usize;
+                for r in w.start_row..w.start_row + w.rows {
+                    let (s, e) = a.row_range(r);
+                    let local = r - w.start_row;
+                    let zrow = &mut zc[local * cols..(local + 1) * cols];
+                    for i in s..e {
+                        let cond = w.cond_idx[i - lo] as usize;
+                        let t = tile_of(cond);
+                        let dense = tile_fill[t] as f64 / (w.rows * tile_k) as f64
+                            >= self.tile_density_threshold;
+                        let (av, quant) = if dense {
+                            (Precision::Tf32.quantize(a.vals[i]), true)
                         } else {
-                            xv
+                            (a.vals[i], false)
                         };
-                        *o += av * xq;
+                        let xrow = x.row(a.col_idx[i] as usize);
+                        for (o, &xv) in zrow.iter_mut().zip(xrow) {
+                            let xq = if quant {
+                                Precision::Tf32.quantize(xv)
+                            } else {
+                                xv
+                            };
+                            *o += av * xq;
+                        }
                     }
                 }
-            }
+            });
         }
         SpmmResult { z, run }
     }

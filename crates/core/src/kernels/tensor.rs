@@ -272,13 +272,32 @@ impl TensorSpmm {
     /// accumulating into `z` (rows `w.start_row..`). Inputs are quantized,
     /// products accumulate in f32 — the WMMA contract.
     pub fn window_numeric(&self, a: &Csr, w: &RowWindow, x: &DenseMatrix, z: &mut DenseMatrix) {
+        let cols = z.cols;
+        let lo = w.start_row * cols;
+        let hi = (w.start_row + w.rows) * cols;
+        self.window_numeric_into(a, w, x, &mut z.data[lo..hi]);
+    }
+
+    /// [`window_numeric`](TensorSpmm::window_numeric) against a borrowed
+    /// window-sized slice of Z (row-major, `x.cols` columns, row
+    /// `w.start_row` at offset 0). This is the form the parallel drivers
+    /// use: each worker owns exactly its window's chunk of `z.data`.
+    pub fn window_numeric_into(
+        &self,
+        a: &Csr,
+        w: &RowWindow,
+        x: &DenseMatrix,
+        z_window: &mut [f32],
+    ) {
         let p = self.precision;
+        let cols = x.cols;
         for r in w.start_row..w.start_row + w.rows {
             let (s, e) = a.row_range(r);
+            let local = r - w.start_row;
+            let zrow = &mut z_window[local * cols..(local + 1) * cols];
             for i in s..e {
                 let v = p.quantize(a.vals[i]);
                 let xrow = x.row(a.col_idx[i] as usize);
-                let zrow = z.row_mut(r);
                 for (o, &xv) in zrow.iter_mut().zip(xrow) {
                     *o += v * p.quantize(xv);
                 }
@@ -294,16 +313,31 @@ impl SpmmKernel for TensorSpmm {
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         let part = RowWindowPartition::build(a);
-        let mut z = DenseMatrix::zeros(a.nrows, x.cols);
-        let mut blocks = Vec::with_capacity(part.len());
-        for w in &part.windows {
-            if w.is_empty() {
-                continue;
-            }
-            blocks.push(self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev));
-            self.window_numeric(a, w, x, &mut z);
-        }
+        // Window costs are independent of each other; empty windows launch
+        // no block (order among the survivors is preserved).
+        let blocks: Vec<BlockCost> =
+            hc_parallel::par_map(&part.windows, part.len() as u64 * 64, |w| {
+                (!w.is_empty())
+                    .then(|| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         let run = dev.execute(&blocks);
+        // Numerics: windows tile the rows contiguously, so chunking z.data
+        // by window_rows·cols makes chunk index == window index and each
+        // worker owns its window's output exclusively.
+        let mut z = DenseMatrix::zeros(a.nrows, x.cols);
+        if a.nrows > 0 && x.cols > 0 {
+            let work = 2 * a.nnz() as u64 * x.cols as u64;
+            let chunk = part.window_rows * x.cols;
+            hc_parallel::par_chunks_mut(&mut z.data, chunk, work, |wi, zc| {
+                let w = &part.windows[wi];
+                if !w.is_empty() {
+                    self.window_numeric_into(a, w, x, zc);
+                }
+            });
+        }
         SpmmResult { z, run }
     }
 }

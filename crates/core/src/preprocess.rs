@@ -47,12 +47,15 @@ impl Preprocessed {
 /// Appendix F notes).
 pub fn preprocess(a: &Csr, selector: &Selector, dev: &DeviceSpec) -> Preprocessed {
     let partition = RowWindowPartition::build(a);
-    let mut blocks = Vec::with_capacity(partition.len());
-    let mut choices = Vec::with_capacity(partition.len());
-    for w in &partition.windows {
-        choices.push(selector.choose(&WindowFeatures::of(w)));
+    // Per-window classification + cost-model evaluation are independent, so
+    // they run on the hc-parallel pool. `choices` stays parallel to
+    // `windows` (empty windows get a choice but launch no block; survivors
+    // keep window order).
+    let work = a.nnz() as u64 + partition.len() as u64 * 16;
+    let per_window = hc_parallel::par_map(&partition.windows, work, |w| {
+        let choice = selector.choose(&WindowFeatures::of(w));
         if w.is_empty() {
-            continue;
+            return (choice, None);
         }
         let nnz = w.nnz as u64;
         let mut b = BlockCost {
@@ -75,7 +78,15 @@ pub fn preprocess(a: &Csr, selector: &Selector, dev: &DeviceSpec) -> Preprocesse
             coalesced_transactions(nnz * 8 + w.nnz_cols() as u64 * 4, dev.transaction_bytes);
         b.dram.bytes_stored += nnz * 8 + w.nnz_cols() as u64 * 4;
         b.cuda_fma_issues += 2;
-        blocks.push(b);
+        (choice, Some(b))
+    });
+    let mut blocks = Vec::with_capacity(partition.len());
+    let mut choices = Vec::with_capacity(partition.len());
+    for (choice, b) in per_window {
+        choices.push(choice);
+        if let Some(b) = b {
+            blocks.push(b);
+        }
     }
     let run = dev.execute(&blocks);
     Preprocessed {
@@ -95,23 +106,19 @@ pub fn preprocess_oracle(a: &Csr, dim: usize, dev: &DeviceSpec) -> Preprocessed 
     let base = preprocess(a, &Selector::DEFAULT, dev);
     let cuda = CudaSpmm::optimized();
     let tensor = TensorSpmm::optimized();
-    let choices = base
-        .partition
-        .windows
-        .iter()
-        .map(|w| {
-            if w.is_empty() {
-                return CoreChoice::Cuda;
-            }
-            let bc = cuda.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev);
-            let bt = tensor.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev);
-            if bc.cycles(dev) <= bt.cycles(dev) {
-                CoreChoice::Cuda
-            } else {
-                CoreChoice::Tensor
-            }
-        })
-        .collect();
+    let n = base.partition.len();
+    let choices = hc_parallel::par_map(&base.partition.windows, n as u64 * 128, |w| {
+        if w.is_empty() {
+            return CoreChoice::Cuda;
+        }
+        let bc = cuda.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev);
+        let bt = tensor.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev);
+        if bc.cycles(dev) <= bt.cycles(dev) {
+            CoreChoice::Cuda
+        } else {
+            CoreChoice::Tensor
+        }
+    });
     Preprocessed { choices, ..base }
 }
 

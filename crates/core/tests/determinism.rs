@@ -1,0 +1,55 @@
+//! Parallel determinism: every kernel family must produce bit-identical
+//! output at any worker-thread count.
+//!
+//! The engine parallelizes over *indexed slots* (rows or row-windows):
+//! each slot is computed by exactly one worker with the same per-slot
+//! arithmetic order as the serial code, and reductions fold in index
+//! order on the calling thread. Threads race only for WHICH slot they
+//! compute next, never over shared accumulators — so the result is the
+//! same bit pattern at 1, 2, or 8 threads, and this test pins that down
+//! for all four kernel families on structurally different graphs.
+//!
+//! Single `#[test]` on purpose: the thread override is process-global, so
+//! concurrent tests in one binary would trample each other's setting.
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, DenseMatrix};
+use hc_core::{CudaSpmm, HcSpmm, SpmmKernel, StraightforwardHybrid, TensorSpmm};
+
+#[test]
+fn kernel_outputs_bit_identical_across_thread_counts() {
+    let dev = DeviceSpec::rtx3090();
+    let graphs = [
+        ("community", gen::community(1024, 8_000, 32, 0.9, 1)),
+        ("molecules", gen::molecules(2_048, 5_000, 2)),
+        ("erdos_renyi", gen::erdos_renyi(2_048, 12_000, 3)),
+    ];
+    let kernels: Vec<(&str, Box<dyn SpmmKernel>)> = vec![
+        (
+            "straightforward",
+            Box::new(StraightforwardHybrid::default()),
+        ),
+        ("cuda", Box::new(CudaSpmm::optimized())),
+        ("tensor", Box::new(TensorSpmm::optimized())),
+        ("hybrid", Box::new(HcSpmm::default())),
+    ];
+
+    let saved = hc_parallel::thread_override();
+    for (graph_name, a) in &graphs {
+        let x = DenseMatrix::random_features(a.nrows, 32, 7);
+        for (family, kernel) in &kernels {
+            hc_parallel::set_threads(1);
+            let serial = kernel.spmm(a, &x, &dev).z;
+            for threads in [2, 8] {
+                hc_parallel::set_threads(threads);
+                let parallel = kernel.spmm(a, &x, &dev).z;
+                assert_eq!(
+                    serial, parallel,
+                    "{family} on {graph_name}: output at {threads} threads \
+                     differs from single-thread output"
+                );
+            }
+        }
+    }
+    hc_parallel::set_threads(saved);
+}

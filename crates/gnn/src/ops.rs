@@ -61,26 +61,40 @@ pub fn relu_backward(
 
 /// Softmax cross-entropy over rows: returns `(mean loss, dLogits)` plus the
 /// kernel run. `labels[i]` is row `i`'s class.
+///
+/// Rows are independent, so each is computed on the `hc-parallel` pool;
+/// the per-row loss partials are then folded in row order on the calling
+/// thread, keeping the total bit-identical to the serial loop.
 pub fn softmax_cross_entropy(
     logits: &DenseMatrix,
     labels: &[usize],
     dev: &DeviceSpec,
 ) -> (f64, DenseMatrix, KernelRun) {
     assert_eq!(logits.rows, labels.len());
-    let mut grad = DenseMatrix::zeros(logits.rows, logits.cols);
-    let mut loss = 0.0f64;
-    for (r, &y) in labels.iter().enumerate() {
+    let work = 8 * logits.data.len() as u64;
+    let rows: Vec<(f64, Vec<f32>)> = hc_parallel::par_map_indexed(logits.rows, work, |r| {
+        let y = labels[r];
         let row = logits.row(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
         let sum: f64 = exps.iter().sum();
         debug_assert!(y < logits.cols);
-        loss -= (exps[y] / sum).max(1e-30).ln();
-        let g = grad.row_mut(r);
-        for (c, gv) in g.iter_mut().enumerate() {
-            let p = exps[c] / sum;
-            *gv = (p - if c == y { 1.0 } else { 0.0 }) as f32 / logits.rows as f32;
-        }
+        let loss = -(exps[y] / sum).max(1e-30).ln();
+        let g: Vec<f32> = exps
+            .iter()
+            .enumerate()
+            .map(|(c, &e)| {
+                let p = e / sum;
+                (p - if c == y { 1.0 } else { 0.0 }) as f32 / logits.rows as f32
+            })
+            .collect();
+        (loss, g)
+    });
+    let mut grad = DenseMatrix::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f64;
+    for (r, (l, g)) in rows.into_iter().enumerate() {
+        loss += l;
+        grad.row_mut(r).copy_from_slice(&g);
     }
     let n = logits.data.len() as u64;
     let run = elementwise_run(2 * n, n, dev);

@@ -1,0 +1,289 @@
+//! # hc-parallel — deterministic scoped worker pool
+//!
+//! Host-side multi-threading for the HC-SpMM reproduction. Every parallel
+//! region in the workspace goes through this crate so that one knob (the
+//! `--threads` CLI flag, the `HC_THREADS` environment variable, or
+//! [`set_threads`]) controls them all.
+//!
+//! ## Determinism guarantee
+//!
+//! All entry points decompose work into *indexed slots* — output slot `i`
+//! is computed by exactly one worker, from inputs that do not depend on
+//! scheduling, with the same per-slot arithmetic order as the serial loop.
+//! Worker threads only race for *which* slot they compute next, never for
+//! the slot's contents, so results are bit-identical to the serial
+//! execution at any thread count. Reductions (sums, argmins, …) are the
+//! caller's job: collect per-slot partials with [`par_map_indexed`] and
+//! fold them in index order on the calling thread.
+//!
+//! ## Pool shape
+//!
+//! The pool is *scoped*: each parallel region spawns up to [`threads`]
+//! workers via `crossbeam::thread::scope` (std scoped threads underneath),
+//! which lets closures borrow the caller's data without `'static` bounds.
+//! Work items are handed out in deterministic index batches from a
+//! `parking_lot::Mutex`-guarded queue, so a skewed item (a dense row
+//! window among sparse ones) does not serialize the region the way static
+//! chunking would. A panic in any worker is re-raised on the calling
+//! thread once the region drains.
+//!
+//! Regions whose `work` hint is below [`MIN_PARALLEL_WORK`] run inline on
+//! the calling thread: thread spawn costs (~tens of µs) would dominate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Process-wide thread-count override set by [`set_threads`] (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Scalar-operation threshold below which parallel regions run inline.
+///
+/// Calibrated against thread-spawn cost: at ~1 ns/op, 32 Ki ops is well
+/// under the cost of standing up even two workers.
+pub const MIN_PARALLEL_WORK: u64 = 1 << 15;
+
+/// Set the process-wide worker count. `0` clears the override, restoring
+/// the `HC_THREADS` / available-parallelism default. Wired to the CLI's
+/// `--threads` flag.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The current [`set_threads`] override (`0` when unset). Lets callers
+/// save/restore the configuration around a measurement at a forced count.
+pub fn thread_override() -> usize {
+    THREAD_OVERRIDE.load(Ordering::Relaxed)
+}
+
+/// Effective worker count for parallel regions, in priority order:
+/// [`set_threads`] override, then the `HC_THREADS` environment variable,
+/// then `std::thread::available_parallelism()`.
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = std::env::var("HC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether a region of `work` scalar operations is worth parallelizing
+/// under the current configuration.
+pub fn should_parallelize(work: u64) -> bool {
+    work >= MIN_PARALLEL_WORK && threads() > 1
+}
+
+/// Run `f(i, item)` for every `(i, item)`, distributing items over the
+/// pool. Items are claimed in deterministic index batches; `f` must not
+/// rely on cross-item execution order (it cannot observe one anyway
+/// without interior mutability).
+fn run_indexed<I, F>(items: Vec<(usize, I)>, work: u64, f: &F)
+where
+    I: Send,
+    F: Fn(usize, I) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let nthreads = threads().min(n);
+    if nthreads <= 1 || work < MIN_PARALLEL_WORK {
+        for (i, item) in items {
+            f(i, item);
+        }
+        return;
+    }
+    // Batch grain: enough batches per worker that a skewed batch can be
+    // absorbed by the others, few enough that queue locking stays cold.
+    let grain = n.div_ceil(nthreads * 8).max(1);
+    let queue = Mutex::new(items.into_iter());
+    let result = crossbeam::thread::scope(|scope| {
+        for _ in 0..nthreads {
+            scope.spawn(|_| loop {
+                let batch: Vec<(usize, I)> = {
+                    let mut q = queue.lock();
+                    q.by_ref().take(grain).collect()
+                };
+                if batch.is_empty() {
+                    return;
+                }
+                for (i, item) in batch {
+                    f(i, item);
+                }
+            });
+        }
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Split `data` into `chunk_size`-sized chunks (the last may be shorter)
+/// and run `f(chunk_index, chunk)` over the pool. Each chunk is visited
+/// exactly once; chunk `i` always holds elements
+/// `data[i*chunk_size .. (i+1)*chunk_size]`, so output placement is
+/// independent of scheduling. `work` is the region's total scalar-op hint
+/// (see [`MIN_PARALLEL_WORK`]).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, work: u64, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_size).enumerate().collect();
+    run_indexed(chunks, work, &f);
+}
+
+/// Deterministic parallel map over an index range: returns
+/// `(0..n).map(f).collect()`, computed on the pool. Slot `i` of the output
+/// is `f(i)` regardless of thread count.
+pub fn par_map_indexed<R, F>(n: usize, work: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    par_chunks_mut(&mut out, 1, work, |i, slot| slot[0] = Some(f(i)));
+    out.into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Deterministic parallel map over a slice: `items.iter().map(f).collect()`
+/// computed on the pool, with output order preserved.
+pub fn par_map<T, R, F>(items: &[T], work: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), work, |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Work hint that always takes the parallel path (when threads > 1).
+    const BIG: u64 = u64::MAX;
+
+    /// Serializes tests that touch the process-wide thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn zero_and_one_item_workloads() {
+        let empty: Vec<i32> = par_map_indexed(0, BIG, |i| i as i32);
+        assert!(empty.is_empty());
+        let one = par_map_indexed(1, BIG, |i| i * 10);
+        assert_eq!(one, vec![0]);
+        let mut data: [u8; 0] = [];
+        par_chunks_mut(&mut data, 4, BIG, |_, _| panic!("no chunks to visit"));
+    }
+
+    #[test]
+    fn map_matches_serial_at_any_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> = items.iter().map(|&v| v.wrapping_mul(v) ^ 0xabcd).collect();
+        let saved = thread_override();
+        for t in [1, 2, 3, 8, 64] {
+            set_threads(t);
+            let got = par_map(&items, BIG, |&v| v.wrapping_mul(v) ^ 0xabcd);
+            assert_eq!(got, serial, "thread count {t}");
+        }
+        set_threads(saved);
+    }
+
+    #[test]
+    fn chunks_are_disjoint_and_complete() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let saved = thread_override();
+        set_threads(7);
+        let mut data = vec![0u32; 1000];
+        par_chunks_mut(&mut data, 16, BIG, |i, chunk| {
+            for (j, cell) in chunk.iter_mut().enumerate() {
+                *cell = (i * 16 + j) as u32 + 1;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        set_threads(saved);
+    }
+
+    #[test]
+    fn skewed_workloads_still_deterministic() {
+        let _guard = OVERRIDE_LOCK.lock();
+        // One item 1000× heavier than the rest: dynamic batching means the
+        // other workers absorb the remaining items, and output is unchanged.
+        let saved = thread_override();
+        set_threads(4);
+        let costly = |i: usize| -> u64 {
+            let iters = if i == 0 { 200_000 } else { 200 };
+            (0..iters).fold(i as u64, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let par = par_map_indexed(64, BIG, costly);
+        set_threads(1);
+        let serial = par_map_indexed(64, BIG, costly);
+        assert_eq!(par, serial);
+        set_threads(saved);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let saved = thread_override();
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed(256, BIG, |i| {
+                if i == 97 {
+                    panic!("worker 97 exploded");
+                }
+                i
+            })
+        });
+        set_threads(saved);
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("worker 97 exploded"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        // Below MIN_PARALLEL_WORK the region must still produce the same
+        // result (and not deadlock when nested inside another region).
+        let got = par_map_indexed(8, 10, |i| {
+            // a nested tiny region
+            par_map_indexed(4, 10, move |j| i * 4 + j)
+        });
+        let want: Vec<Vec<usize>> = (0..8)
+            .map(|i| (0..4).map(|j| i * 4 + j).collect())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn set_threads_overrides_and_clears() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let saved = thread_override();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        assert_eq!(thread_override(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+        set_threads(saved);
+    }
+}

@@ -1,0 +1,23 @@
+//! `HC_THREADS` environment override, isolated in its own test binary:
+//! the test mutates the process environment, which would race with any
+//! concurrently running test that calls `hc_parallel::threads()`.
+
+#[test]
+fn env_override_and_cli_priority() {
+    std::env::set_var("HC_THREADS", "5");
+    assert_eq!(hc_parallel::threads(), 5, "HC_THREADS respected");
+
+    // A set_threads() override (the CLI's --threads flag) beats the env.
+    hc_parallel::set_threads(2);
+    assert_eq!(hc_parallel::threads(), 2, "--threads beats HC_THREADS");
+    hc_parallel::set_threads(0);
+    assert_eq!(hc_parallel::threads(), 5, "clearing restores the env value");
+
+    // Garbage and zero values fall through to available parallelism.
+    for bad in ["bogus", "0", "-3", ""] {
+        std::env::set_var("HC_THREADS", bad);
+        assert!(hc_parallel::threads() >= 1, "HC_THREADS={bad:?}");
+    }
+    std::env::remove_var("HC_THREADS");
+    assert!(hc_parallel::threads() >= 1);
+}

@@ -197,7 +197,10 @@ impl Csr {
     }
 
     /// Reference SpMM: `Z = self · x`, straightforward and trusted. All
-    /// kernels are tested against this.
+    /// kernels are tested against this. Rows are computed on the
+    /// `hc-parallel` pool; each output row is owned by one worker and
+    /// accumulated in CSR entry order, so the result is bit-identical at
+    /// any thread count.
     ///
     /// ```
     /// use graph_sparse::{Coo, DenseMatrix};
@@ -212,9 +215,12 @@ impl Csr {
             self.nrows, self.ncols, x.rows, x.cols
         );
         let mut z = DenseMatrix::zeros(self.nrows, x.cols);
-        for r in 0..self.nrows {
+        if self.nrows == 0 || x.cols == 0 {
+            return z;
+        }
+        let work = 2 * self.nnz() as u64 * x.cols as u64;
+        hc_parallel::par_chunks_mut(&mut z.data, x.cols, work, |r, out| {
             let (s, e) = self.row_range(r);
-            let out = z.row_mut(r);
             for i in s..e {
                 let v = self.vals[i];
                 let xrow = x.row(self.col_idx[i] as usize);
@@ -222,7 +228,7 @@ impl Csr {
                     *o += v * xv;
                 }
             }
-        }
+        });
         z
     }
 

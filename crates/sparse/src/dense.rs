@@ -76,23 +76,28 @@ impl DenseMatrix {
     }
 
     /// Dense matrix multiply `self · other` (reference implementation; the
-    /// simulated gemm kernel lives in the `gnn` crate).
+    /// simulated gemm kernel lives in the `gnn` crate). Output rows are
+    /// computed on the `hc-parallel` pool, each accumulated in the serial
+    /// k-order, so results match the serial loop bit-for-bit.
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
+        if self.rows == 0 || other.cols == 0 {
+            return out;
+        }
+        let work = 2 * self.rows as u64 * self.cols as u64 * other.cols as u64;
+        hc_parallel::par_chunks_mut(&mut out.data, other.cols, work, |r, out_row| {
             for k in 0..self.cols {
                 let a = self[(r, k)];
                 if a == 0.0 {
                     continue;
                 }
                 let orow = other.row(k);
-                let out_row = out.row_mut(r);
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 

@@ -86,24 +86,23 @@ impl RowWindowPartition {
 
     /// Partition with a custom window height (characterization experiments
     /// use 16×32 synthetic windows). Windows are independent, so large
-    /// matrices are condensed on multiple threads (crossbeam scoped
-    /// threads; the output is deterministic regardless of thread count).
+    /// matrices are condensed on the `hc-parallel` pool; the output is
+    /// deterministic regardless of thread count (window `w` is always
+    /// built from rows `[w·h, (w+1)·h)` with the same serial logic).
     pub fn build_with_rows(a: &Csr, window_rows: usize) -> Self {
         assert!(window_rows > 0);
         let n_windows = a.nrows.div_ceil(window_rows);
 
-        let build_one = |w: usize, scratch: &mut Vec<u32>| -> RowWindow {
+        let build_one = |w: usize| -> RowWindow {
             let start = w * window_rows;
             let rows = window_rows.min(a.nrows - start);
             let lo = a.row_ptr[start] as usize;
             let hi = a.row_ptr[start + rows] as usize;
 
             // Distinct sorted columns of the window.
-            scratch.clear();
-            scratch.extend_from_slice(&a.col_idx[lo..hi]);
-            scratch.sort_unstable();
-            scratch.dedup();
-            let unique_cols = scratch.clone();
+            let mut unique_cols = a.col_idx[lo..hi].to_vec();
+            unique_cols.sort_unstable();
+            unique_cols.dedup();
 
             // Condensed index per entry via binary search into unique_cols.
             let cond_idx = a.col_idx[lo..hi]
@@ -120,34 +119,10 @@ impl RowWindowPartition {
             }
         };
 
-        // Sequential below the threshold where thread spawn costs dominate.
-        const PARALLEL_THRESHOLD: usize = 4096;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let windows = if n_windows < PARALLEL_THRESHOLD || threads < 2 {
-            let mut scratch = Vec::new();
-            (0..n_windows).map(|w| build_one(w, &mut scratch)).collect()
-        } else {
-            let chunk = n_windows.div_ceil(threads);
-            let mut out: Vec<Option<RowWindow>> = vec![None; n_windows];
-            crossbeam::thread::scope(|scope| {
-                for slot in out.chunks_mut(chunk).enumerate() {
-                    let (t, slot) = slot;
-                    scope.spawn(move |_| {
-                        let base = t * chunk;
-                        let mut scratch = Vec::new();
-                        for (i, cell) in slot.iter_mut().enumerate() {
-                            *cell = Some(build_one(base + i, &mut scratch));
-                        }
-                    });
-                }
-            })
-            .expect("partition worker panicked");
-            out.into_iter()
-                .map(|w| w.expect("all windows built"))
-                .collect()
-        };
+        // Work hint: each entry is sorted (~log factor folded into the
+        // constant) and binary-searched once.
+        let work = 2 * a.nnz() as u64 + n_windows as u64;
+        let windows = hc_parallel::par_map_indexed(n_windows, work, build_one);
 
         RowWindowPartition {
             windows,

@@ -19,6 +19,18 @@ pub fn run(args: Vec<String>) -> i32 {
     let mut it = args.into_iter();
     let cmd = it.next().unwrap_or_else(|| "help".into());
     let flags = parse_flags(it.collect());
+    // Global flag: worker-thread count for every parallel region (wins
+    // over `HC_THREADS`; default = available cores). Output is
+    // bit-identical at any setting.
+    if let Some(v) = flags.get("threads") {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => hc_parallel::set_threads(n),
+            _ => {
+                eprintln!("--threads requires a positive integer, got {v:?}");
+                return 2;
+            }
+        }
+    }
     match cmd.as_str() {
         "datasets" => cmd_datasets(),
         "metrics" => cmd_metrics(&flags),
@@ -62,6 +74,10 @@ USAGE:
                    kernel window traces; with no graph flags, runs the
                    built-in suite (3 generated graphs + fixtures).
                    Exits non-zero when any check finds something.
+
+Every command also accepts --threads N: worker-thread count for host
+parallel regions (overrides HC_THREADS; default = available cores).
+Results are bit-identical at any thread count.
 "
     .into()
 }
@@ -525,5 +541,29 @@ mod tests {
         );
         assert_eq!(run(vec!["help".into()]), 0);
         assert_eq!(run(vec!["bogus".into()]), 2);
+    }
+
+    #[test]
+    fn threads_flag_sets_override_and_rejects_garbage() {
+        assert_eq!(
+            run(vec![
+                "metrics".into(),
+                "--dataset".into(),
+                "cr".into(),
+                "--scale".into(),
+                "1024".into(),
+                "--threads".into(),
+                "2".into(),
+            ]),
+            0
+        );
+        hc_parallel::set_threads(0); // clear the global override for other tests
+        for bad in ["0", "-2", "lots"] {
+            assert_eq!(
+                run(vec!["datasets".into(), "--threads".into(), bad.into()]),
+                2,
+                "--threads {bad} should be rejected"
+            );
+        }
     }
 }

@@ -4,41 +4,106 @@
 
 /// Scoped threads.
 pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    /// First panic payload raised by any thread of a scope. `std`'s scope
+    /// replaces child payloads with a generic "a scoped thread panicked"
+    /// message at auto-join; stashing the original here lets [`scope`]
+    /// return it through the `Err`, as real crossbeam does. Shared by
+    /// `Arc` rather than borrowed: the scope closure is higher-ranked over
+    /// `'scope`, which would force a borrow to outlive `'env`.
+    type PanicSlot = Arc<Mutex<Option<Box<dyn Any + Send + 'static>>>>;
+
     /// Handle through which scoped threads are spawned. Mirrors crossbeam's
     /// `Scope`, whose `spawn` passes the scope back into the closure so
     /// workers can spawn nested workers.
     pub struct Scope<'scope, 'env: 'scope> {
         inner: &'scope std::thread::Scope<'scope, 'env>,
+        first_panic: PanicSlot,
     }
 
     impl<'scope, 'env> Scope<'scope, 'env> {
         /// Spawn a thread bound to the scope. The closure receives the scope
         /// (crossbeam's signature); most callers ignore it (`|_| ...`).
+        ///
+        /// Shim divergence: a panicking child's original payload travels to
+        /// [`scope`]'s `Err`; `join`ing the child directly yields a
+        /// placeholder payload instead (payloads are not cloneable).
         pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
         where
             F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
             let inner = self.inner;
-            inner.spawn(move || f(&Scope { inner }))
+            let first_panic = Arc::clone(&self.first_panic);
+            inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    first_panic: Arc::clone(&first_panic),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                        let payload = if slot.is_none() {
+                            *slot = Some(payload);
+                            Box::new("scoped thread panicked (payload captured by scope)")
+                                as Box<dyn Any + Send>
+                        } else {
+                            payload
+                        };
+                        drop(slot);
+                        resume_unwind(payload)
+                    }
+                }
+            })
         }
     }
 
     /// Run `f` with a scope in which borrowing, scoped threads can be
-    /// spawned; all are joined before `scope` returns. Unlike crossbeam,
-    /// a panicking child propagates its panic at join rather than being
-    /// captured into the `Result` — callers that `.expect()` the result see
-    /// the same process-level failure either way.
+    /// spawned; all are joined before `scope` returns. As in real
+    /// crossbeam, a panicking child is captured: `scope` returns
+    /// `Err(first_child_payload)` instead of unwinding through the caller.
+    /// (Shim divergence: a panic in `f` itself is also captured into the
+    /// `Err`, where crossbeam would propagate it — no caller in this
+    /// workspace panics in the closure body.)
     pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+        let first_panic: PanicSlot = Arc::new(Mutex::new(None));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    first_panic: Arc::clone(&first_panic),
+                })
+            })
+        }));
+        match result {
+            Ok(v) => Ok(v),
+            Err(outer) => {
+                let stashed = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+                Err(stashed.unwrap_or(outer))
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn panicking_child_is_captured_into_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child panic"));
+            scope.spawn(|_| 7).join().expect("healthy child joins")
+        });
+        let payload = result.expect_err("child panic must surface as Err");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"child panic"));
+    }
+
     #[test]
     fn scoped_threads_fill_disjoint_chunks() {
         let mut data = vec![0u32; 64];
