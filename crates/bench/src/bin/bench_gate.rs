@@ -18,13 +18,19 @@
 //! delta (absorbs the 10 ms CPU-tick quantization). In CI, applying the
 //! `perf-override` label to a PR skips this gate for intentional
 //! slowdowns (see the workflow).
+//!
+//! `--min-plan-cache-hit-rate R` additionally requires the *current*
+//! report to carry plan-cache counters with a hit rate of at least `R`
+//! and an amortized per-request cost strictly below the cold cost. These
+//! are simulated-time functional assertions, not noisy host timings, so
+//! they are exact and have no override.
 
 use bench::metrics::{gate, BenchReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline <path> --current <path> \
-         [--threshold 0.25] [--min-ms 10]"
+         [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R]"
     );
     std::process::exit(2);
 }
@@ -45,6 +51,7 @@ fn main() {
     let mut current = None;
     let mut threshold = 0.25f64;
     let mut min_ms = 10.0f64;
+    let mut min_hit_rate: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -53,6 +60,9 @@ fn main() {
             "--current" => current = Some(value()),
             "--threshold" => threshold = value().parse().unwrap_or_else(|_| usage()),
             "--min-ms" => min_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--min-plan-cache-hit-rate" => {
+                min_hit_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
     }
@@ -68,6 +78,40 @@ fn main() {
              timings are not comparable across scales",
             base.scale, cur.scale
         );
+    }
+
+    if let Some(min_rate) = min_hit_rate {
+        let Some(pc) = &cur.plan_cache else {
+            eprintln!(
+                "FAIL: --min-plan-cache-hit-rate given but the current report \
+                 has no \"plan_cache\" block (did ext_plan_cache_amortization run?)"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "plan cache: {} requests, hit rate {:.1}% (min {:.1}%), \
+             amortized {:.4} vs cold {:.4} ms/request",
+            pc.requests,
+            pc.hit_rate * 100.0,
+            min_rate * 100.0,
+            pc.amortized_ms,
+            pc.cold_ms
+        );
+        if pc.hit_rate < min_rate {
+            eprintln!(
+                "FAIL: plan-cache hit rate {:.4} below required {min_rate}",
+                pc.hit_rate
+            );
+            std::process::exit(1);
+        }
+        if pc.amortized_ms >= pc.cold_ms {
+            eprintln!(
+                "FAIL: amortized per-request cost {:.4} ms is not below the \
+                 cold cost {:.4} ms — the cache is not paying for itself",
+                pc.amortized_ms, pc.cold_ms
+            );
+            std::process::exit(1);
+        }
     }
 
     let out = gate(&base, &cur, threshold, min_ms);

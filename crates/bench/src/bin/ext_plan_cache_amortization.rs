@@ -1,0 +1,9 @@
+//! Extension: plan-cache amortization over a repeated-graph request mix.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let (text, _) = bench::experiments::extensions::plan_cache_amortization(
+        &mut c,
+        &gpu_sim::DeviceSpec::rtx3090(),
+    );
+    println!("{text}");
+}

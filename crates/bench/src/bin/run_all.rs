@@ -141,6 +141,13 @@ fn main() {
         e::extensions::aggregation_share(&mut c, &dev)
     );
     exp!("ext_deep_models", e::extensions::deep_models(&mut c, &dev));
+    let mut plan_cache_metrics = None;
+    exp!("ext_plan_cache_amortization", {
+        let (text, m) = e::extensions::plan_cache_amortization(&mut c, &dev);
+        plan_cache_metrics = Some(m);
+        text
+    });
+    report.plan_cache = plan_cache_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).

@@ -20,9 +20,16 @@
 //!   "kernels": [
 //!     {"family": "hybrid", "dataset": "CR", "serial_ms": 80.1,
 //!      "parallel_ms": 11.9, "speedup": 6.73, "bit_identical": true}
-//!   ]
+//!   ],
+//!   "plan_cache": {"requests": 48, "hits": 44, "misses": 4,
+//!                  "evictions": 0, "hit_rate": 0.9167,
+//!                  "cold_ms": 1.92, "amortized_ms": 0.31}
 //! }
 //! ```
+//!
+//! `plan_cache` is optional (the `ext_plan_cache_amortization` experiment's
+//! counters): reports written before the serving layer existed — including
+//! the committed baseline — parse unchanged.
 //!
 //! `experiments` records wall-clock and process CPU time per experiment;
 //! `kernels` records per-kernel-family SpMM timings against a forced
@@ -74,6 +81,27 @@ pub struct KernelSpeedup {
     pub bit_identical: bool,
 }
 
+/// Plan-cache serving counters from the `ext_plan_cache_amortization`
+/// experiment: how much of a repeated-graph request mix the structure-keyed
+/// cache absorbed, and what that did to the per-request cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCacheMetrics {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests that reused a cached plan.
+    pub hits: u64,
+    /// Requests that prepared a plan.
+    pub misses: u64,
+    /// Plans evicted by the byte budget.
+    pub evictions: u64,
+    /// `hits / requests`.
+    pub hit_rate: f64,
+    /// Mean simulated per-request cost if every request re-prepared, ms.
+    pub cold_ms: f64,
+    /// Mean simulated per-request cost through the cache, ms.
+    pub amortized_ms: f64,
+}
+
 /// The full machine-readable report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -85,6 +113,8 @@ pub struct BenchReport {
     pub experiments: Vec<ExperimentTiming>,
     /// Kernel-family speedup measurements.
     pub kernels: Vec<KernelSpeedup>,
+    /// Plan-cache amortization counters (absent in pre-serving reports).
+    pub plan_cache: Option<PlanCacheMetrics>,
 }
 
 impl BenchReport {
@@ -95,6 +125,7 @@ impl BenchReport {
             threads,
             experiments: Vec::new(),
             kernels: Vec::new(),
+            plan_cache: None,
         }
     }
 
@@ -144,7 +175,22 @@ impl BenchReport {
                 k.bit_identical
             );
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if let Some(pc) = &self.plan_cache {
+            let _ = write!(
+                s,
+                ",\n  \"plan_cache\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"evictions\": {}, \"hit_rate\": {}, \"cold_ms\": {}, \"amortized_ms\": {}}}",
+                pc.requests,
+                pc.hits,
+                pc.misses,
+                pc.evictions,
+                num(pc.hit_rate),
+                num(pc.cold_ms),
+                num(pc.amortized_ms)
+            );
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -203,6 +249,22 @@ impl BenchReport {
                     .get("bit_identical")
                     .and_then(Json::as_bool)
                     .ok_or("kernel missing bit_identical")?,
+            });
+        }
+        if let Some(pc) = v.get("plan_cache") {
+            let f = |key: &str| {
+                pc.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("plan_cache missing {key}"))
+            };
+            report.plan_cache = Some(PlanCacheMetrics {
+                requests: f("requests")? as u64,
+                hits: f("hits")? as u64,
+                misses: f("misses")? as u64,
+                evictions: f("evictions")? as u64,
+                hit_rate: f("hit_rate")?,
+                cold_ms: f("cold_ms")?,
+                amortized_ms: f("amortized_ms")?,
             });
         }
         Ok(report)
@@ -654,6 +716,28 @@ mod tests {
     #[test]
     fn report_roundtrips_through_json() {
         let r = sample();
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn plan_cache_block_roundtrips_and_stays_optional() {
+        // Without the block: absent from the JSON, parses back as None —
+        // pre-serving reports (the committed baseline) stay readable.
+        let bare = sample();
+        assert!(!bare.to_json().contains("plan_cache"));
+        assert_eq!(BenchReport::from_json(&bare.to_json()).unwrap(), bare);
+
+        let mut r = sample();
+        r.plan_cache = Some(PlanCacheMetrics {
+            requests: 48,
+            hits: 44,
+            misses: 4,
+            evictions: 0,
+            hit_rate: 44.0 / 48.0,
+            cold_ms: 1.92,
+            amortized_ms: 0.31,
+        });
         let parsed = BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
     }

@@ -235,13 +235,18 @@ impl CudaSpmm {
     }
 }
 
-impl SpmmKernel for CudaSpmm {
-    fn name(&self) -> &'static str {
-        "HC-CUDA"
-    }
-
-    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
-        let part = RowWindowPartition::build(a);
+impl CudaSpmm {
+    /// SpMM against a prebuilt row-window partition of `a` — the reusable
+    /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
+    /// plan can amortize the partition build across requests. `part` must
+    /// have been built from a matrix with `a`'s structure.
+    pub fn spmm_with_partition(
+        &self,
+        part: &RowWindowPartition,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
         let blocks: Vec<BlockCost> = part
             .windows
             .iter()
@@ -274,6 +279,16 @@ impl SpmmKernel for CudaSpmm {
             z
         };
         SpmmResult { z, run }
+    }
+}
+
+impl SpmmKernel for CudaSpmm {
+    fn name(&self) -> &'static str {
+        "HC-CUDA"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        self.spmm_with_partition(&RowWindowPartition::build(a), a, x, dev)
     }
 }
 

@@ -231,13 +231,18 @@ impl StraightforwardHybrid {
     }
 }
 
-impl SpmmKernel for StraightforwardHybrid {
-    fn name(&self) -> &'static str {
-        "Per-tile hybrid"
-    }
-
-    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
-        let part = RowWindowPartition::build(a);
+impl StraightforwardHybrid {
+    /// SpMM against a prebuilt row-window partition of `a` — the reusable
+    /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
+    /// plan can amortize the partition build across requests. `part` must
+    /// have been built from a matrix with `a`'s structure.
+    pub fn spmm_with_partition(
+        &self,
+        part: &RowWindowPartition,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
         let tile_k = Precision::Tf32.tile_k();
         let dim = x.cols;
 
@@ -313,6 +318,16 @@ impl SpmmKernel for StraightforwardHybrid {
             });
         }
         SpmmResult { z, run }
+    }
+}
+
+impl SpmmKernel for StraightforwardHybrid {
+    fn name(&self) -> &'static str {
+        "Per-tile hybrid"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        self.spmm_with_partition(&RowWindowPartition::build(a), a, x, dev)
     }
 }
 

@@ -306,13 +306,18 @@ impl TensorSpmm {
     }
 }
 
-impl SpmmKernel for TensorSpmm {
-    fn name(&self) -> &'static str {
-        "HC-Tensor"
-    }
-
-    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
-        let part = RowWindowPartition::build(a);
+impl TensorSpmm {
+    /// SpMM against a prebuilt row-window partition of `a` — the reusable
+    /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
+    /// plan can amortize the partition build across requests. `part` must
+    /// have been built from a matrix with `a`'s structure.
+    pub fn spmm_with_partition(
+        &self,
+        part: &RowWindowPartition,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
         // Window costs are independent of each other; empty windows launch
         // no block (order among the survivors is preserved).
         let blocks: Vec<BlockCost> =
@@ -339,6 +344,16 @@ impl SpmmKernel for TensorSpmm {
             });
         }
         SpmmResult { z, run }
+    }
+}
+
+impl SpmmKernel for TensorSpmm {
+    fn name(&self) -> &'static str {
+        "HC-Tensor"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        self.spmm_with_partition(&RowWindowPartition::build(a), a, x, dev)
     }
 }
 

@@ -29,6 +29,7 @@ pub mod features;
 pub mod fusion;
 pub mod kernels;
 pub mod loa;
+pub mod plan;
 pub mod preprocess;
 pub mod sanitize;
 pub mod selector;
@@ -40,6 +41,7 @@ pub use kernels::straightforward::StraightforwardHybrid;
 pub use kernels::tensor::TensorSpmm;
 pub use kernels::{SpmmKernel, SpmmResult};
 pub use loa::{Loa, LoaBrute, LoaReport};
+pub use plan::{LoaLayout, Plan, PlanSpec};
 pub use preprocess::{preprocess_oracle, Preprocessed};
 pub use sanitize::{sanitize_family, sanitize_graph, FamilyReport, KernelFamily, SampleSpec};
 pub use selector::{CoreChoice, SelectionPolicy, Selector};

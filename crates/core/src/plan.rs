@@ -1,0 +1,330 @@
+//! Reusable execution plans: preprocessing artifacts packaged for caching.
+//!
+//! HC-SpMM's preprocessing (window condensing, selector classification,
+//! optionally the LOA relayout) costs ≈13× one SpMM execution (Appendix F)
+//! and is worth paying only when amortized over many invocations — GNN
+//! epochs in the paper, repeated serving traffic here. A [`Plan`] is the
+//! complete set of those artifacts for one graph *structure* and one
+//! kernel configuration: prepared once, executed against any request whose
+//! graph shares the structure (values are free to differ — the plan gathers
+//! them per request).
+//!
+//! Everything a plan stores is a pure function of the CSR structure, which
+//! is why the serving layer can key plans by [`StructureFingerprint`].
+
+use std::time::Instant;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{Csr, DenseMatrix, StructureFingerprint};
+
+use crate::kernels::SpmmResult;
+use crate::loa::Loa;
+use crate::preprocess::Preprocessed;
+use crate::sanitize::KernelFamily;
+use crate::{HcSpmm, StraightforwardHybrid};
+
+/// What to prepare: the kernel family that will execute requests and
+/// whether to run the LOA relayout first (square matrices only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// Kernel family executing the plan's requests.
+    pub family: KernelFamily,
+    /// Run LOA (Algorithms 5/6) at prepare time and execute against the
+    /// optimized layout; results are mapped back to the original vertex
+    /// order.
+    pub use_loa: bool,
+}
+
+impl PlanSpec {
+    /// The deployed configuration: the hybrid kernel, no relayout.
+    pub fn hybrid() -> PlanSpec {
+        PlanSpec {
+            family: KernelFamily::Hybrid,
+            use_loa: false,
+        }
+    }
+}
+
+/// LOA artifacts baked into a plan: the permuted structure plus the maps
+/// needed to route per-request values in and results back out.
+#[derive(Debug, Clone)]
+pub struct LoaLayout {
+    /// New vertex order, `perm[new_id] = old_id` (as [`crate::LoaReport`]).
+    pub perm: Vec<u32>,
+    /// Permuted adjacency *structure*; its values are placeholders that
+    /// [`Plan::execute`] overwrites from the request graph via
+    /// [`val_gather`](LoaLayout::val_gather).
+    pub structure: Csr,
+    /// Entry map: permuted entry `i` takes the request graph's value at
+    /// original entry `val_gather[i]`.
+    pub val_gather: Vec<u32>,
+    /// Modeled host seconds the relayout cost (Fig. 16's overhead axis).
+    pub seconds: f64,
+}
+
+/// A prepared, structure-keyed execution plan: condensed row windows,
+/// per-window core choices, optional LOA layout, and the kernel
+/// configuration — everything a request needs short of its values.
+///
+/// ```
+/// use gpu_sim::DeviceSpec;
+/// use graph_sparse::{gen, DenseMatrix};
+/// use hc_core::{Plan, PlanSpec};
+///
+/// let dev = DeviceSpec::rtx3090();
+/// let graph = gen::community(256, 1_500, 8, 0.9, 1);
+/// let x = DenseMatrix::random_features(256, 32, 2);
+///
+/// let plan = Plan::prepare(&graph, PlanSpec::hybrid(), &dev);
+/// let out = plan.execute(&graph, &x, &dev); // reusable across requests
+/// assert!(graph.spmm_reference(&x).max_abs_diff(&out.z) < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The configuration this plan was prepared for.
+    pub spec: PlanSpec,
+    /// Structure digest of the graph the plan was prepared from; requests
+    /// must match it.
+    pub fingerprint: StructureFingerprint,
+    /// Hybrid kernel configuration (also carries the CUDA and Tensor paths
+    /// the single-core families execute through).
+    pub hc: HcSpmm,
+    /// Per-tile kernel configuration (the `Straightforward` family).
+    pub sf: StraightforwardHybrid,
+    /// Condensed windows + selector choices over the (possibly permuted)
+    /// structure.
+    pub pre: Preprocessed,
+    /// LOA artifacts when [`PlanSpec::use_loa`] was set.
+    pub loa: Option<LoaLayout>,
+    /// Host wall-clock milliseconds the prepare step took (the serving
+    /// layer's amortization numerator).
+    pub prepare_wall_ms: f64,
+}
+
+impl Plan {
+    /// Prepare a plan for `a` with the default kernel configurations.
+    pub fn prepare(a: &Csr, spec: PlanSpec, dev: &DeviceSpec) -> Plan {
+        Plan::prepare_with(HcSpmm::default(), a, spec, dev)
+    }
+
+    /// Prepare with an explicit hybrid-kernel configuration (custom
+    /// precision or selector).
+    pub fn prepare_with(hc: HcSpmm, a: &Csr, spec: PlanSpec, dev: &DeviceSpec) -> Plan {
+        let t0 = Instant::now();
+        let fingerprint = StructureFingerprint::of(a);
+        let loa = spec.use_loa.then(|| {
+            let rep = Loa::default().run(a);
+            let structure = a.permute_symmetric(&rep.perm);
+            let val_gather = entry_gather(a, &structure, &rep.perm);
+            LoaLayout {
+                perm: rep.perm,
+                structure,
+                val_gather,
+                seconds: rep.seconds,
+            }
+        });
+        let pre = match &loa {
+            Some(l) => hc.preprocess(&l.structure, dev),
+            None => hc.preprocess(a, dev),
+        };
+        Plan {
+            spec,
+            fingerprint,
+            hc,
+            sf: StraightforwardHybrid::default(),
+            pre,
+            loa,
+            prepare_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Simulated milliseconds the prepare step would cost on the device:
+    /// the preprocessing kernel plus the (host-side) LOA run. This is the
+    /// deterministic per-request penalty a cold path pays and a cache hit
+    /// skips.
+    pub fn sim_prepare_ms(&self) -> f64 {
+        self.pre.run.time_ms + self.loa.as_ref().map_or(0.0, |l| l.seconds * 1e3)
+    }
+
+    /// Execute the plan against a request. `a` must share the prepared
+    /// structure (checked against [`Plan::fingerprint`]); its values are
+    /// the request's own. Output is bit-identical to executing a freshly
+    /// prepared plan of the same spec — and, with `use_loa` off, to the
+    /// kernel family's direct `spmm` — at any thread count.
+    pub fn execute(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        assert_eq!(
+            StructureFingerprint::of(a),
+            self.fingerprint,
+            "request graph structure does not match the plan's"
+        );
+        match &self.loa {
+            None => self.execute_layout(a, x, dev),
+            Some(l) => {
+                // Route the request's values into the permuted structure,
+                // permute the feature rows to match, then map the output
+                // rows back to the original vertex order.
+                let mut ap = l.structure.clone();
+                for (slot, &src) in ap.vals.iter_mut().zip(&l.val_gather) {
+                    *slot = a.vals[src as usize];
+                }
+                let xp =
+                    DenseMatrix::from_fn(x.rows, x.cols, |new, j| x.row(l.perm[new] as usize)[j]);
+                let mut r = self.execute_layout(&ap, &xp, dev);
+                let mut z = DenseMatrix::zeros(r.z.rows, r.z.cols);
+                for (new, &old) in l.perm.iter().enumerate() {
+                    z.row_mut(old as usize).copy_from_slice(r.z.row(new));
+                }
+                r.z = z;
+                r
+            }
+        }
+    }
+
+    /// Dispatch to the spec's kernel family against the prepared partition.
+    fn execute_layout(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        match self.spec.family {
+            KernelFamily::Straightforward => {
+                self.sf.spmm_with_partition(&self.pre.partition, a, x, dev)
+            }
+            KernelFamily::Cuda => self
+                .hc
+                .cuda
+                .spmm_with_partition(&self.pre.partition, a, x, dev),
+            KernelFamily::Tensor => {
+                self.hc
+                    .tensor
+                    .spmm_with_partition(&self.pre.partition, a, x, dev)
+            }
+            KernelFamily::Hybrid => self.hc.spmm_preprocessed(&self.pre, a, x, dev),
+        }
+    }
+
+    /// Approximate resident bytes of the plan's owned artifacts — what a
+    /// byte-budgeted cache charges for keeping it. Counts the partition's
+    /// index arrays, the choice vector and the LOA layout; constant-size
+    /// fields are ignored.
+    pub fn approx_bytes(&self) -> u64 {
+        let windows: u64 = self
+            .pre
+            .partition
+            .windows
+            .iter()
+            .map(|w| 4 * (w.unique_cols.len() + w.cond_idx.len()) as u64 + 48)
+            .sum();
+        let choices = self.pre.choices.len() as u64;
+        let loa = self.loa.as_ref().map_or(0, |l| {
+            l.structure.byte_size() + 4 * (l.perm.len() + l.val_gather.len()) as u64
+        });
+        windows + choices + loa
+    }
+}
+
+/// For each entry of `permuted` (built by [`Csr::permute_symmetric`] with
+/// `perm`), the index of the corresponding entry in `original`. Rows are
+/// column-sorted in both matrices, so each entry resolves by binary search.
+fn entry_gather(original: &Csr, permuted: &Csr, perm: &[u32]) -> Vec<u32> {
+    let mut gather = Vec::with_capacity(permuted.nnz());
+    for new_r in 0..permuted.nrows {
+        let old_r = perm[new_r] as usize;
+        let (os, _) = original.row_range(old_r);
+        let old_cols = original.row_cols(old_r);
+        for &new_c in permuted.row_cols(new_r) {
+            let old_c = perm[new_c as usize];
+            let k = old_cols
+                .binary_search(&old_c)
+                .expect("permuted entry must exist in the original row");
+            gather.push((os + k) as u32);
+        }
+    }
+    gather
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::SpmmKernel;
+    use crate::{CudaSpmm, TensorSpmm};
+    use graph_sparse::gen;
+
+    #[test]
+    fn plan_execute_matches_direct_spmm_per_family() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(512, 4_000, 16, 0.9, 1);
+        let x = DenseMatrix::random_features(512, 32, 2);
+        for family in KernelFamily::ALL {
+            let plan = Plan::prepare(
+                &a,
+                PlanSpec {
+                    family,
+                    use_loa: false,
+                },
+                &dev,
+            );
+            let got = plan.execute(&a, &x, &dev).z;
+            let want = match family {
+                KernelFamily::Straightforward => {
+                    StraightforwardHybrid::default().spmm(&a, &x, &dev)
+                }
+                KernelFamily::Cuda => CudaSpmm::optimized().spmm(&a, &x, &dev),
+                KernelFamily::Tensor => TensorSpmm::optimized().spmm(&a, &x, &dev),
+                KernelFamily::Hybrid => HcSpmm::default().spmm(&a, &x, &dev),
+            };
+            assert_eq!(
+                got,
+                want.z,
+                "{} plan diverged from direct spmm",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn loa_plan_is_numerically_faithful_and_reusable() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::scatter_relabel(&gen::molecules(512, 1_200, 3), 4);
+        let x = DenseMatrix::random_features(512, 32, 5);
+        let spec = PlanSpec {
+            family: KernelFamily::Hybrid,
+            use_loa: true,
+        };
+        let plan = Plan::prepare(&a, spec, &dev);
+        let z = plan.execute(&a, &x, &dev).z;
+        // Permutation changes f32 summation order: close, not bit-equal.
+        assert!(a.spmm_reference(&x).max_abs_diff(&z) < 0.05);
+        // Same structure, new values: the gather must route them correctly.
+        let mut b = a.clone();
+        for v in &mut b.vals {
+            *v *= 0.5;
+        }
+        let zb = plan.execute(&b, &x, &dev).z;
+        assert!(b.spmm_reference(&x).max_abs_diff(&zb) < 0.05);
+        // And re-preparing from the reweighted graph gives the identical
+        // result (structure-only artifacts).
+        let plan_b = Plan::prepare(&b, spec, &dev);
+        assert_eq!(zb, plan_b.execute(&b, &x, &dev).z);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn structure_mismatch_is_rejected() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::erdos_renyi(128, 500, 1);
+        let b = gen::erdos_renyi(128, 510, 2);
+        let plan = Plan::prepare(&a, PlanSpec::hybrid(), &dev);
+        let x = DenseMatrix::random_features(128, 8, 3);
+        plan.execute(&b, &x, &dev);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_artifact_size() {
+        let dev = DeviceSpec::rtx3090();
+        let small = Plan::prepare(&gen::erdos_renyi(64, 200, 1), PlanSpec::hybrid(), &dev);
+        let large = Plan::prepare(
+            &gen::erdos_renyi(2_048, 12_000, 1),
+            PlanSpec::hybrid(),
+            &dev,
+        );
+        assert!(small.approx_bytes() > 0);
+        assert!(large.approx_bytes() > 4 * small.approx_bytes());
+    }
+}

@@ -12,9 +12,12 @@
 //! Single `#[test]` on purpose: the thread override is process-global, so
 //! concurrent tests in one binary would trample each other's setting.
 
+use std::sync::Arc;
+
 use gpu_sim::DeviceSpec;
-use graph_sparse::{gen, DenseMatrix};
-use hc_core::{CudaSpmm, HcSpmm, SpmmKernel, StraightforwardHybrid, TensorSpmm};
+use graph_sparse::{gen, Csr, DenseMatrix};
+use hc_core::{CudaSpmm, HcSpmm, PlanSpec, SpmmKernel, StraightforwardHybrid, TensorSpmm};
+use hc_serve::{BatchDriver, CacheStats, Request};
 
 #[test]
 fn kernel_outputs_bit_identical_across_thread_counts() {
@@ -49,6 +52,53 @@ fn kernel_outputs_bit_identical_across_thread_counts() {
                      differs from single-thread output"
                 );
             }
+        }
+    }
+
+    // The batched serving driver inherits the same guarantee: a request
+    // stream served through the plan cache yields bit-identical outputs,
+    // hit flags and cache counters at any worker count. Eviction pressure
+    // included — a tight budget exercises LRU victim selection, which must
+    // also be thread-count-independent.
+    let serve_graphs: Vec<Arc<Csr>> = vec![
+        Arc::new(gen::erdos_renyi(512, 3_000, 21)),
+        Arc::new(gen::community(512, 4_000, 16, 0.9, 22)),
+        Arc::new(gen::molecules(600, 1_400, 23)),
+    ];
+    // a, b, a, c, c, b, a, …: repeats so the cache sees hits.
+    let requests: Vec<Request> = [0usize, 1, 0, 2, 2, 1, 0, 1, 2, 0]
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| Request {
+            graph: Arc::clone(&serve_graphs[g]),
+            features: DenseMatrix::random_features(serve_graphs[g].ncols, 16, i as u64),
+        })
+        .collect();
+    let serve_batch = |threads: usize, budget: u64| -> (Vec<DenseMatrix>, Vec<bool>, CacheStats) {
+        hc_parallel::set_threads(threads);
+        let mut driver = BatchDriver::new(budget, PlanSpec::hybrid());
+        let responses = driver.run(&requests, &dev);
+        (
+            responses.iter().map(|r| r.z.clone()).collect(),
+            responses.iter().map(|r| r.hit).collect(),
+            driver.stats(),
+        )
+    };
+    // Second budget fits roughly one plan, forcing evictions mid-stream.
+    let one_plan =
+        hc_core::Plan::prepare(&serve_graphs[0], PlanSpec::hybrid(), &dev).approx_bytes();
+    for budget in [u64::MAX, one_plan + one_plan / 2] {
+        let (z1, hits1, stats1) = serve_batch(1, budget);
+        assert!(hits1.iter().any(|&h| h), "request mix must produce hits");
+        for threads in [2, 8] {
+            let (z, hits, stats) = serve_batch(threads, budget);
+            assert_eq!(
+                z1, z,
+                "batched driver outputs at {threads} threads differ from single-thread \
+                 (budget {budget})"
+            );
+            assert_eq!(hits1, hits, "hit pattern changed with thread count");
+            assert_eq!(stats1, stats, "cache counters changed with thread count");
         }
     }
     hc_parallel::set_threads(saved);

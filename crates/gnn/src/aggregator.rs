@@ -5,11 +5,12 @@
 //! HC-SpMM (with or without §V-A fusion), GE-SpMM and TC-GNN. The trait
 //! below is that seam.
 
+use std::sync::Arc;
+
 use gpu_sim::{DeviceSpec, KernelRun};
 use graph_sparse::{Csr, DenseMatrix};
 use hc_core::fusion::{fused_agg_update, gemm_run, unfused_agg_update, AggUpdateResult};
-use hc_core::preprocess::Preprocessed;
-use hc_core::{HcSpmm, SpmmKernel};
+use hc_core::{HcSpmm, KernelFamily, Plan, PlanSpec, SpmmKernel};
 
 /// An Aggregation backend: computes `Z = Ā·G` and, optionally fused, the
 /// following Update `Z·W`.
@@ -39,14 +40,14 @@ pub trait Aggregator {
     }
 }
 
-/// HC-SpMM aggregation: preprocessing (condense + classify) is performed
-/// once at construction and reused every epoch, mirroring the deployment
-/// model of §VI-B1.
+/// HC-SpMM aggregation: a prepared [`Plan`] (condense + classify) is built
+/// once and reused every epoch, mirroring the deployment model of §VI-B1.
+/// The plan is an `Arc` so a serving-side cache (`hc-serve`) and a training
+/// loop can share the identical prepared artifacts.
 pub struct HcAggregator {
-    /// The hybrid kernel.
-    pub hc: HcSpmm,
-    /// Cached preprocessing artifacts for the training graph.
-    pub pre: Preprocessed,
+    /// The prepared execution plan for the training graph (hybrid family,
+    /// no LOA — see [`HcAggregator::from_plan`]).
+    pub plan: Arc<Plan>,
     /// Apply the §V-A kernel fusion where Update follows Aggregation.
     pub fuse: bool,
 }
@@ -55,21 +56,37 @@ impl HcAggregator {
     /// Preprocess `a` and build the aggregator (fusion on — the deployed
     /// configuration).
     pub fn new(a: &Csr, dev: &DeviceSpec) -> Self {
-        let hc = HcSpmm::default();
-        let pre = hc.preprocess(a, dev);
-        HcAggregator {
-            hc,
-            pre,
-            fuse: true,
-        }
+        Self::with_kernel(HcSpmm::default(), a, dev, true)
     }
 
     /// Same, with fusion disabled (Table VI's ablation).
     pub fn new_unfused(a: &Csr, dev: &DeviceSpec) -> Self {
-        HcAggregator {
-            fuse: false,
-            ..Self::new(a, dev)
-        }
+        Self::with_kernel(HcSpmm::default(), a, dev, false)
+    }
+
+    /// Prepare a plan with a custom kernel configuration (e.g. a selector
+    /// pinned to the CUDA path for exact-arithmetic tests).
+    pub fn with_kernel(hc: HcSpmm, a: &Csr, dev: &DeviceSpec, fuse: bool) -> Self {
+        let plan = Plan::prepare_with(hc, a, PlanSpec::hybrid(), dev);
+        Self::from_plan(Arc::new(plan), fuse)
+    }
+
+    /// Wrap an already-prepared plan — typically one fetched from an
+    /// `hc-serve` plan cache, so training reuses the cached artifacts
+    /// instead of re-preprocessing. The plan must be a plain hybrid plan:
+    /// the fused Update path consumes the preprocessing of the *original*
+    /// graph, which an LOA plan does not carry.
+    pub fn from_plan(plan: Arc<Plan>, fuse: bool) -> Self {
+        assert_eq!(
+            plan.spec.family,
+            KernelFamily::Hybrid,
+            "HcAggregator requires a hybrid-family plan"
+        );
+        assert!(
+            plan.loa.is_none(),
+            "HcAggregator cannot run on an LOA-permuted plan"
+        );
+        HcAggregator { plan, fuse }
     }
 }
 
@@ -83,7 +100,7 @@ impl Aggregator for HcAggregator {
     }
 
     fn aggregate(&self, a: &Csr, g: &DenseMatrix, dev: &DeviceSpec) -> (DenseMatrix, KernelRun) {
-        let r = self.hc.spmm_preprocessed(&self.pre, a, g, dev);
+        let r = self.plan.hc.spmm_preprocessed(&self.plan.pre, a, g, dev);
         (r.z, r.run)
     }
 
@@ -95,9 +112,9 @@ impl Aggregator for HcAggregator {
         dev: &DeviceSpec,
     ) -> AggUpdateResult {
         if self.fuse {
-            fused_agg_update(&self.hc, &self.pre, a, g, w, dev)
+            fused_agg_update(&self.plan.hc, &self.plan.pre, a, g, w, dev)
         } else {
-            unfused_agg_update(&self.hc, &self.pre, a, g, w, dev)
+            unfused_agg_update(&self.plan.hc, &self.plan.pre, a, g, w, dev)
         }
     }
 }
@@ -142,6 +159,34 @@ mod tests {
         let (z2, _) = agg.aggregate(&a, &g, &dev);
         assert_eq!(z1, z2);
         assert_eq!(r1.profile.launches, 1);
+    }
+
+    #[test]
+    fn cached_plan_drives_training_aggregation() {
+        // The serving cache and a training loop share one prepared plan:
+        // no re-preprocessing, identical output to a freshly built
+        // aggregator.
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(512, 4000, 16, 0.9, 2).gcn_normalize();
+        let g = DenseMatrix::random_features(a.nrows, 16, 3);
+
+        let mut cache = hc_serve::PlanCache::new(u64::MAX, PlanSpec::hybrid());
+        let (plan, _) = cache.get_or_prepare(&a, &dev);
+        let agg = HcAggregator::from_plan(Arc::clone(&plan), true);
+        assert!(
+            Arc::ptr_eq(&agg.plan, &plan),
+            "plan must be shared, not copied"
+        );
+
+        let fresh = HcAggregator::new(&a, &dev);
+        assert_eq!(
+            agg.aggregate(&a, &g, &dev).0,
+            fresh.aggregate(&a, &g, &dev).0
+        );
+        // Epoch after epoch the cache keeps hitting the same plan.
+        let (again, hit) = cache.get_or_prepare(&a, &dev);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&again, &agg.plan));
     }
 
     #[test]

@@ -149,12 +149,7 @@ mod tests {
             },
             ..HcSpmm::default()
         };
-        let pre = hc.preprocess(a, dev);
-        HcAggregator {
-            hc,
-            pre,
-            fuse: true,
-        }
+        HcAggregator::with_kernel(hc, a, dev, true)
     }
 
     #[test]

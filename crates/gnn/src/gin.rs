@@ -150,12 +150,7 @@ mod tests {
             },
             ..HcSpmm::default()
         };
-        let pre = hc.preprocess(s, dev);
-        HcAggregator {
-            hc,
-            pre,
-            fuse: true,
-        }
+        HcAggregator::with_kernel(hc, s, dev, true)
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Byte-budgeted LRU cache of prepared execution plans.
+//!
+//! Keys are structure fingerprints, so any two graphs with identical CSR
+//! structure — regardless of values — share one plan. The budget charges
+//! each plan its [`Plan::approx_bytes`]; inserting past the budget evicts
+//! least-recently-used plans until the newcomer fits. A plan larger than
+//! the whole budget is prepared and returned but never retained (the
+//! `rejected` counter), which also makes a zero-byte budget an exact model
+//! of "caching disabled": every request misses, every result stays
+//! correct.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{Csr, StructureFingerprint};
+use hc_core::{Plan, PlanSpec};
+
+/// Cache traffic counters. `requests == hits + misses` always holds;
+/// `rejected` counts the subset of misses whose plan was too large to
+/// retain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served.
+    pub requests: u64,
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that had to prepare a plan.
+    pub misses: u64,
+    /// Resident plans evicted to make room.
+    pub evictions: u64,
+    /// Prepared plans too large for the budget (returned, not retained).
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (0 when none served).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<Plan>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Structure-keyed LRU plan cache. One cache serves one [`PlanSpec`] —
+/// fixing the spec at construction keeps every cached plan executable
+/// interchangeably (a fingerprint hit could otherwise return a plan
+/// prepared for a different kernel family).
+pub struct PlanCache {
+    budget: u64,
+    spec: PlanSpec,
+    entries: HashMap<StructureFingerprint, Entry>,
+    bytes: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Cache with a byte budget for plans of `spec`.
+    pub fn new(budget_bytes: u64, spec: PlanSpec) -> PlanCache {
+        PlanCache {
+            budget: budget_bytes,
+            spec,
+            entries: HashMap::new(),
+            bytes: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up the plan for `a`'s structure, preparing (and, budget
+    /// permitting, retaining) it on a miss. Returns the plan and whether
+    /// it was a hit. Deterministic: the same request sequence produces the
+    /// same hits, evictions and counters at any thread count.
+    pub fn get_or_prepare(&mut self, a: &Csr, dev: &DeviceSpec) -> (Arc<Plan>, bool) {
+        let fp = StructureFingerprint::of(a);
+        self.stats.requests += 1;
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.last_used = self.clock;
+            self.stats.hits += 1;
+            return (Arc::clone(&e.plan), true);
+        }
+        self.stats.misses += 1;
+        let plan = Arc::new(Plan::prepare(a, self.spec, dev));
+        let bytes = plan.approx_bytes();
+        if bytes > self.budget {
+            self.stats.rejected += 1;
+            return (plan, false);
+        }
+        while self.bytes + bytes > self.budget {
+            self.evict_lru();
+        }
+        self.bytes += bytes;
+        self.entries.insert(
+            fp,
+            Entry {
+                plan: Arc::clone(&plan),
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        (plan, false)
+    }
+
+    /// Drop the least-recently-used entry. `last_used` stamps are unique
+    /// (one clock tick per request), so the victim — and therefore the
+    /// whole eviction sequence — is deterministic despite `HashMap`'s
+    /// arbitrary iteration order.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(fp, _)| *fp)
+            .expect("eviction requested on an empty cache");
+        let e = self.entries.remove(&victim).unwrap();
+        self.bytes -= e.bytes;
+        self.stats.evictions += 1;
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The spec every cached plan was prepared with.
+    pub fn spec(&self) -> PlanSpec {
+        self.spec
+    }
+
+    /// Whether a plan for this structure is resident (no LRU touch).
+    pub fn contains(&self, fp: StructureFingerprint) -> bool {
+        self.entries.contains_key(&fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::{gen, DenseMatrix};
+
+    fn graphs() -> Vec<Csr> {
+        vec![
+            gen::erdos_renyi(256, 1_000, 1),
+            gen::erdos_renyi(256, 1_000, 2),
+            gen::erdos_renyi(256, 1_000, 3),
+        ]
+    }
+
+    #[test]
+    fn zero_budget_disables_caching_but_stays_correct() {
+        let dev = DeviceSpec::rtx3090();
+        let mut cache = PlanCache::new(0, PlanSpec::hybrid());
+        let a = &graphs()[0];
+        let x = DenseMatrix::random_features(a.nrows, 16, 9);
+        let mut outputs = Vec::new();
+        for _ in 0..3 {
+            let (plan, hit) = cache.get_or_prepare(a, &dev);
+            assert!(!hit);
+            outputs.push(plan.execute(a, &x, &dev).z);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+        let s = cache.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (3, 0, 3));
+        assert_eq!(s.rejected, 3);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes_used(), 0);
+    }
+
+    #[test]
+    fn single_plan_larger_than_budget_is_returned_not_retained() {
+        let dev = DeviceSpec::rtx3090();
+        let a = &graphs()[0];
+        // Find the plan's real size, then set the budget just below it.
+        let bytes = Plan::prepare(a, PlanSpec::hybrid(), &dev).approx_bytes();
+        let mut cache = PlanCache::new(bytes - 1, PlanSpec::hybrid());
+        let (plan, hit) = cache.get_or_prepare(a, &dev);
+        assert!(!hit);
+        assert_eq!(plan.approx_bytes(), bytes);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.stats().evictions, 0);
+        // At exactly the budget it fits.
+        let mut cache = PlanCache::new(bytes, PlanSpec::hybrid());
+        cache.get_or_prepare(a, &dev);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes_used(), bytes);
+    }
+
+    #[test]
+    fn lru_evicts_in_exact_recency_order() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = graphs();
+        let fps: Vec<StructureFingerprint> = gs.iter().map(StructureFingerprint::of).collect();
+        let bytes: Vec<u64> = gs
+            .iter()
+            .map(|g| Plan::prepare(g, PlanSpec::hybrid(), &dev).approx_bytes())
+            .collect();
+        // Budget holds exactly two of the three plans.
+        let budget = bytes[0] + bytes[1].max(bytes[2]);
+        let mut cache = PlanCache::new(budget, PlanSpec::hybrid());
+
+        cache.get_or_prepare(&gs[0], &dev); // [0]
+        cache.get_or_prepare(&gs[1], &dev); // [0, 1]
+        cache.get_or_prepare(&gs[0], &dev); // touch 0 → 1 is now LRU
+        cache.get_or_prepare(&gs[2], &dev); // evicts 1, not 0
+        assert!(cache.contains(fps[0]));
+        assert!(!cache.contains(fps[1]));
+        assert!(cache.contains(fps[2]));
+        assert_eq!(cache.stats().evictions, 1);
+
+        // Re-inserting 1 now evicts 0 (LRU after the touch order above).
+        cache.get_or_prepare(&gs[1], &dev);
+        assert!(!cache.contains(fps[0]));
+        assert!(cache.contains(fps[1]));
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn counters_account_for_every_request() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = graphs();
+        let mut cache = PlanCache::new(u64::MAX, PlanSpec::hybrid());
+        for round in 0..4 {
+            for g in &gs {
+                let (_, hit) = cache.get_or_prepare(g, &dev);
+                assert_eq!(hit, round > 0);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.requests, 12);
+        assert_eq!(s.hits + s.misses, s.requests);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 9);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.rejected, 0);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweighted_graph_hits_the_same_plan() {
+        let dev = DeviceSpec::rtx3090();
+        let a = graphs().remove(0);
+        let mut b = a.clone();
+        for v in &mut b.vals {
+            *v *= 7.0;
+        }
+        let mut cache = PlanCache::new(u64::MAX, PlanSpec::hybrid());
+        let (pa, hit_a) = cache.get_or_prepare(&a, &dev);
+        let (pb, hit_b) = cache.get_or_prepare(&b, &dev);
+        assert!(!hit_a);
+        assert!(hit_b, "same structure must hit regardless of values");
+        assert!(Arc::ptr_eq(&pa, &pb));
+    }
+}

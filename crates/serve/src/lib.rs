@@ -1,0 +1,24 @@
+//! # hc-serve — structure-keyed plan cache and batched serving driver
+//!
+//! First piece of the serving architecture on the ROADMAP: HC-SpMM's
+//! preprocessing is only worth its ≈13×-one-SpMM cost (Appendix F) when
+//! amortized over many invocations, and a serving workload amortizes it by
+//! *reusing plans across requests on the same graph*. This crate holds:
+//!
+//! * [`PlanCache`] — maps [`graph_sparse::StructureFingerprint`] →
+//!   prepared [`hc_core::Plan`] under a byte budget with LRU eviction and
+//!   hit/miss/eviction counters;
+//! * [`BatchDriver`] — runs a stream of (graph, feature-matrix)
+//!   [`Request`]s through cached plans on the `hc-parallel` pool.
+//!
+//! Requests are served in order, each SpMM internally parallel, so a batch
+//! run is deterministic and thread-count-independent: outputs and cache
+//! counters are bit-identical at 1, 2 or 64 workers.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod driver;
+
+pub use cache::{CacheStats, PlanCache};
+pub use driver::{BatchDriver, Request, Response};

@@ -1,0 +1,149 @@
+//! Deterministic structure fingerprint over a CSR matrix.
+//!
+//! The serving layer keys its plan cache on the *structure* of a graph —
+//! dimensions, row pointers and column indices — because every plan
+//! artifact (row windows, condensed columns, core choices, the LOA
+//! permutation) is a pure function of structure. Values are deliberately
+//! excluded: two requests whose graphs differ only in edge weights share a
+//! plan, which is exactly the GNN-serving pattern (normalized adjacency
+//! values change per model, connectivity does not).
+//!
+//! The fingerprint is a 128-bit chained hash: two independent 64-bit lanes,
+//! each a SplitMix64-scrambled absorption of the structure words in a fixed
+//! serial order. Serial on purpose — the digest must be identical at any
+//! worker-thread count, so it never touches the `hc-parallel` pool (one
+//! pass over `nnz + nrows` words is far below the pool's dispatch
+//! threshold anyway).
+
+use crate::csr::Csr;
+
+/// 128-bit structure digest of a CSR matrix; the plan-cache key.
+///
+/// Equality means "same `nrows`, `ncols`, `row_ptr` and `col_idx`" up to
+/// hash collisions (~2⁻¹²⁸ per pair); values play no part.
+///
+/// ```
+/// use graph_sparse::{gen, StructureFingerprint};
+///
+/// let a = gen::erdos_renyi(64, 200, 1);
+/// let mut b = a.clone();
+/// b.vals.iter_mut().for_each(|v| *v *= 2.0); // reweight only
+/// assert_eq!(StructureFingerprint::of(&a), StructureFingerprint::of(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructureFingerprint {
+    /// Low lane of the digest.
+    pub lo: u64,
+    /// High lane of the digest.
+    pub hi: u64,
+}
+
+/// SplitMix64 finalizer: a bijective scramble with full avalanche, so a
+/// single-bit difference in any absorbed word flips ~half the state bits.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One hash lane: chained absorption `state = splitmix(state ^ word)`.
+/// Chaining makes the digest position-sensitive (moving a non-zero between
+/// rows changes both `row_ptr` and the absorbed sequence).
+#[derive(Clone, Copy)]
+struct Lane(u64);
+
+impl Lane {
+    fn absorb(&mut self, word: u64) {
+        self.0 = splitmix(self.0 ^ word);
+    }
+}
+
+impl StructureFingerprint {
+    /// Digest the structure of `a`. Runs serially in one O(nrows + nnz)
+    /// pass; bit-identical at any thread count by construction.
+    pub fn of(a: &Csr) -> StructureFingerprint {
+        // Independent lane seeds (hex digits of π); the second lane also
+        // absorbs each word pre-scrambled so the lanes decorrelate even on
+        // adversarially structured inputs.
+        let mut lo = Lane(0x2435_f6a8_885a_308d);
+        let mut hi = Lane(0x1319_8a2e_0370_7344);
+        let mut absorb = |word: u64| {
+            lo.absorb(word);
+            hi.absorb(splitmix(word));
+        };
+        absorb(a.nrows as u64);
+        absorb(a.ncols as u64);
+        for &p in &a.row_ptr {
+            absorb(p as u64);
+        }
+        // Domain separator between the two arrays (row_ptr's length is
+        // implied by nrows, but the separator keeps the encoding prefix-free
+        // if the format ever grows).
+        absorb(u64::MAX);
+        for &c in &a.col_idx {
+            absorb(c as u64);
+        }
+        StructureFingerprint { lo: lo.0, hi: hi.0 }
+    }
+
+    /// Fixed-width hex rendering for logs and cache listings.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::gen;
+
+    #[test]
+    fn values_do_not_affect_the_key() {
+        let a = gen::community(256, 1_500, 8, 0.9, 1);
+        let mut b = a.clone();
+        for v in &mut b.vals {
+            *v = v.mul_add(3.0, 1.0);
+        }
+        assert_eq!(StructureFingerprint::of(&a), StructureFingerprint::of(&b));
+    }
+
+    #[test]
+    fn structural_edits_change_the_key() {
+        let base = Coo::from_triples(32, 32, [(0, 1, 1.0), (5, 7, 1.0), (20, 3, 1.0)]).to_csr();
+        let fp = StructureFingerprint::of(&base);
+        // Add a non-zero.
+        let added = Coo::from_triples(
+            32,
+            32,
+            [(0, 1, 1.0), (5, 7, 1.0), (20, 3, 1.0), (9, 9, 1.0)],
+        )
+        .to_csr();
+        assert_ne!(fp, StructureFingerprint::of(&added));
+        // Move a non-zero to another column.
+        let moved = Coo::from_triples(32, 32, [(0, 2, 1.0), (5, 7, 1.0), (20, 3, 1.0)]).to_csr();
+        assert_ne!(fp, StructureFingerprint::of(&moved));
+        // Change dimensions only.
+        let wider = Coo::from_triples(32, 33, [(0, 1, 1.0), (5, 7, 1.0), (20, 3, 1.0)]).to_csr();
+        assert_ne!(fp, StructureFingerprint::of(&wider));
+    }
+
+    #[test]
+    fn empty_matrices_of_different_shapes_differ() {
+        let a = StructureFingerprint::of(&Csr::empty(16, 16));
+        let b = StructureFingerprint::of(&Csr::empty(16, 17));
+        let c = StructureFingerprint::of(&Csr::empty(17, 16));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn hex_rendering_is_32_digits() {
+        let fp = StructureFingerprint::of(&gen::erdos_renyi(64, 100, 2));
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -15,6 +15,7 @@ pub mod coo;
 pub mod csr;
 pub mod datasets;
 pub mod dense;
+pub mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod metcf;
@@ -25,5 +26,6 @@ pub use coo::Coo;
 pub use csr::{Csr, CsrError};
 pub use datasets::{Dataset, DatasetId, DatasetSpec};
 pub use dense::DenseMatrix;
+pub use fingerprint::StructureFingerprint;
 pub use metcf::MeTcf;
 pub use window::{RowWindow, RowWindowPartition, WINDOW_ROWS};

@@ -1,9 +1,11 @@
 //! Command-line interface for the `hc-spmm` binary.
 //!
 //! Hand-rolled flag parsing (no CLI dependency): subcommands `datasets`,
-//! `spmm`, `loa`, `train`, `selector`. Run `hc-spmm help` for usage.
+//! `spmm`, `batch`, `loa`, `train`, `selector`. Run `hc-spmm help` for
+//! usage.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gnn::aggregator::{HcAggregator, KernelAggregator};
 use gnn::gin::gin_propagation;
@@ -12,7 +14,8 @@ use gnn::{Gcn, Gin};
 use gpu_sim::sanitizer::SanitizerConfig;
 use gpu_sim::{DeviceKind, DeviceSpec};
 use graph_sparse::{gen, io, Csr, DatasetId, DenseMatrix};
-use hc_core::{sanitize_family, HcSpmm, KernelFamily, Loa, SampleSpec, SpmmKernel};
+use hc_core::{sanitize_family, HcSpmm, KernelFamily, Loa, PlanSpec, SampleSpec, SpmmKernel};
+use hc_serve::{BatchDriver, Request};
 
 /// Entry point; returns the process exit code.
 pub fn run(args: Vec<String>) -> i32 {
@@ -35,6 +38,7 @@ pub fn run(args: Vec<String>) -> i32 {
         "datasets" => cmd_datasets(),
         "metrics" => cmd_metrics(&flags),
         "spmm" => cmd_spmm(&flags),
+        "batch" => cmd_batch(&flags),
         "loa" => cmd_loa(&flags),
         "train" => cmd_train(&flags),
         "selector" => cmd_selector(),
@@ -60,6 +64,12 @@ USAGE:
   hc-spmm spmm     [--dataset CODE | --edge-list FILE] [--scale N]
                    [--kernel hc|cusparse|sputnik|ge|tcgnn|dtc] [--dim N]
                    [--gpu 3090|4090|a100]        run one SpMM, report time
+  hc-spmm batch    [--requests N] [--graphs N] [--cache-bytes B] [--dim N]
+                   [--kernel straightforward|cuda|tensor|hybrid] [--loa]
+                   [--nodes N] [--gpu 3090|4090|a100]
+                   serve a round-robin request stream through the
+                   structure-keyed plan cache; reports per-request
+                   hit/miss, amortized vs cold cost, and cache counters
   hc-spmm metrics  [--dataset CODE | --edge-list FILE] [--scale N]
                    structural report: degrees, clustering, locality, windows
   hc-spmm loa      [--dataset CODE | --edge-list FILE] [--scale N] [--vw N]
@@ -223,6 +233,99 @@ fn cmd_spmm(flags: &HashMap<String, String>) -> i32 {
         r.run.time_ms,
         r.run.profile.dram_bytes() as f64 / 1e6,
         r.run.profile.blocks
+    );
+    0
+}
+
+fn cmd_batch(flags: &HashMap<String, String>) -> i32 {
+    let dev = device_for(flags);
+    let requests = flag_usize(flags, "requests", 32);
+    let distinct = flag_usize(flags, "graphs", 4).max(1);
+    let nodes = flag_usize(flags, "nodes", 1024);
+    let dim = flag_usize(flags, "dim", 32);
+    let cache_bytes = match flags.get("cache-bytes") {
+        None => 64 << 20,
+        Some(v) => match v.parse::<u64>() {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!("--cache-bytes requires a byte count, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let family = match flags.get("kernel") {
+        None => KernelFamily::Hybrid,
+        Some(name) => match KernelFamily::parse(name) {
+            Some(f) => f,
+            None => {
+                eprintln!("unknown kernel family {name:?} (straightforward|cuda|tensor|hybrid)");
+                return 2;
+            }
+        },
+    };
+    let spec = PlanSpec {
+        family,
+        use_loa: flags.contains_key("loa"),
+    };
+
+    // A serving mix: `distinct` structurally different graphs, requests
+    // round-robin across them so every graph past the first round hits.
+    let graphs: Vec<Arc<Csr>> = (0..distinct)
+        .map(|s| Arc::new(gen::community(nodes, nodes * 8, 16, 0.9, s as u64 + 1)))
+        .collect();
+    let stream: Vec<Request> = (0..requests)
+        .map(|i| Request {
+            graph: Arc::clone(&graphs[i % distinct]),
+            features: DenseMatrix::random_features(nodes, dim, i as u64),
+        })
+        .collect();
+
+    println!(
+        "batch: {requests} requests over {distinct} graphs ({nodes} vertices, dim {dim}), \
+         {} plans, cache budget {cache_bytes} B, {:?}",
+        family.name(),
+        dev.kind
+    );
+    let mut driver = BatchDriver::new(cache_bytes, spec);
+    let responses = driver.run(&stream, &dev);
+    let mut exec_total = 0.0;
+    let mut prepare_total = 0.0;
+    for (i, r) in responses.iter().enumerate() {
+        println!(
+            "  request {i:>3}: {}  exec {:>8.4} ms  prepare {:>8.4} ms",
+            if r.hit { "hit " } else { "miss" },
+            r.exec_sim_ms,
+            r.prepare_sim_ms
+        );
+        exec_total += r.exec_sim_ms;
+        prepare_total += r.prepare_sim_ms;
+    }
+    let s = driver.stats();
+    let n = responses.len() as f64;
+    // Cold = what every request would cost if nothing were ever cached:
+    // each would pay its own preparation on top of the SpMM.
+    let cold_prepare: f64 = responses
+        .iter()
+        .filter(|r| !r.hit)
+        .map(|r| r.prepare_sim_ms)
+        .sum::<f64>()
+        / s.misses.max(1) as f64;
+    println!(
+        "amortized {:.4} ms/request vs cold {:.4} ms/request (sim)",
+        (exec_total + prepare_total) / n,
+        exec_total / n + cold_prepare
+    );
+    println!(
+        "cache: {} hits / {} misses ({} evictions, {} rejected) — hit rate {:.1}%, \
+         {} plans resident, {} / {} B used",
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.rejected,
+        s.hit_rate() * 100.0,
+        driver.cache.len(),
+        driver.cache.bytes_used(),
+        driver.cache.budget()
     );
     0
 }
@@ -511,6 +614,43 @@ mod tests {
                 "1".into(),
             ]),
             0
+        );
+        assert_eq!(
+            run(vec![
+                "batch".into(),
+                "--requests".into(),
+                "9".into(),
+                "--graphs".into(),
+                "3".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            run(vec![
+                "batch".into(),
+                "--requests".into(),
+                "4".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+                "--cache-bytes".into(),
+                "0".into(),
+                "--loa".into(),
+            ]),
+            0
+        );
+        assert_eq!(
+            run(vec!["batch".into(), "--kernel".into(), "bogus".into()]),
+            2
+        );
+        assert_eq!(
+            run(vec!["batch".into(), "--cache-bytes".into(), "много".into()]),
+            2
         );
         assert_eq!(run(vec!["datasets".into()]), 0);
         assert_eq!(

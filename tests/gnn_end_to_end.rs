@@ -28,8 +28,7 @@ fn exact_hc(a: &graph_sparse::Csr, dev: &DeviceSpec, fuse: bool) -> HcAggregator
         },
         ..HcSpmm::default()
     };
-    let pre = hc.preprocess(a, dev);
-    HcAggregator { hc, pre, fuse }
+    HcAggregator::with_kernel(hc, a, dev, fuse)
 }
 
 #[test]

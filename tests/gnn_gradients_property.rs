@@ -18,12 +18,7 @@ fn exact_agg(a: &Csr, dev: &DeviceSpec) -> HcAggregator {
         },
         ..HcSpmm::default()
     };
-    let pre = hc.preprocess(a, dev);
-    HcAggregator {
-        hc,
-        pre,
-        fuse: true,
-    }
+    HcAggregator::with_kernel(hc, a, dev, true)
 }
 
 proptest! {
