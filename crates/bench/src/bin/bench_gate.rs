@@ -24,13 +24,20 @@
 //! and an amortized per-request cost strictly below the cold cost. These
 //! are simulated-time functional assertions, not noisy host timings, so
 //! they are exact and have no override.
+//!
+//! `--max-degraded-rate R` requires the current report's `fault_recovery`
+//! block to show a degraded-request rate of at most `R` and zero failed
+//! requests: the resilience layer must recover every request the chaos
+//! schedule hits. Like the cache assertions, these counters are
+//! deterministic and have no override.
 
 use bench::metrics::{gate, BenchReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline <path> --current <path> \
-         [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R]"
+         [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R] \
+         [--max-degraded-rate R]"
     );
     std::process::exit(2);
 }
@@ -52,6 +59,7 @@ fn main() {
     let mut threshold = 0.25f64;
     let mut min_ms = 10.0f64;
     let mut min_hit_rate: Option<f64> = None;
+    let mut max_degraded_rate: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -62,6 +70,9 @@ fn main() {
             "--min-ms" => min_ms = value().parse().unwrap_or_else(|_| usage()),
             "--min-plan-cache-hit-rate" => {
                 min_hit_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-degraded-rate" => {
+                max_degraded_rate = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             _ => usage(),
         }
@@ -109,6 +120,46 @@ fn main() {
                 "FAIL: amortized per-request cost {:.4} ms is not below the \
                  cold cost {:.4} ms — the cache is not paying for itself",
                 pc.amortized_ms, pc.cold_ms
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(max_rate) = max_degraded_rate {
+        let Some(fr) = &cur.fault_recovery else {
+            eprintln!(
+                "FAIL: --max-degraded-rate given but the current report has \
+                 no \"fault_recovery\" block (did ext_fault_recovery run?)"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "fault recovery: {} requests under faults, {} ok / {} degraded / {} failed \
+             (rate {:.1}%, max {:.1}%), {} retries, {} fallbacks, {} quarantined, \
+             {:.4} ms wasted (sim)",
+            fr.requests,
+            fr.ok,
+            fr.degraded,
+            fr.failed,
+            fr.degraded_rate * 100.0,
+            max_rate * 100.0,
+            fr.retries,
+            fr.fallbacks,
+            fr.quarantined,
+            fr.wasted_sim_ms
+        );
+        if fr.failed > 0 {
+            eprintln!(
+                "FAIL: {} request(s) failed under the chaos schedule — the \
+                 fallback chain must serve every request",
+                fr.failed
+            );
+            std::process::exit(1);
+        }
+        if fr.degraded_rate > max_rate {
+            eprintln!(
+                "FAIL: degraded-request rate {:.4} above allowed {max_rate}",
+                fr.degraded_rate
             );
             std::process::exit(1);
         }

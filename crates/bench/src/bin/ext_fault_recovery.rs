@@ -1,0 +1,8 @@
+//! Extension: chaos serving — retry/fallback overhead and degraded-request
+//! rate under a deterministic injected-fault schedule.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let (text, _) =
+        bench::experiments::extensions::fault_recovery(&mut c, &gpu_sim::DeviceSpec::rtx3090());
+    println!("{text}");
+}

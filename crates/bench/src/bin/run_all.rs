@@ -148,6 +148,13 @@ fn main() {
         text
     });
     report.plan_cache = plan_cache_metrics;
+    let mut fault_recovery_metrics = None;
+    exp!("ext_fault_recovery", {
+        let (text, m) = e::extensions::fault_recovery(&mut c, &dev);
+        fault_recovery_metrics = Some(m);
+        text
+    });
+    report.fault_recovery = fault_recovery_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).

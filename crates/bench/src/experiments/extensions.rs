@@ -11,13 +11,13 @@
 use std::sync::Arc;
 
 use baselines::SputnikSpmm;
-use gpu_sim::DeviceSpec;
+use gpu_sim::{DeviceSpec, FaultConfig};
 use graph_sparse::{DatasetId, DenseMatrix, RowWindowPartition};
-use hc_core::{HcSpmm, Loa, PlanSpec, SpmmKernel};
-use hc_serve::{BatchDriver, Request};
+use hc_core::{HcSpmm, KernelFamily, Loa, PlanSpec, ResiliencePolicy, SpmmKernel};
+use hc_serve::{BatchDriver, BatchSummary, Outcome, Request};
 
 use crate::harness::{f3, DatasetCache, Table};
-use crate::metrics::PlanCacheMetrics;
+use crate::metrics::{FaultRecoveryMetrics, PlanCacheMetrics};
 
 /// Dynamic-graph break-even: executions per mutation at which HC-SpMM
 /// (preprocess once, run fast) overtakes Sputnik (no preprocessing).
@@ -145,6 +145,120 @@ pub fn plan_cache_amortization(
         m.hit_rate * 100.0,
         m.amortized_ms,
         m.cold_ms,
+        t.render()
+    );
+    (text, m)
+}
+
+/// Fault recovery: the plan-cache request mix served twice — once
+/// fault-free, once under a deterministic injected-fault schedule — to
+/// price the resilience layer. Every `Ok` outcome under faults must be
+/// bit-exact to the fault-free run (results only ever come from zero-fault
+/// attempts); degraded requests record the retry/fallback overhead as
+/// discarded simulated time. These counters feed the CI
+/// `--max-degraded-rate` assertion.
+pub fn fault_recovery(
+    cache: &mut DatasetCache,
+    dev: &DeviceSpec,
+) -> (String, FaultRecoveryMetrics) {
+    const ROUNDS: usize = 8;
+    const FAULT_SEED: u64 = 42;
+    const FAULT_RATE: f64 = 0.25;
+    let ids = [DatasetId::CR, DatasetId::PM, DatasetId::PT, DatasetId::AZ];
+    let graphs: Vec<Arc<graph_sparse::Csr>> = ids
+        .iter()
+        .map(|&id| Arc::new(cache.get(id).adj.clone()))
+        .collect();
+    let requests: Vec<Request> = (0..ROUNDS)
+        .flat_map(|round| {
+            graphs.iter().enumerate().map(move |(i, g)| Request {
+                graph: Arc::clone(g),
+                features: DenseMatrix::random_features(g.ncols, 32, (round * ids.len() + i) as u64),
+            })
+        })
+        .collect();
+
+    // Fault-free reference pass, then the same mix under the schedule.
+    let mut clean_driver = BatchDriver::new(1 << 30, PlanSpec::hybrid());
+    let clean = clean_driver.run(&requests, dev);
+    let policy = ResiliencePolicy {
+        faults: FaultConfig::uniform(FAULT_SEED, FAULT_RATE),
+        ..Default::default()
+    };
+    let mut driver = BatchDriver::with_policy(1 << 30, PlanSpec::hybrid(), policy);
+    let responses = driver.run(&requests, dev);
+    let sum = BatchSummary::of(&responses, KernelFamily::Hybrid);
+
+    // Ok means "primary family, zero retries, zero faults" — such a result
+    // must match the fault-free pass bit for bit.
+    let ok_exact = responses
+        .iter()
+        .zip(&clean)
+        .filter(|(r, _)| matches!(r.outcome, Outcome::Ok(_)))
+        .all(|(r, c)| r.z() == c.z());
+
+    let mut t = Table::new(&[
+        "Dataset",
+        "requests",
+        "ok",
+        "degraded",
+        "failed",
+        "retries",
+        "wasted (ms)",
+    ]);
+    for (g, &id) in ids.iter().enumerate() {
+        let (mut ok, mut degraded, mut failed, mut retries, mut wasted) =
+            (0u64, 0u64, 0u64, 0u64, 0.0f64);
+        for (i, r) in responses.iter().enumerate() {
+            if i % ids.len() != g {
+                continue;
+            }
+            wasted += r.wasted_sim_ms;
+            match &r.outcome {
+                Outcome::Ok(_) => ok += 1,
+                Outcome::Degraded { retries: n, .. } => {
+                    degraded += 1;
+                    retries += u64::from(*n);
+                }
+                Outcome::Failed(_) => failed += 1,
+            }
+        }
+        t.row(vec![
+            id.code().into(),
+            ROUNDS.to_string(),
+            ok.to_string(),
+            degraded.to_string(),
+            failed.to_string(),
+            retries.to_string(),
+            f3(wasted),
+        ]);
+    }
+    let m = FaultRecoveryMetrics {
+        requests: sum.requests,
+        ok: sum.ok,
+        degraded: sum.degraded,
+        failed: sum.failed,
+        retries: sum.retries,
+        fallbacks: sum.fallbacks,
+        quarantined: driver.stats().quarantined,
+        degraded_rate: sum.degraded_rate(),
+        wasted_sim_ms: sum.wasted_sim_ms,
+    };
+    let text = format!(
+        "Fault recovery (extension): {} requests under a seeded fault schedule \
+         (seed {FAULT_SEED}, rate {FAULT_RATE}) — {} ok / {} degraded / {} failed \
+         (degraded rate {:.1}%), {} retries, {} fallbacks, {} structures quarantined, \
+         {:.4} ms wasted (sim); ok outputs bit-exact to fault-free run: {}\n{}",
+        m.requests,
+        m.ok,
+        m.degraded,
+        m.failed,
+        m.degraded_rate * 100.0,
+        m.retries,
+        m.fallbacks,
+        m.quarantined,
+        m.wasted_sim_ms,
+        ok_exact,
         t.render()
     );
     (text, m)
@@ -532,6 +646,20 @@ mod tests {
             .filter(|l| !l.contains("never") && l.split_whitespace().count() == 5)
             .count();
         assert!(finite >= 1, "no finite break-even found:\n{out}");
+    }
+
+    #[test]
+    fn fault_recovery_serves_every_request() {
+        let mut cache = DatasetCache::with_scale(512);
+        let dev = DeviceSpec::rtx3090();
+        let (text, m) = fault_recovery(&mut cache, &dev);
+        // The CPU-reference safety net means no request is ever dropped.
+        assert_eq!(m.failed, 0, "{text}");
+        assert_eq!(m.ok + m.degraded, m.requests);
+        // The chosen rate must actually exercise the recovery machinery.
+        assert!(m.degraded > 0, "fault schedule degraded nothing:\n{text}");
+        assert!(m.wasted_sim_ms > 0.0);
+        assert!(text.contains("bit-exact to fault-free run: true"), "{text}");
     }
 
     #[test]

@@ -23,13 +23,18 @@
 //!   ],
 //!   "plan_cache": {"requests": 48, "hits": 44, "misses": 4,
 //!                  "evictions": 0, "hit_rate": 0.9167,
-//!                  "cold_ms": 1.92, "amortized_ms": 0.31}
+//!                  "cold_ms": 1.92, "amortized_ms": 0.31},
+//!   "fault_recovery": {"requests": 32, "ok": 24, "degraded": 8,
+//!                      "failed": 0, "retries": 5, "fallbacks": 3,
+//!                      "quarantined": 1, "degraded_rate": 0.25,
+//!                      "wasted_sim_ms": 0.42}
 //! }
 //! ```
 //!
-//! `plan_cache` is optional (the `ext_plan_cache_amortization` experiment's
-//! counters): reports written before the serving layer existed — including
-//! the committed baseline — parse unchanged.
+//! `plan_cache` (the `ext_plan_cache_amortization` experiment's counters)
+//! and `fault_recovery` (the `ext_fault_recovery` chaos-serving counters)
+//! are both optional: reports written before those subsystems existed —
+//! including the committed baseline — parse unchanged.
 //!
 //! `experiments` records wall-clock and process CPU time per experiment;
 //! `kernels` records per-kernel-family SpMM timings against a forced
@@ -102,6 +107,31 @@ pub struct PlanCacheMetrics {
     pub amortized_ms: f64,
 }
 
+/// Chaos-serving counters from the `ext_fault_recovery` experiment: how a
+/// deterministic fault schedule degraded a batched request mix, and what
+/// the recovery (retries + fallbacks) cost in discarded simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecoveryMetrics {
+    /// Requests served under the fault schedule.
+    pub requests: u64,
+    /// Clean primary-family successes.
+    pub ok: u64,
+    /// Requests served after retry and/or fallback.
+    pub degraded: u64,
+    /// Requests that could not be served (typed errors).
+    pub failed: u64,
+    /// Total retries across all requests.
+    pub retries: u64,
+    /// Requests whose surviving result came from a non-primary step.
+    pub fallbacks: u64,
+    /// Plan structures quarantined by fault implication.
+    pub quarantined: u64,
+    /// `degraded / requests`.
+    pub degraded_rate: f64,
+    /// Total simulated milliseconds of discarded (faulted) attempts.
+    pub wasted_sim_ms: f64,
+}
+
 /// The full machine-readable report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -115,6 +145,8 @@ pub struct BenchReport {
     pub kernels: Vec<KernelSpeedup>,
     /// Plan-cache amortization counters (absent in pre-serving reports).
     pub plan_cache: Option<PlanCacheMetrics>,
+    /// Chaos-serving recovery counters (absent in pre-resilience reports).
+    pub fault_recovery: Option<FaultRecoveryMetrics>,
 }
 
 impl BenchReport {
@@ -126,6 +158,7 @@ impl BenchReport {
             experiments: Vec::new(),
             kernels: Vec::new(),
             plan_cache: None,
+            fault_recovery: None,
         }
     }
 
@@ -188,6 +221,23 @@ impl BenchReport {
                 num(pc.hit_rate),
                 num(pc.cold_ms),
                 num(pc.amortized_ms)
+            );
+        }
+        if let Some(fr) = &self.fault_recovery {
+            let _ = write!(
+                s,
+                ",\n  \"fault_recovery\": {{\"requests\": {}, \"ok\": {}, \"degraded\": {}, \
+                 \"failed\": {}, \"retries\": {}, \"fallbacks\": {}, \"quarantined\": {}, \
+                 \"degraded_rate\": {}, \"wasted_sim_ms\": {}}}",
+                fr.requests,
+                fr.ok,
+                fr.degraded,
+                fr.failed,
+                fr.retries,
+                fr.fallbacks,
+                fr.quarantined,
+                num(fr.degraded_rate),
+                num(fr.wasted_sim_ms)
             );
         }
         s.push_str("\n}\n");
@@ -265,6 +315,24 @@ impl BenchReport {
                 hit_rate: f("hit_rate")?,
                 cold_ms: f("cold_ms")?,
                 amortized_ms: f("amortized_ms")?,
+            });
+        }
+        if let Some(fr) = v.get("fault_recovery") {
+            let f = |key: &str| {
+                fr.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("fault_recovery missing {key}"))
+            };
+            report.fault_recovery = Some(FaultRecoveryMetrics {
+                requests: f("requests")? as u64,
+                ok: f("ok")? as u64,
+                degraded: f("degraded")? as u64,
+                failed: f("failed")? as u64,
+                retries: f("retries")? as u64,
+                fallbacks: f("fallbacks")? as u64,
+                quarantined: f("quarantined")? as u64,
+                degraded_rate: f("degraded_rate")?,
+                wasted_sim_ms: f("wasted_sim_ms")?,
             });
         }
         Ok(report)
@@ -737,6 +805,28 @@ mod tests {
             hit_rate: 44.0 / 48.0,
             cold_ms: 1.92,
             amortized_ms: 0.31,
+        });
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn fault_recovery_block_roundtrips_and_stays_optional() {
+        let bare = sample();
+        assert!(!bare.to_json().contains("fault_recovery"));
+        assert_eq!(BenchReport::from_json(&bare.to_json()).unwrap(), bare);
+
+        let mut r = sample();
+        r.fault_recovery = Some(FaultRecoveryMetrics {
+            requests: 32,
+            ok: 24,
+            degraded: 8,
+            failed: 0,
+            retries: 5,
+            fallbacks: 3,
+            quarantined: 1,
+            degraded_rate: 0.25,
+            wasted_sim_ms: 0.42,
         });
         let parsed = BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed, r);

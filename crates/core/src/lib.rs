@@ -17,7 +17,9 @@
 //!   (Algorithms 5/6, §V-B);
 //! * [`fusion`] — the Aggregation+Update kernel-fusion strategy (§V-A);
 //! * [`sanitize`] — compute-sanitizer-style checking of every kernel
-//!   family's window traces against the costs it bills.
+//!   family's window traces against the costs it bills;
+//! * [`resilient`] — typed errors, bounded retry, kernel-family fallback
+//!   chains and output validation over prepared [`Plan`]s.
 //!
 //! Kernels compute real `f32` numerics on the CPU while charging simulated
 //! GPU time through the `gpu-sim` substrate; see that crate's docs.
@@ -31,6 +33,7 @@ pub mod kernels;
 pub mod loa;
 pub mod plan;
 pub mod preprocess;
+pub mod resilient;
 pub mod sanitize;
 pub mod selector;
 
@@ -43,5 +46,9 @@ pub use kernels::{SpmmKernel, SpmmResult};
 pub use loa::{Loa, LoaBrute, LoaReport};
 pub use plan::{LoaLayout, Plan, PlanSpec};
 pub use preprocess::{preprocess_oracle, Preprocessed};
+pub use resilient::{
+    execute_resilient, fallback_chain, FallbackStep, HcError, ResiliencePolicy, ResilientRun,
+    Validation,
+};
 pub use sanitize::{sanitize_family, sanitize_graph, FamilyReport, KernelFamily, SampleSpec};
 pub use selector::{CoreChoice, SelectionPolicy, Selector};

@@ -157,8 +157,24 @@ impl Plan {
             self.fingerprint,
             "request graph structure does not match the plan's"
         );
+        self.execute_as(self.spec.family, a, x, dev)
+    }
+
+    /// Execute the plan with an explicit kernel family — the fallback hook
+    /// the resilient layer uses to retry a prepared plan on a simpler
+    /// family without re-preparing. The prepared partition is shared by
+    /// all families, so any family can execute any plan. No fingerprint
+    /// check: callers on this path have already validated the request (see
+    /// [`crate::resilient::execute_resilient`]).
+    pub fn execute_as(
+        &self,
+        family: KernelFamily,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
         match &self.loa {
-            None => self.execute_layout(a, x, dev),
+            None => self.execute_layout(family, a, x, dev),
             Some(l) => {
                 // Route the request's values into the permuted structure,
                 // permute the feature rows to match, then map the output
@@ -169,7 +185,7 @@ impl Plan {
                 }
                 let xp =
                     DenseMatrix::from_fn(x.rows, x.cols, |new, j| x.row(l.perm[new] as usize)[j]);
-                let mut r = self.execute_layout(&ap, &xp, dev);
+                let mut r = self.execute_layout(family, &ap, &xp, dev);
                 let mut z = DenseMatrix::zeros(r.z.rows, r.z.cols);
                 for (new, &old) in l.perm.iter().enumerate() {
                     z.row_mut(old as usize).copy_from_slice(r.z.row(new));
@@ -180,9 +196,15 @@ impl Plan {
         }
     }
 
-    /// Dispatch to the spec's kernel family against the prepared partition.
-    fn execute_layout(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
-        match self.spec.family {
+    /// Dispatch to a kernel family against the prepared partition.
+    fn execute_layout(
+        &self,
+        family: KernelFamily,
+        a: &Csr,
+        x: &DenseMatrix,
+        dev: &DeviceSpec,
+    ) -> SpmmResult {
+        match family {
             KernelFamily::Straightforward => {
                 self.sf.spmm_with_partition(&self.pre.partition, a, x, dev)
             }

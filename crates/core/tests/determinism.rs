@@ -14,10 +14,12 @@
 
 use std::sync::Arc;
 
-use gpu_sim::DeviceSpec;
+use gpu_sim::{DeviceSpec, FaultConfig};
 use graph_sparse::{gen, Csr, DenseMatrix};
-use hc_core::{CudaSpmm, HcSpmm, PlanSpec, SpmmKernel, StraightforwardHybrid, TensorSpmm};
-use hc_serve::{BatchDriver, CacheStats, Request};
+use hc_core::{
+    CudaSpmm, HcSpmm, PlanSpec, ResiliencePolicy, SpmmKernel, StraightforwardHybrid, TensorSpmm,
+};
+use hc_serve::{BatchDriver, CacheStats, Outcome, Request};
 
 #[test]
 fn kernel_outputs_bit_identical_across_thread_counts() {
@@ -79,7 +81,10 @@ fn kernel_outputs_bit_identical_across_thread_counts() {
         let mut driver = BatchDriver::new(budget, PlanSpec::hybrid());
         let responses = driver.run(&requests, &dev);
         (
-            responses.iter().map(|r| r.z.clone()).collect(),
+            responses
+                .iter()
+                .map(|r| r.z().expect("faults off: every request serves").clone())
+                .collect(),
             responses.iter().map(|r| r.hit).collect(),
             driver.stats(),
         )
@@ -99,6 +104,44 @@ fn kernel_outputs_bit_identical_across_thread_counts() {
             );
             assert_eq!(hits1, hits, "hit pattern changed with thread count");
             assert_eq!(stats1, stats, "cache counters changed with thread count");
+        }
+    }
+    // Fault schedules must be thread-count-deterministic too: decisions
+    // are a pure function of (seed, launch index) and launches happen on
+    // the driving thread only, so the same chaos batch produces identical
+    // outcomes, retry counts, fallback choices, wasted time and cache
+    // counters (quarantines included) at 1, 2 and 8 threads.
+    let chaos_batch = |threads: usize, seed: u64, rate: f64| {
+        hc_parallel::set_threads(threads);
+        let policy = ResiliencePolicy {
+            faults: FaultConfig::uniform(seed, rate),
+            ..Default::default()
+        };
+        let mut driver = BatchDriver::with_policy(u64::MAX, PlanSpec::hybrid(), policy);
+        let responses = driver.run(&requests, &dev);
+        let outcomes: Vec<Outcome> = responses.iter().map(|r| r.outcome.clone()).collect();
+        let wasted: Vec<f64> = responses.iter().map(|r| r.wasted_sim_ms).collect();
+        let hits: Vec<bool> = responses.iter().map(|r| r.hit).collect();
+        (outcomes, wasted, hits, driver.stats())
+    };
+    for (seed, rate) in [(17u64, 0.3f64), (99, 0.8)] {
+        let (o1, w1, h1, s1) = chaos_batch(1, seed, rate);
+        assert!(
+            o1.iter().any(|o| !matches!(o, Outcome::Ok(_))),
+            "rate {rate} must degrade or fail something for the test to bite"
+        );
+        for threads in [2, 8] {
+            let (o, w, h, s) = chaos_batch(threads, seed, rate);
+            assert_eq!(
+                o1, o,
+                "chaos outcomes at {threads} threads differ from single-thread (seed {seed})"
+            );
+            assert_eq!(w1, w, "wasted-time accounting changed with thread count");
+            assert_eq!(h1, h, "hit pattern changed with thread count under faults");
+            assert_eq!(
+                s1, s,
+                "cache counters changed with thread count under faults"
+            );
         }
     }
     hc_parallel::set_threads(saved);

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use gpu_sim::{DeviceSpec, KernelRun};
 use graph_sparse::{Csr, DenseMatrix};
 use hc_core::fusion::{fused_agg_update, gemm_run, unfused_agg_update, AggUpdateResult};
-use hc_core::{HcSpmm, KernelFamily, Plan, PlanSpec, SpmmKernel};
+use hc_core::{HcError, HcSpmm, KernelFamily, Plan, PlanSpec, SpmmKernel};
 
 /// An Aggregation backend: computes `Z = Ā·G` and, optionally fused, the
 /// following Update `Z·W`.
@@ -77,16 +77,24 @@ impl HcAggregator {
     /// the fused Update path consumes the preprocessing of the *original*
     /// graph, which an LOA plan does not carry.
     pub fn from_plan(plan: Arc<Plan>, fuse: bool) -> Self {
-        assert_eq!(
-            plan.spec.family,
-            KernelFamily::Hybrid,
-            "HcAggregator requires a hybrid-family plan"
-        );
-        assert!(
-            plan.loa.is_none(),
-            "HcAggregator cannot run on an LOA-permuted plan"
-        );
-        HcAggregator { plan, fuse }
+        Self::try_from_plan(plan, fuse).expect("plan incompatible with HcAggregator")
+    }
+
+    /// Non-panicking [`HcAggregator::from_plan`]: an unusable plan (wrong
+    /// kernel family, or LOA-permuted) comes back as a typed
+    /// [`HcError::IncompatiblePlan`] instead of aborting a training run.
+    pub fn try_from_plan(plan: Arc<Plan>, fuse: bool) -> Result<Self, HcError> {
+        if plan.spec.family != KernelFamily::Hybrid {
+            return Err(HcError::IncompatiblePlan(
+                "HcAggregator requires a hybrid-family plan",
+            ));
+        }
+        if plan.loa.is_some() {
+            return Err(HcError::IncompatiblePlan(
+                "HcAggregator cannot run on an LOA-permuted plan",
+            ));
+        }
+        Ok(HcAggregator { plan, fuse })
     }
 }
 
@@ -187,6 +195,38 @@ mod tests {
         let (again, hit) = cache.get_or_prepare(&a, &dev);
         assert!(hit);
         assert!(Arc::ptr_eq(&again, &agg.plan));
+    }
+
+    #[test]
+    fn incompatible_plans_are_rejected_with_typed_errors() {
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::community(128, 800, 8, 0.9, 9).gcn_normalize();
+        let cuda_plan = Arc::new(Plan::prepare(
+            &a,
+            PlanSpec {
+                family: KernelFamily::Cuda,
+                use_loa: false,
+            },
+            &dev,
+        ));
+        assert!(matches!(
+            HcAggregator::try_from_plan(cuda_plan, true),
+            Err(HcError::IncompatiblePlan(_))
+        ));
+        let loa_plan = Arc::new(Plan::prepare(
+            &a,
+            PlanSpec {
+                family: KernelFamily::Hybrid,
+                use_loa: true,
+            },
+            &dev,
+        ));
+        assert!(matches!(
+            HcAggregator::try_from_plan(loa_plan, true),
+            Err(HcError::IncompatiblePlan(_))
+        ));
+        let good = Arc::new(Plan::prepare(&a, PlanSpec::hybrid(), &dev));
+        assert!(HcAggregator::try_from_plan(good, true).is_ok());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{BlockCost, KernelRun};
+use crate::faults;
 use crate::precision::Precision;
 use crate::profile::KernelProfile;
 use crate::scheduler;
@@ -206,6 +207,7 @@ impl DeviceSpec {
     /// The time is `max(SM makespan, DRAM roofline) + launch overhead`. The
     /// profile aggregates the counters of every block.
     pub fn execute(&self, blocks: &[BlockCost]) -> KernelRun {
+        faults::observe_launch();
         let mut profile = KernelProfile::default();
         for b in blocks {
             profile.absorb(b);
@@ -239,6 +241,7 @@ impl DeviceSpec {
             all.extend_from_slice(b);
             return self.execute(&all);
         }
+        faults::observe_launch();
         let mut profile = KernelProfile::default();
         for blk in a.iter().chain(b) {
             profile.absorb(blk);

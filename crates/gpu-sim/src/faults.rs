@@ -1,0 +1,413 @@
+//! Deterministic, seedable device-fault injection.
+//!
+//! Real SpMM stacks harden the kernel-launch boundary: cuSPARSE surfaces a
+//! typed status per call, and serving systems survive transient ECC events,
+//! watchdog kills and allocation failures without taking the process down.
+//! This module reproduces that environment for the simulated device. A
+//! [`FaultScope`] installed on the current thread makes every kernel launch
+//! ([`DeviceSpec::execute`] and friends) consult a seeded schedule: each
+//! launch gets an independent, deterministic draw, and any fault that fires
+//! is *latched* on the scope for the caller (the resilient execution layer
+//! in `hc-core`) to collect after the kernel returns — exactly how a host
+//! checks `cudaGetLastError` after an async launch. Kernel code itself never
+//! changes; the injection point is the device API, so every kernel family is
+//! exposed uniformly.
+//!
+//! Determinism: the decision for launch *i* is a pure function of
+//! `(config.seed, i)`. Launches are issued from the thread driving the
+//! kernel (worker pools never launch), so with the same seed and the same
+//! call sequence the same faults fire at any `hc-parallel` thread count.
+//!
+//! [`DeviceSpec::execute`]: crate::DeviceSpec::execute
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The fault classes the injector can raise, mirroring the failure modes
+/// CUDA surfaces to a host program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A transient memory bit-flip corrupted the kernel's output buffer
+    /// (an un-corrected ECC event). Retryable.
+    BitFlip,
+    /// The kernel's shared-memory request could not be satisfied
+    /// (`cudaErrorLaunchOutOfResources`). Deterministic for a given plan:
+    /// retrying the same launch fails the same way, so the caller should
+    /// fall back instead.
+    SharedAllocFail,
+    /// The watchdog killed the kernel mid-flight
+    /// (`cudaErrorLaunchTimeout`). Retryable.
+    Timeout,
+    /// The launch itself failed (`cudaErrorLaunchFailure`). Retryable.
+    LaunchFail,
+}
+
+impl FaultKind {
+    /// All kinds, in schedule-evaluation order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::BitFlip,
+        FaultKind::SharedAllocFail,
+        FaultKind::Timeout,
+        FaultKind::LaunchFail,
+    ];
+
+    /// Stable lowercase name for reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::SharedAllocFail => "shared-alloc-fail",
+            FaultKind::Timeout => "timeout",
+            FaultKind::LaunchFail => "launch-fail",
+        }
+    }
+
+    /// Whether retrying the same launch can succeed. Bit-flips, timeouts
+    /// and launch failures are environmental; a shared-memory allocation
+    /// failure is a property of the launch configuration and recurs.
+    pub fn is_transient(self) -> bool {
+        !matches!(self, FaultKind::SharedAllocFail)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected fault, latched on the active [`FaultScope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What failed.
+    pub kind: FaultKind,
+    /// Scope-relative index of the launch it hit (0-based).
+    pub launch: u64,
+    /// For [`FaultKind::BitFlip`]: a deterministic 64-bit locator the
+    /// consumer maps onto its output buffer (e.g. `word % len`).
+    pub word: u64,
+    /// For [`FaultKind::BitFlip`]: which bit of the 32-bit word flipped.
+    pub bit: u32,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::BitFlip => write!(
+                f,
+                "bit-flip at launch {} (word {}, bit {})",
+                self.launch, self.word, self.bit
+            ),
+            k => write!(f, "{} at launch {}", k, self.launch),
+        }
+    }
+}
+
+/// Per-launch fault probabilities plus the schedule seed. All rates are in
+/// `[0, 1]` and are evaluated as one draw per launch (at most one fault
+/// fires per launch, in [`FaultKind::ALL`] order of cumulative mass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Schedule seed: the decision for launch `i` is a pure function of
+    /// `(seed, i)`.
+    pub seed: u64,
+    /// Probability of a [`FaultKind::BitFlip`] per launch.
+    pub bit_flip: f64,
+    /// Probability of a [`FaultKind::SharedAllocFail`] per launch.
+    pub shared_alloc_fail: f64,
+    /// Probability of a [`FaultKind::Timeout`] per launch.
+    pub timeout: f64,
+    /// Probability of a [`FaultKind::LaunchFail`] per launch.
+    pub launch_fail: f64,
+}
+
+impl FaultConfig {
+    /// No faults ever fire (the production default).
+    pub fn off() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            bit_flip: 0.0,
+            shared_alloc_fail: 0.0,
+            timeout: 0.0,
+            launch_fail: 0.0,
+        }
+    }
+
+    /// Total per-launch fault probability `rate`, split evenly across the
+    /// four kinds.
+    pub fn uniform(seed: u64, rate: f64) -> FaultConfig {
+        let each = (rate / FaultKind::ALL.len() as f64).clamp(0.0, 0.25);
+        FaultConfig {
+            seed,
+            bit_flip: each,
+            shared_alloc_fail: each,
+            timeout: each,
+            launch_fail: each,
+        }
+    }
+
+    /// True when any fault kind has non-zero probability.
+    pub fn enabled(&self) -> bool {
+        self.bit_flip > 0.0
+            || self.shared_alloc_fail > 0.0
+            || self.timeout > 0.0
+            || self.launch_fail > 0.0
+    }
+
+    /// The same schedule re-seeded for an independent stream (e.g. one
+    /// stream per serving request, so request outcomes don't depend on how
+    /// many launches earlier requests made).
+    pub fn stream(&self, index: u64) -> FaultConfig {
+        FaultConfig {
+            seed: splitmix(self.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            ..*self
+        }
+    }
+
+    /// The deterministic decision for launch `launch`: `None` (clean) or
+    /// the fault that fires. Pure — exposed so tests and schedule audits
+    /// can enumerate a schedule without executing kernels.
+    pub fn decide(&self, launch: u64) -> Option<Fault> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut s = splitmix(self.seed ^ splitmix(launch.wrapping_add(1)));
+        let draw = next_f64(&mut s);
+        let mut cum = 0.0;
+        for kind in FaultKind::ALL {
+            cum += match kind {
+                FaultKind::BitFlip => self.bit_flip,
+                FaultKind::SharedAllocFail => self.shared_alloc_fail,
+                FaultKind::Timeout => self.timeout,
+                FaultKind::LaunchFail => self.launch_fail,
+            };
+            if draw < cum {
+                let word = next_u64(&mut s);
+                let bit = (next_u64(&mut s) % 32) as u32;
+                return Some(Fault {
+                    kind,
+                    launch,
+                    word,
+                    bit,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64 finalizer — the workspace's standard deterministic mixer.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    *state = splitmix(*state);
+    *state
+}
+
+fn next_f64(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+struct ScopeState {
+    config: FaultConfig,
+    launches: u64,
+    latched: Vec<Fault>,
+}
+
+thread_local! {
+    /// Innermost-active-last stack of installed scopes. Launches report to
+    /// the top of the stack only.
+    static SCOPES: RefCell<Vec<Rc<RefCell<ScopeState>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard that exposes the current thread's kernel launches to a fault
+/// schedule. While alive, every [`DeviceSpec::execute`] call draws from the
+/// schedule; faults that fire are latched here and collected with
+/// [`FaultScope::take_faults`]. Scopes nest (innermost wins), and dropping
+/// the guard uninstalls it.
+///
+/// ```
+/// use gpu_sim::{BlockCost, DeviceSpec, FaultConfig, FaultScope};
+/// let dev = DeviceSpec::rtx3090();
+/// let scope = FaultScope::install(FaultConfig::uniform(7, 1.0));
+/// dev.execute(&[BlockCost::with_cuda_compute(100.0)]);
+/// assert_eq!(scope.take_faults().len(), 1); // rate 1.0: every launch faults
+/// ```
+///
+/// [`DeviceSpec::execute`]: crate::DeviceSpec::execute
+pub struct FaultScope {
+    state: Rc<RefCell<ScopeState>>,
+}
+
+impl FaultScope {
+    /// Install `config` as the active schedule on this thread.
+    pub fn install(config: FaultConfig) -> FaultScope {
+        let state = Rc::new(RefCell::new(ScopeState {
+            config,
+            launches: 0,
+            latched: Vec::new(),
+        }));
+        SCOPES.with(|s| s.borrow_mut().push(Rc::clone(&state)));
+        FaultScope { state }
+    }
+
+    /// Drain the faults latched since the last call (or install).
+    pub fn take_faults(&self) -> Vec<Fault> {
+        std::mem::take(&mut self.state.borrow_mut().latched)
+    }
+
+    /// Kernel launches observed so far.
+    pub fn launches(&self) -> u64 {
+        self.state.borrow().launches
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|e| Rc::ptr_eq(e, &self.state)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Device-side hook: called once per kernel launch by `DeviceSpec`.
+/// No-op (and allocation-free) when no scope is installed.
+pub(crate) fn observe_launch() {
+    SCOPES.with(|s| {
+        let stack = s.borrow();
+        let Some(top) = stack.last() else { return };
+        let mut state = top.borrow_mut();
+        let launch = state.launches;
+        state.launches += 1;
+        if let Some(fault) = state.config.decide(launch) {
+            state.latched.push(fault);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::BlockCost;
+    use crate::DeviceSpec;
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let cfg = FaultConfig::uniform(42, 0.3);
+        for launch in 0..200 {
+            assert_eq!(cfg.decide(launch), cfg.decide(launch));
+        }
+        let other = FaultConfig::uniform(43, 0.3);
+        let a: Vec<_> = (0..200).map(|l| cfg.decide(l)).collect();
+        let b: Vec<_> = (0..200).map(|l| other.decide(l)).collect();
+        assert_ne!(a, b, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_rate_one_always_fires() {
+        let off = FaultConfig::off();
+        assert!(!off.enabled());
+        assert!((0..500).all(|l| off.decide(l).is_none()));
+        let always = FaultConfig::uniform(9, 1.0);
+        assert!((0..500).all(|l| always.decide(l).is_some()));
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let cfg = FaultConfig::uniform(1, 0.2);
+        let fired = (0..10_000).filter(|&l| cfg.decide(l).is_some()).count();
+        let rate = fired as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.03, "observed rate {rate}");
+        // All four kinds appear.
+        for kind in FaultKind::ALL {
+            assert!(
+                (0..10_000).any(|l| cfg.decide(l).is_some_and(|f| f.kind == kind)),
+                "{kind} never fired"
+            );
+        }
+    }
+
+    #[test]
+    fn scope_latches_faults_from_real_launches() {
+        let dev = DeviceSpec::rtx3090();
+        let blocks = vec![BlockCost::with_cuda_compute(100.0)];
+        let scope = FaultScope::install(FaultConfig::uniform(5, 1.0));
+        dev.execute(&blocks);
+        dev.execute(&blocks);
+        assert_eq!(scope.launches(), 2);
+        let faults = scope.take_faults();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].launch, 0);
+        assert_eq!(faults[1].launch, 1);
+        // Drained: a second take returns nothing.
+        assert!(scope.take_faults().is_empty());
+    }
+
+    #[test]
+    fn no_scope_means_no_faults_and_sequence_counts_inner_launches() {
+        let dev = DeviceSpec::rtx3090();
+        let blocks = vec![BlockCost::with_cuda_compute(100.0)];
+        dev.execute(&blocks); // must not panic or latch anywhere
+        let scope = FaultScope::install(FaultConfig::off());
+        dev.execute_sequence(&[blocks.clone(), blocks.clone()]);
+        assert_eq!(scope.launches(), 2, "sequence = one launch per kernel");
+        assert!(scope.take_faults().is_empty());
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let dev = DeviceSpec::rtx3090();
+        let blocks = vec![BlockCost::with_cuda_compute(100.0)];
+        let outer = FaultScope::install(FaultConfig::uniform(1, 1.0));
+        {
+            let inner = FaultScope::install(FaultConfig::off());
+            dev.execute(&blocks);
+            assert_eq!(inner.launches(), 1);
+            assert!(inner.take_faults().is_empty());
+        }
+        assert_eq!(
+            outer.launches(),
+            0,
+            "outer scope must not see inner launches"
+        );
+        dev.execute(&blocks);
+        assert_eq!(outer.take_faults().len(), 1);
+    }
+
+    #[test]
+    fn streams_are_independent_but_deterministic() {
+        let base = FaultConfig::uniform(77, 0.5);
+        let s0 = base.stream(0);
+        let s1 = base.stream(1);
+        assert_eq!(s0, base.stream(0));
+        assert_ne!(s0.seed, s1.seed);
+        let a: Vec<_> = (0..100).map(|l| s0.decide(l)).collect();
+        let b: Vec<_> = (0..100).map(|l| s1.decide(l)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_schedule_at_any_thread_count() {
+        // Launches are driver-thread-only, so the worker count must not
+        // influence the schedule. Simulated here by running the identical
+        // launch sequence under identical scopes.
+        let dev = DeviceSpec::rtx3090();
+        let blocks = vec![BlockCost::with_cuda_compute(500.0); 8];
+        let run = || {
+            let scope = FaultScope::install(FaultConfig::uniform(3, 0.6));
+            for _ in 0..32 {
+                dev.execute(&blocks);
+            }
+            scope.take_faults()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod cost;
 pub mod device;
+pub mod faults;
 pub mod memory;
 pub mod precision;
 pub mod profile;
@@ -40,6 +41,7 @@ pub mod trace;
 
 pub use cost::{BlockCost, DramTraffic, KernelRun, SharedTraffic};
 pub use device::{DeviceKind, DeviceSpec};
+pub use faults::{Fault, FaultConfig, FaultKind, FaultScope};
 pub use memory::{coalesced_transactions, gather_transactions, shared_store_conflicts};
 pub use precision::Precision;
 pub use profile::KernelProfile;

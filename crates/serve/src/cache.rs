@@ -9,7 +9,7 @@
 //! of "caching disabled": every request misses, every result stays
 //! correct.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use gpu_sim::DeviceSpec;
@@ -31,6 +31,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Prepared plans too large for the budget (returned, not retained).
     pub rejected: u64,
+    /// Structures quarantined after producing a fault (see
+    /// [`PlanCache::quarantine`]).
+    pub quarantined: u64,
+    /// Misses forced by quarantine: the structure was (or would have been)
+    /// cached, but its plans are barred from residency.
+    pub quarantine_misses: u64,
 }
 
 impl CacheStats {
@@ -58,6 +64,7 @@ pub struct PlanCache {
     budget: u64,
     spec: PlanSpec,
     entries: HashMap<StructureFingerprint, Entry>,
+    quarantined: HashSet<StructureFingerprint>,
     bytes: u64,
     clock: u64,
     stats: CacheStats,
@@ -70,6 +77,7 @@ impl PlanCache {
             budget: budget_bytes,
             spec,
             entries: HashMap::new(),
+            quarantined: HashSet::new(),
             bytes: 0,
             clock: 0,
             stats: CacheStats::default(),
@@ -91,6 +99,13 @@ impl PlanCache {
         }
         self.stats.misses += 1;
         let plan = Arc::new(Plan::prepare(a, self.spec, dev));
+        if self.quarantined.contains(&fp) {
+            // Quarantined structures are served by fresh ad-hoc plans but
+            // never regain residency: a poisoned plan is gone for good,
+            // and nothing under its fingerprint is ever re-served.
+            self.stats.quarantine_misses += 1;
+            return (plan, false);
+        }
         let bytes = plan.approx_bytes();
         if bytes > self.budget {
             self.stats.rejected += 1;
@@ -122,9 +137,35 @@ impl PlanCache {
             .min_by_key(|(_, e)| e.last_used)
             .map(|(fp, _)| *fp)
             .expect("eviction requested on an empty cache");
-        let e = self.entries.remove(&victim).unwrap();
+        let e = self
+            .entries
+            .remove(&victim)
+            .expect("victim key came from this map");
         self.bytes -= e.bytes;
         self.stats.evictions += 1;
+    }
+
+    /// Quarantine a structure after its plan produced a fault: evict the
+    /// resident plan (if any) and permanently bar the fingerprint from
+    /// residency. Subsequent requests for the structure are served by
+    /// fresh ad-hoc plans that are never retained, so a poisoned plan can
+    /// never be re-served. Returns true if a plan was resident.
+    pub fn quarantine(&mut self, fp: StructureFingerprint) -> bool {
+        let evicted = if let Some(e) = self.entries.remove(&fp) {
+            self.bytes -= e.bytes;
+            true
+        } else {
+            false
+        };
+        if self.quarantined.insert(fp) {
+            self.stats.quarantined += 1;
+        }
+        evicted
+    }
+
+    /// Whether this structure is barred from residency.
+    pub fn is_quarantined(&self, fp: StructureFingerprint) -> bool {
+        self.quarantined.contains(&fp)
     }
 
     /// Traffic counters so far.
@@ -265,6 +306,41 @@ mod tests {
         assert_eq!(s.evictions, 0);
         assert_eq!(s.rejected, 0);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantined_structure_is_never_re_served_from_cache() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = graphs();
+        let fp = StructureFingerprint::of(&gs[0]);
+        let mut cache = PlanCache::new(u64::MAX, PlanSpec::hybrid());
+        let (poisoned, _) = cache.get_or_prepare(&gs[0], &dev);
+        assert!(cache.contains(fp));
+
+        assert!(cache.quarantine(fp), "resident plan must be evicted");
+        assert!(!cache.contains(fp));
+        assert!(cache.is_quarantined(fp));
+        assert_eq!(cache.stats().quarantined, 1);
+        // Idempotent: re-quarantining doesn't double-count.
+        assert!(!cache.quarantine(fp));
+        assert_eq!(cache.stats().quarantined, 1);
+
+        // The structure still gets served — by fresh plans, never the
+        // poisoned Arc, never retained.
+        for _ in 0..3 {
+            let (plan, hit) = cache.get_or_prepare(&gs[0], &dev);
+            assert!(!hit);
+            assert!(!Arc::ptr_eq(&plan, &poisoned));
+            assert!(!cache.contains(fp));
+        }
+        assert_eq!(cache.stats().quarantine_misses, 3);
+        assert_eq!(cache.bytes_used(), 0);
+
+        // Other structures are unaffected.
+        let (_, hit) = cache.get_or_prepare(&gs[1], &dev);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_prepare(&gs[1], &dev);
+        assert!(hit);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   prepared [`hc_core::Plan`] under a byte budget with LRU eviction and
 //!   hit/miss/eviction counters;
 //! * [`BatchDriver`] — runs a stream of (graph, feature-matrix)
-//!   [`Request`]s through cached plans on the `hc-parallel` pool.
+//!   [`Request`]s through cached plans on the `hc-parallel` pool, each
+//!   request executed resiliently: retry, kernel-family fallback and typed
+//!   per-request [`Outcome`]s instead of panics, with fault-implicated
+//!   plans quarantined in the cache.
 //!
 //! Requests are served in order, each SpMM internally parallel, so a batch
 //! run is deterministic and thread-count-independent: outputs and cache
@@ -21,4 +24,4 @@ pub mod cache;
 pub mod driver;
 
 pub use cache::{CacheStats, PlanCache};
-pub use driver::{BatchDriver, Request, Response};
+pub use driver::{BatchDriver, BatchSummary, Outcome, Request, Response};

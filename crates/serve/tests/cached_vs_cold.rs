@@ -124,7 +124,8 @@ fn eviction_and_reprepare_keep_outputs_bit_identical() {
     for (req, resp) in requests.iter().zip(&responses) {
         let want = cold(&req.graph, &req.features, spec, &dev);
         assert_eq!(
-            resp.z, want,
+            resp.z().expect("faults off: every request serves"),
+            &want,
             "response after eviction/re-prepare differs from cold path"
         );
     }

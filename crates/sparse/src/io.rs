@@ -56,7 +56,13 @@ pub fn read_edge_list(reader: impl BufRead) -> io::Result<Csr> {
     let mut c = coo;
     c.deduplicate();
     c.vals.iter_mut().for_each(|v| *v = 1.0);
-    Ok(c.to_csr())
+    let csr = c.to_csr();
+    // Every ingest path validates before the matrix reaches a kernel:
+    // a defect here means the reader (not the caller) is broken, but the
+    // contract is the same — no unvalidated CSR leaves this module.
+    csr.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(csr)
 }
 
 /// Read an edge list from a file path.

@@ -14,8 +14,9 @@ use gnn::{Gcn, Gin};
 use gpu_sim::sanitizer::SanitizerConfig;
 use gpu_sim::{DeviceKind, DeviceSpec};
 use graph_sparse::{gen, io, Csr, DatasetId, DenseMatrix};
+use hc_core::ResiliencePolicy;
 use hc_core::{sanitize_family, HcSpmm, KernelFamily, Loa, PlanSpec, SampleSpec, SpmmKernel};
-use hc_serve::{BatchDriver, Request};
+use hc_serve::{BatchDriver, BatchSummary, Outcome, Request};
 
 /// Entry point; returns the process exit code.
 pub fn run(args: Vec<String>) -> i32 {
@@ -67,9 +68,15 @@ USAGE:
   hc-spmm batch    [--requests N] [--graphs N] [--cache-bytes B] [--dim N]
                    [--kernel straightforward|cuda|tensor|hybrid] [--loa]
                    [--nodes N] [--gpu 3090|4090|a100]
+                   [--fault-rate P] [--fault-seed S] [--max-retries N]
                    serve a round-robin request stream through the
                    structure-keyed plan cache; reports per-request
-                   hit/miss, amortized vs cold cost, and cache counters
+                   hit/miss and outcome, amortized vs cold cost, cache
+                   counters, and degradation stats. --fault-rate injects
+                   a deterministic device-fault schedule; faulted
+                   requests retry, fall back (tensor → cuda →
+                   straightforward → CPU) or fail with a typed error.
+                   Exits 1 if any request failed.
   hc-spmm metrics  [--dataset CODE | --edge-list FILE] [--scale N]
                    structural report: degrees, clustering, locality, windows
   hc-spmm loa      [--dataset CODE | --edge-list FILE] [--scale N] [--vw N]
@@ -128,6 +135,8 @@ fn device_for(flags: &HashMap<String, String>) -> DeviceSpec {
 fn load_graph(flags: &HashMap<String, String>) -> Result<(Csr, usize, String), String> {
     if let Some(path) = flags.get("edge-list") {
         let g = io::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+        g.validate()
+            .map_err(|e| format!("invalid graph in {path}: {e}"))?;
         let dim = flag_usize(flags, "dim", 64);
         return Ok((g, dim, path.clone()));
     }
@@ -141,6 +150,9 @@ fn load_graph(flags: &HashMap<String, String>) -> Result<(Csr, usize, String), S
         .ok_or_else(|| format!("unknown dataset code {code:?} (try `hc-spmm datasets`)"))?;
     let scale = flag_usize(flags, "scale", graph_sparse::datasets::DEFAULT_SCALE);
     let ds = id.load_scaled(scale);
+    ds.adj
+        .validate()
+        .map_err(|e| format!("invalid graph from dataset {code}: {e}"))?;
     let dim = flag_usize(flags, "dim", ds.spec.dim.min(512));
     Ok((ds.adj, dim, format!("{} (1/{scale} scale)", ds.spec.name)))
 }
@@ -267,6 +279,31 @@ fn cmd_batch(flags: &HashMap<String, String>) -> i32 {
         family,
         use_loa: flags.contains_key("loa"),
     };
+    let fault_rate = match flags.get("fault-rate") {
+        None => 0.0,
+        Some(v) => match v.parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => r,
+            _ => {
+                eprintln!("--fault-rate requires a probability in [0, 1], got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let fault_seed = match flags.get("fault-seed") {
+        None => 42,
+        Some(v) => match v.parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("--fault-seed requires an integer, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let policy = ResiliencePolicy {
+        max_retries: flag_usize(flags, "max-retries", 2) as u32,
+        faults: gpu_sim::FaultConfig::uniform(fault_seed, fault_rate),
+        ..Default::default()
+    };
 
     // A serving mix: `distinct` structurally different graphs, requests
     // round-robin across them so every graph past the first round hits.
@@ -286,13 +323,23 @@ fn cmd_batch(flags: &HashMap<String, String>) -> i32 {
         family.name(),
         dev.kind
     );
-    let mut driver = BatchDriver::new(cache_bytes, spec);
+    if fault_rate > 0.0 {
+        println!("fault injection: rate {fault_rate}, seed {fault_seed}");
+    }
+    let mut driver = BatchDriver::with_policy(cache_bytes, spec, policy);
     let responses = driver.run(&stream, &dev);
     let mut exec_total = 0.0;
     let mut prepare_total = 0.0;
     for (i, r) in responses.iter().enumerate() {
+        let outcome = match &r.outcome {
+            Outcome::Ok(_) => "ok".to_string(),
+            Outcome::Degraded {
+                fallback, retries, ..
+            } => format!("degraded via {} ({retries} retries)", fallback.name()),
+            Outcome::Failed(e) => format!("failed: {e}"),
+        };
         println!(
-            "  request {i:>3}: {}  exec {:>8.4} ms  prepare {:>8.4} ms",
+            "  request {i:>3}: {}  exec {:>8.4} ms  prepare {:>8.4} ms  {outcome}",
             if r.hit { "hit " } else { "miss" },
             r.exec_sim_ms,
             r.prepare_sim_ms
@@ -327,7 +374,27 @@ fn cmd_batch(flags: &HashMap<String, String>) -> i32 {
         driver.cache.bytes_used(),
         driver.cache.budget()
     );
-    0
+    let sum = BatchSummary::of(&responses, family);
+    println!(
+        "degradation: {} ok / {} degraded / {} failed — rate {:.1}%, {} retries, \
+         {} fallbacks, {:.4} ms wasted (sim), {} structures quarantined",
+        sum.ok,
+        sum.degraded,
+        sum.failed,
+        sum.degraded_rate() * 100.0,
+        sum.retries,
+        sum.fallbacks,
+        sum.wasted_sim_ms,
+        s.quarantined
+    );
+    // Failed requests are an internal-fault outcome: exit 1, not 2 (the
+    // inputs were fine; the device wasn't).
+    if sum.failed > 0 {
+        eprintln!("batch: {} request(s) failed", sum.failed);
+        1
+    } else {
+        0
+    }
 }
 
 fn cmd_loa(flags: &HashMap<String, String>) -> i32 {
@@ -681,6 +748,39 @@ mod tests {
         );
         assert_eq!(run(vec!["help".into()]), 0);
         assert_eq!(run(vec!["bogus".into()]), 2);
+    }
+
+    #[test]
+    fn batch_fault_flags_degrade_gracefully_or_reject_garbage() {
+        // Rate 1.0: every launch faults, every request degrades to the CPU
+        // reference — served, not failed, so the exit code stays 0.
+        assert_eq!(
+            run(vec![
+                "batch".into(),
+                "--requests".into(),
+                "4".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+                "--fault-rate".into(),
+                "1.0".into(),
+                "--fault-seed".into(),
+                "7".into(),
+            ]),
+            0
+        );
+        for bad in ["-0.5", "1.5", "x"] {
+            assert_eq!(
+                run(vec!["batch".into(), "--fault-rate".into(), bad.into()]),
+                2,
+                "--fault-rate {bad} should be rejected"
+            );
+        }
+        assert_eq!(
+            run(vec!["batch".into(), "--fault-seed".into(), "nope".into()]),
+            2
+        );
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! `hc-spmm` command-line tool: run SpMM kernels, LOA, GNN training and the
 //! selector pipeline from the shell. See `hc-spmm help`.
+//!
+//! Exit codes: 0 success, 2 bad input (unknown flags, malformed graphs,
+//! unparsable values), 1 internal fault (failed requests, sanitizer
+//! findings, or an escaped panic — reported as one line, not a backtrace).
 
 fn main() {
     // Piping into `head` (or any consumer that exits early) closes stdout;
     // the std print macros panic on the resulting EPIPE. Exit quietly like
     // other line-oriented tools instead of dumping a backtrace.
-    let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let broken_pipe = info
             .payload()
@@ -14,9 +17,24 @@ fn main() {
         if broken_pipe {
             std::process::exit(0);
         }
-        default_hook(info);
+        // Stay quiet here: the catch_unwind below reports the payload as
+        // a single line instead of the default multi-line panic dump.
     }));
 
     let args: Vec<String> = std::env::args().skip(1).collect();
-    std::process::exit(hc_spmm::cli::run(args));
+    // The library path returns typed errors; anything that still unwinds
+    // is an internal fault. Surface it as a one-line message and exit 1
+    // (bad input exits 2 from `cli::run` before ever panicking).
+    match std::panic::catch_unwind(|| hc_spmm::cli::run(args)) {
+        Ok(code) => std::process::exit(code),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            eprintln!("hc-spmm: internal fault: {msg}");
+            std::process::exit(1);
+        }
+    }
 }
