@@ -81,14 +81,8 @@ impl CusparseSpmm {
             rows as u64 * coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
         b
     }
-}
 
-impl SpmmKernel for CusparseSpmm {
-    fn name(&self) -> &'static str {
-        "cuSPARSE"
-    }
-
-    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+    fn blocks(a: &Csr, dim: usize, dev: &DeviceSpec) -> Vec<BlockCost> {
         let mut blocks = Vec::with_capacity(a.nrows.div_ceil(16));
         for start in (0..a.nrows).step_by(16) {
             let rows = 16.min(a.nrows - start);
@@ -97,13 +91,26 @@ impl SpmmKernel for CusparseSpmm {
                 continue;
             }
             let far = Self::far_gathers(a, start, rows);
-            blocks.push(Self::slab_cost(nnz, far, rows, x.cols, dev));
+            blocks.push(Self::slab_cost(nnz, far, rows, dim, dev));
         }
-        let run = dev.execute(&blocks);
+        blocks
+    }
+}
+
+impl SpmmKernel for CusparseSpmm {
+    fn name(&self) -> &'static str {
+        "cuSPARSE"
+    }
+
+    fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         SpmmResult {
             z: a.spmm_reference(x),
-            run,
+            run: self.spmm_run(a, x, dev),
         }
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
+        dev.execute(&Self::blocks(a, x.cols, dev))
     }
 }
 

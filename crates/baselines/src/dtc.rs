@@ -60,7 +60,7 @@ impl SpmmKernel for DtcSpmm {
         // Timing comes from the shared Tensor-core cost model; the numerics
         // are computed through the real ME-TCF structure (and quantized at
         // the kernel's precision), so the format itself is exercised.
-        let run = self.inner().spmm(a, x, dev).run;
+        let run = self.spmm_run(a, x, dev);
         let m = MeTcf::from_csr(a);
         let p = self.precision;
         let xq = DenseMatrix {
@@ -74,6 +74,10 @@ impl SpmmKernel for DtcSpmm {
             z: aq.spmm_reference(&xq),
             run,
         }
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> KernelRun {
+        self.inner().spmm_run(a, x, dev)
     }
 }
 

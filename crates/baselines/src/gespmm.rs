@@ -56,6 +56,13 @@ impl SpmmKernel for GeSpmm {
     }
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        SpmmResult {
+            z: a.spmm_reference(x),
+            run: self.spmm_run(a, x, dev),
+        }
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
         let mut blocks = Vec::with_capacity(a.nrows.div_ceil(16));
         let mut scratch: Vec<u32> = Vec::new();
         for start in (0..a.nrows).step_by(16) {
@@ -78,11 +85,7 @@ impl SpmmKernel for GeSpmm {
             }
             blocks.push(Self::group_cost(hi - lo, group_distinct, rows, x.cols, dev));
         }
-        let run = dev.execute(&blocks);
-        SpmmResult {
-            z: a.spmm_reference(x),
-            run,
-        }
+        dev.execute(&blocks)
     }
 }
 

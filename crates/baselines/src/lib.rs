@@ -32,7 +32,7 @@ pub mod sputnik;
 pub mod tcgnn;
 pub mod tilecsr;
 
-pub use cpu::{cpu_spmm, CpuSpmmReport};
+pub use cpu::{cpu_spmm, cpu_spmm_time_ms, CpuSpmmReport};
 pub use cusparse::CusparseSpmm;
 pub use dtc::DtcSpmm;
 pub use gespmm::GeSpmm;

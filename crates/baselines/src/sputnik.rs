@@ -30,22 +30,7 @@ impl SpmmKernel for SputnikHalfSpmm {
     }
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
-        let part = RowWindowPartition::build(a);
-        let blocks: Vec<BlockCost> = part
-            .windows
-            .iter()
-            .filter(|w| !w.is_empty())
-            .map(|w| {
-                let mut b = SputnikSpmm::tile_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev);
-                // Halve every operand stream (values, dense rows, output)
-                // and the vector-load transaction count.
-                b.dram.bytes_loaded /= 2;
-                b.dram.bytes_stored /= 2;
-                b.dram.transactions = b.dram.transactions / 2 + 1;
-                b
-            })
-            .collect();
-        let run = dev.execute(&blocks);
+        let run = self.spmm_run(a, x, dev);
         // Numerics at fp16 operand precision, fp32 accumulate.
         let p = gpu_sim::Precision::Fp16;
         let mut z = graph_sparse::DenseMatrix::zeros(a.nrows, x.cols);
@@ -61,6 +46,25 @@ impl SpmmKernel for SputnikHalfSpmm {
             }
         }
         SpmmResult { z, run }
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
+        let part = RowWindowPartition::build(a);
+        let blocks: Vec<BlockCost> = part
+            .windows
+            .iter()
+            .filter(|w| !w.is_empty())
+            .map(|w| {
+                let mut b = SputnikSpmm::tile_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev);
+                // Halve every operand stream (values, dense rows, output)
+                // and the vector-load transaction count.
+                b.dram.bytes_loaded /= 2;
+                b.dram.bytes_stored /= 2;
+                b.dram.transactions = b.dram.transactions / 2 + 1;
+                b
+            })
+            .collect();
+        dev.execute(&blocks)
     }
 }
 
@@ -103,6 +107,13 @@ impl SpmmKernel for SputnikSpmm {
     }
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
+        SpmmResult {
+            z: a.spmm_reference(x),
+            run: self.spmm_run(a, x, dev),
+        }
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
         // 1-D tiles are strips of 16 rows — reuse RowWindowPartition to get
         // per-strip distinct-column counts.
         let part = RowWindowPartition::build(a);
@@ -112,11 +123,7 @@ impl SpmmKernel for SputnikSpmm {
             .filter(|w| !w.is_empty())
             .map(|w| Self::tile_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev))
             .collect();
-        let run = dev.execute(&blocks);
-        SpmmResult {
-            z: a.spmm_reference(x),
-            run,
-        }
+        dev.execute(&blocks)
     }
 }
 

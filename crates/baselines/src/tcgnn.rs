@@ -68,6 +68,10 @@ impl SpmmKernel for TcGnnSpmm {
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         self.inner().spmm(a, x, dev)
     }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> KernelRun {
+        self.inner().spmm_run(a, x, dev)
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,14 @@
 //! requests: the resilience layer must recover every request the chaos
 //! schedule hits. Like the cache assertions, these counters are
 //! deterministic and have no override.
+//!
+//! `--min-kernel-speedup-floor F` fails when any kernel family in the
+//! current report times slower multithreaded than serial (`speedup < F`)
+//! without its `serial_fallback` flag set — i.e. the pool actually fanned
+//! out and made things worse. Launches the calibrated serial fast path
+//! absorbed are exempt (both sides ran identical code, so their ratio is
+//! scheduler noise). This is a host timing, so the `perf-override` label
+//! escape applies.
 
 use bench::metrics::{gate, BenchReport};
 
@@ -37,7 +45,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline <path> --current <path> \
          [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R] \
-         [--max-degraded-rate R]"
+         [--max-degraded-rate R] [--min-kernel-speedup-floor F]"
     );
     std::process::exit(2);
 }
@@ -60,6 +68,7 @@ fn main() {
     let mut min_ms = 10.0f64;
     let mut min_hit_rate: Option<f64> = None;
     let mut max_degraded_rate: Option<f64> = None;
+    let mut speedup_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -73,6 +82,9 @@ fn main() {
             }
             "--max-degraded-rate" => {
                 max_degraded_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--min-kernel-speedup-floor" => {
+                speedup_floor = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             _ => usage(),
         }
@@ -161,6 +173,32 @@ fn main() {
                 "FAIL: degraded-request rate {:.4} above allowed {max_rate}",
                 fr.degraded_rate
             );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(floor) = speedup_floor {
+        let mut below = 0usize;
+        for k in &cur.kernels {
+            let status = if k.serial_fallback {
+                "serial fast path"
+            } else if k.speedup < floor {
+                below += 1;
+                "BELOW FLOOR"
+            } else {
+                "ok"
+            };
+            println!(
+                "kernel speedup: {:>15} on {}: {:.2}x (floor {floor}) — {status}",
+                k.family, k.dataset, k.speedup
+            );
+        }
+        if below > 0 {
+            eprintln!(
+                "FAIL: {below} kernel familie(s) ran slower multithreaded than \
+                 serial with the pool engaged — parallel overhead is eating the win"
+            );
+            eprintln!("(intentional? apply the `perf-override` PR label to skip this gate)");
             std::process::exit(1);
         }
     }

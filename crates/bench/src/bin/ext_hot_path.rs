@@ -1,0 +1,7 @@
+//! Extension: hot-path workspace reuse — warm vs cold serving cost.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let (text, _) =
+        bench::experiments::extensions::hot_path(&mut c, &gpu_sim::DeviceSpec::rtx3090());
+    println!("{text}");
+}

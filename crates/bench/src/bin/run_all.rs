@@ -155,6 +155,13 @@ fn main() {
         text
     });
     report.fault_recovery = fault_recovery_metrics;
+    let mut hot_path_metrics = None;
+    exp!("ext_hot_path", {
+        let (text, m) = e::extensions::hot_path(&mut c, &dev);
+        hot_path_metrics = Some(m);
+        text
+    });
+    report.hot_path = hot_path_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).

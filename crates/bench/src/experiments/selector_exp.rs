@@ -2,7 +2,7 @@
 //! regenerates the hard-coded coefficients and reports accuracy.
 
 use gpu_sim::{DeviceKind, DeviceSpec};
-use hc_core::selector::{generate_training_set, train_default, Selector};
+use hc_core::selector::{generate_training_set, Selector};
 
 use crate::harness::{f3, pct, Table};
 
@@ -13,8 +13,12 @@ pub fn run() -> String {
     let mut t = Table::new(&["GPU", "w1", "w2", "b", "train acc", "DEFAULT acc"]);
     for kind in DeviceKind::ALL {
         let dev = DeviceSpec::new(kind);
-        let (m, acc) = train_default(&dev);
+        // Generate the deterministic training grid once per device and
+        // share it between training and the DEFAULT-accuracy column
+        // (previously it was generated twice with identical contents).
         let set = generate_training_set(&dev, 8);
+        let m = Selector::train(&set);
+        let acc = m.accuracy(&set);
         let default_acc = Selector::DEFAULT.accuracy(&set);
         t.row(vec![
             kind.name().into(),

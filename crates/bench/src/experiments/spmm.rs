@@ -2,7 +2,8 @@
 //! (GPU architectures), Table VII (FP types) and Table XI (preprocessing).
 
 use baselines::{
-    cpu_spmm, CusparseSpmm, DtcSpmm, GeSpmm, SputnikHalfSpmm, SputnikSpmm, TcGnnSpmm, TileCsrSpmm,
+    cpu_spmm_time_ms, CusparseSpmm, DtcSpmm, GeSpmm, SputnikHalfSpmm, SputnikSpmm, TcGnnSpmm,
+    TileCsrSpmm,
 };
 use gpu_sim::{DeviceKind, DeviceSpec, Precision};
 use graph_sparse::{gen, DatasetId, DenseMatrix};
@@ -42,18 +43,18 @@ pub fn fig10(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
     for id in DatasetId::ALL {
         let x = features_for(cache, id);
         let a = cache.get(id).adj.clone();
-        let base = CusparseSpmm.spmm(&a, &x, dev).run.time_ms;
+        let base = CusparseSpmm.spmm_run(&a, &x, dev).time_ms;
         let mut cells = vec![id.code().to_string(), f3(base * 1e3)];
         let mut hc_ms = base;
         for (k, kern) in kernels.iter().enumerate() {
-            let ms = kern.spmm(&a, &x, dev).run.time_ms;
+            let ms = kern.spmm_run(&a, &x, dev).time_ms;
             speedups[k].push(base / ms);
             cells.push(format!("{:.2}x", base / ms));
             if k + 1 == kernels.len() {
                 hc_ms = ms; // HC-SpMM is last; reuse its measurement
             }
         }
-        let cpu = cpu_spmm(&a, &x).time_ms;
+        let cpu = cpu_spmm_time_ms(&a, &x);
         cpu_speedups.push(cpu / hc_ms);
         cells.push(format!("{:.0}x", cpu / hc_ms));
         t.row(cells);
@@ -95,7 +96,7 @@ pub fn table10(dev: &DeviceSpec) -> String {
         let mut cells = vec![kern.name().to_string()];
         for m in &mats {
             let x = DenseMatrix::random_features(m.ncols, 32, 9);
-            cells.push(f3(kern.spmm(m, &x, dev).run.time_ms * 1e3));
+            cells.push(f3(kern.spmm_run(m, &x, dev).time_ms * 1e3));
         }
         t.row(cells);
     }
@@ -115,7 +116,7 @@ pub fn table16(cache: &mut DatasetCache) -> String {
         let a = cache.get(id).adj.clone();
         for kind in DeviceKind::ALL {
             let dev = DeviceSpec::new(kind);
-            let us = |k: &dyn SpmmKernel| f3(k.spmm(&a, &x, &dev).run.time_ms * 1e3);
+            let us = |k: &dyn SpmmKernel| f3(k.spmm_run(&a, &x, &dev).time_ms * 1e3);
             t.row(vec![
                 id.code().into(),
                 kind.name().into(),
@@ -148,7 +149,7 @@ pub fn table07(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
     for id in DatasetId::SPMM_SET {
         let x = features_for(cache, id);
         let a = cache.get(id).adj.clone();
-        let us = |k: &dyn SpmmKernel| f3(k.spmm(&a, &x, dev).run.time_ms * 1e3);
+        let us = |k: &dyn SpmmKernel| f3(k.spmm_run(&a, &x, dev).time_ms * 1e3);
         t.row(vec![
             id.code().into(),
             us(&SputnikHalfSpmm),

@@ -11,7 +11,7 @@
 //!   memory by all threads cooperatively, replacing the per-iteration
 //!   global-memory broadcast reads.
 
-use gpu_sim::trace::{BlockTrace, WarpOp, WarpTrace};
+use gpu_sim::trace::{BlockTrace, CounterTrace, TraceSink, WarpOp};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
 use graph_sparse::{Csr, DenseMatrix, RowWindowPartition};
 
@@ -149,6 +149,39 @@ impl CudaSpmm {
         dim: usize,
         dev: &DeviceSpec,
     ) -> BlockTrace {
+        let mut t = BlockTrace::default();
+        self.window_trace_into(nnz, distinct_cols, rows, dim, dev, &mut t);
+        t
+    }
+
+    /// Counter-mode view of [`window_trace`](CudaSpmm::window_trace): the
+    /// same emitter, accumulating counters instead of event vectors.
+    pub fn window_counters(
+        &self,
+        nnz: usize,
+        distinct_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> CounterTrace {
+        let mut c = CounterTrace::default();
+        self.window_trace_into(nnz, distinct_cols, rows, dim, dev, &mut c);
+        c
+    }
+
+    /// The single trace emitter behind both representations, generic over
+    /// the [`TraceSink`]. Composable: records into whatever warps/shared
+    /// regions the sink already holds (the per-tile hybrid appends this as
+    /// a phase of its merged block).
+    pub fn window_trace_into<S: TraceSink>(
+        &self,
+        nnz: usize,
+        distinct_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+        sink: &mut S,
+    ) {
         let _ = distinct_cols; // only affects byte traffic, not op counts
         let nwarps = rows.clamp(1, 16);
         let full_slices = dim / 32;
@@ -164,13 +197,10 @@ impl CudaSpmm {
         let fma = (nnz as f64 * (full_slices as f64 + tail_issue)).ceil() as u64;
         let entry_bytes = 4 + self.precision.storage_bytes();
 
-        let mut t = BlockTrace {
-            warps: vec![WarpTrace::default(); nwarps],
-            shared_alloc_words: 0,
-        };
+        sink.ensure_warps(nwarps);
         let mut turn = 0usize;
-        let mut push = |t: &mut BlockTrace, op: WarpOp| {
-            t.warps[turn % nwarps].ops.push(op);
+        let mut push = |sink: &mut S, op: WarpOp| {
+            sink.record(turn % nwarps, op);
             turn += 1;
         };
 
@@ -180,26 +210,26 @@ impl CudaSpmm {
             let stage_loads =
                 coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
             let stage_stores = (nnz as u64).div_ceil(dev.warp_size as u64) * 2;
-            t.shared_alloc_words = stage_stores as u32 * 32;
+            let base = sink.alloc_shared(stage_stores as u32 * 32);
             for _ in 0..stage_loads {
                 push(
-                    &mut t,
+                    sink,
                     WarpOp::Global {
                         bytes: dev.transaction_bytes,
                     },
                 );
             }
             for i in 0..stage_stores {
-                push(&mut t, WarpOp::shared_write(i as u32 * 32, 32));
+                push(sink, WarpOp::shared_write(base + i as u32 * 32, 32));
             }
-            t.push_all(WarpOp::Barrier);
+            sink.record_all(WarpOp::Barrier);
             // Multiply phase: per (slice, entry) a broadcast read of the
             // staged colIdx+value pair, then the X gather.
             for j in 0..nnz * mem_slices {
                 let entry = (j % nnz.max(1)) as u32;
-                push(&mut t, WarpOp::shared_read(entry * 2, 2));
+                push(sink, WarpOp::shared_read(base + entry * 2, 2));
                 push(
-                    &mut t,
+                    sink,
                     WarpOp::Global {
                         bytes: dev.transaction_bytes.min(dim as u32 * 4),
                     },
@@ -211,7 +241,7 @@ impl CudaSpmm {
             for _ in 0..nnz * mem_slices {
                 for _ in 0..3 {
                     push(
-                        &mut t,
+                        sink,
                         WarpOp::Global {
                             bytes: dev.transaction_bytes.min(dim as u32 * 4),
                         },
@@ -220,22 +250,43 @@ impl CudaSpmm {
             }
         }
         for _ in 0..fma {
-            push(&mut t, WarpOp::Compute);
+            push(sink, WarpOp::Compute);
         }
         // Result stores, one coalesced run per row.
         let z_tx = coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
         for r in 0..rows {
             for _ in 0..z_tx {
-                t.warps[r % nwarps].ops.push(WarpOp::Global {
-                    bytes: dev.transaction_bytes,
-                });
+                sink.record(
+                    r % nwarps,
+                    WarpOp::Global {
+                        bytes: dev.transaction_bytes,
+                    },
+                );
             }
         }
-        t
     }
 }
 
 impl CudaSpmm {
+    /// SpMM against a prebuilt row-window partition of `a` — the reusable
+    /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
+    /// plan can amortize the partition build across requests. `part` must
+    /// have been built from a matrix with `a`'s structure.
+    /// Per-window block costs of the partition — the timing half of
+    /// [`spmm_with_partition`](CudaSpmm::spmm_with_partition).
+    pub fn partition_block_costs(
+        &self,
+        part: &RowWindowPartition,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> Vec<BlockCost> {
+        part.windows
+            .iter()
+            .filter(|w| !w.is_empty())
+            .map(|w| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev))
+            .collect()
+    }
+
     /// SpMM against a prebuilt row-window partition of `a` — the reusable
     /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
     /// plan can amortize the partition build across requests. `part` must
@@ -247,38 +298,39 @@ impl CudaSpmm {
         x: &DenseMatrix,
         dev: &DeviceSpec,
     ) -> SpmmResult {
-        let blocks: Vec<BlockCost> = part
-            .windows
-            .iter()
-            .filter(|w| !w.is_empty())
-            .map(|w| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev))
-            .collect();
+        let blocks = self.partition_block_costs(part, x.cols, dev);
         let run = dev.execute(&blocks);
-        // Numerics: exact at FP32; operand-quantized otherwise. Either way
-        // output rows are computed on the hc-parallel pool, one worker per
-        // row, in the serial entry order — bit-identical at any thread
-        // count.
-        let z = if self.precision == Precision::Fp32 {
-            a.spmm_reference(x)
-        } else {
-            let mut z = DenseMatrix::zeros(a.nrows, x.cols);
-            if a.nrows > 0 && x.cols > 0 {
-                let p = self.precision;
-                let work = 2 * a.nnz() as u64 * x.cols as u64;
-                hc_parallel::par_chunks_mut(&mut z.data, x.cols, work, |r, zrow| {
-                    let (s, e) = a.row_range(r);
-                    for i in s..e {
-                        let v = p.quantize(a.vals[i]);
-                        let xrow = x.row(a.col_idx[i] as usize);
-                        for (o, &xv) in zrow.iter_mut().zip(xrow) {
-                            *o += v * p.quantize(xv);
-                        }
+        SpmmResult {
+            z: self.numeric(a, x),
+            run,
+        }
+    }
+
+    /// Numerical result: exact at FP32; operand-quantized otherwise.
+    /// Either way output rows are computed on the hc-parallel pool, one
+    /// worker per row, in the serial entry order — bit-identical at any
+    /// thread count. Split out so a cached plan can pair it with cached
+    /// block costs.
+    pub fn numeric(&self, a: &Csr, x: &DenseMatrix) -> DenseMatrix {
+        if self.precision == Precision::Fp32 {
+            return a.spmm_reference(x);
+        }
+        let mut z = DenseMatrix::zeros(a.nrows, x.cols);
+        if a.nrows > 0 && x.cols > 0 {
+            let p = self.precision;
+            let work = 2 * a.nnz() as u64 * x.cols as u64;
+            hc_parallel::par_chunks_mut(&mut z.data, x.cols, work, |r, zrow| {
+                let (s, e) = a.row_range(r);
+                for i in s..e {
+                    let v = p.quantize(a.vals[i]);
+                    let xrow = x.row(a.col_idx[i] as usize);
+                    for (o, &xv) in zrow.iter_mut().zip(xrow) {
+                        *o += v * p.quantize(xv);
                     }
-                });
-            }
-            z
-        };
-        SpmmResult { z, run }
+                }
+            });
+        }
+        z
     }
 }
 
@@ -289,6 +341,11 @@ impl SpmmKernel for CudaSpmm {
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         self.spmm_with_partition(&RowWindowPartition::build(a), a, x, dev)
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
+        let part = RowWindowPartition::build(a);
+        dev.execute(&self.partition_block_costs(&part, x.cols, dev))
     }
 }
 

@@ -6,7 +6,7 @@
 //! window's result rows are produced entirely by one core type, no result
 //! merging between cores is ever needed.
 
-use gpu_sim::trace::BlockTrace;
+use gpu_sim::trace::{BlockTrace, CounterTrace, TraceSink};
 use gpu_sim::{BlockCost, DeviceSpec, Precision};
 use graph_sparse::{Csr, DenseMatrix, RowWindow};
 
@@ -167,13 +167,43 @@ impl HcSpmm {
         dim: usize,
         dev: &DeviceSpec,
     ) -> BlockTrace {
+        let mut t = BlockTrace::default();
+        self.window_trace_into(w, choice, dim, dev, &mut t);
+        t
+    }
+
+    /// Counter-mode view of [`window_trace`](HcSpmm::window_trace): the
+    /// chosen path's emitter, accumulating counters instead of events.
+    pub fn window_counters(
+        &self,
+        w: &RowWindow,
+        choice: CoreChoice,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> CounterTrace {
+        let mut c = CounterTrace::default();
+        self.window_trace_into(w, choice, dim, dev, &mut c);
+        c
+    }
+
+    /// The chosen path's emitter, generic over the [`TraceSink`].
+    pub fn window_trace_into<S: TraceSink>(
+        &self,
+        w: &RowWindow,
+        choice: CoreChoice,
+        dim: usize,
+        dev: &DeviceSpec,
+        sink: &mut S,
+    ) {
         match choice {
-            CoreChoice::Cuda => self
-                .cuda
-                .window_trace(w.nnz, w.nnz_cols(), w.rows, dim, dev),
-            CoreChoice::Tensor => self
-                .tensor
-                .window_trace(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+            CoreChoice::Cuda => {
+                self.cuda
+                    .window_trace_into(w.nnz, w.nnz_cols(), w.rows, dim, dev, sink)
+            }
+            CoreChoice::Tensor => {
+                self.tensor
+                    .window_trace_into(w.nnz, w.nnz_cols(), w.rows, dim, dev, sink)
+            }
         }
     }
 
@@ -305,6 +335,11 @@ impl SpmmKernel for HcSpmm {
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         let pre = self.preprocess(a, dev);
         self.spmm_preprocessed(&pre, a, x, dev)
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
+        let pre = self.preprocess(a, dev);
+        dev.execute(&self.block_costs(&pre, x.cols, dev))
     }
 }
 

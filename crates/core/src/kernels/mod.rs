@@ -30,6 +30,17 @@ pub trait SpmmKernel {
     /// measurement protocol (§VI-B1); kernels with a preprocessing phase
     /// expose it separately.
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult;
+
+    /// Timing-only execution: the simulated run record without the dense
+    /// numeric result. The simulated time of every kernel here is a pure
+    /// function of the block costs — it never depends on `Z` — so timing
+    /// experiments (Fig. 10, Tables VII/X/XVI) use this entry point and
+    /// skip materializing outputs they would discard. Implementations must
+    /// return exactly `self.spmm(a, x, dev).run`; the default does
+    /// literally that, overrides just skip the numeric phase.
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> KernelRun {
+        self.spmm(a, x, dev).run
+    }
 }
 
 /// Numerical check helper: asserts a kernel result matches the reference

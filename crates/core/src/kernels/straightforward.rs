@@ -17,7 +17,7 @@
 //! 3. **Per-tile times are too small to measure**, leaving sparsity as the
 //!    only usable selection feature (footnote 5).
 
-use gpu_sim::trace::{BlockTrace, WarpOp, WarpTrace};
+use gpu_sim::trace::{BlockTrace, CounterTrace, TraceSink, WarpOp};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
 use graph_sparse::{Csr, DenseMatrix, RowWindow, RowWindowPartition};
 
@@ -155,6 +155,32 @@ impl StraightforwardHybrid {
     /// mixed window only the CUDA phase stores Z (the cost model likewise
     /// removes the double store).
     pub fn window_trace(&self, w: &RowWindow, dim: usize, dev: &DeviceSpec) -> BlockTrace {
+        let mut t = BlockTrace::default();
+        self.window_trace_into(w, dim, dev, &mut t);
+        t
+    }
+
+    /// Counter-mode view of
+    /// [`window_trace`](StraightforwardHybrid::window_trace): the same
+    /// phase sequence, accumulating counters instead of event vectors.
+    pub fn window_counters(&self, w: &RowWindow, dim: usize, dev: &DeviceSpec) -> CounterTrace {
+        let mut c = CounterTrace::default();
+        self.window_trace_into(w, dim, dev, &mut c);
+        c
+    }
+
+    /// The single emitter behind both representations: each sub-phase
+    /// records into the shared sink, separated by block-wide barriers, with
+    /// its shared region allocated past the previous phase's (what
+    /// `BlockTrace::append_sequential` used to do by rebasing — here the
+    /// sink's allocation cursor does it for event and counter mode alike).
+    pub fn window_trace_into<S: TraceSink>(
+        &self,
+        w: &RowWindow,
+        dim: usize,
+        dev: &DeviceSpec,
+        sink: &mut S,
+    ) {
         let cuda = CudaSpmm::optimized();
         let tensor = TensorSpmm::optimized();
         let tile_k = Precision::Tf32.tile_k();
@@ -163,75 +189,92 @@ impl StraightforwardHybrid {
 
         // The merged block always runs at least the 8 warps the cost model
         // starts from; sub-phases with fewer warps leave the rest idle.
-        let mut t = BlockTrace {
-            warps: vec![WarpTrace::default(); 8],
-            shared_alloc_words: 0,
-        };
+        sink.ensure_warps(8);
         if split.tensor_tiles > 0 {
-            t.append_sequential(&tensor.window_trace_impl(
+            sink.record_all(WarpOp::Barrier);
+            tensor.window_trace_into_impl(
                 split.tensor_nnz,
                 split.tensor_tiles * tile_k,
                 w.rows,
                 dim,
                 dev,
                 !mixed,
-            ));
+                sink,
+            );
         }
         if split.cuda_nnz > 0 {
-            t.append_sequential(&cuda.window_trace(
-                split.cuda_nnz,
-                split.cuda_cols,
-                w.rows,
-                dim,
-                dev,
-            ));
+            sink.record_all(WarpOp::Barrier);
+            cuda.window_trace_into(split.cuda_nnz, split.cuda_cols, w.rows, dim, dev, sink);
         }
         if mixed {
-            t.append_sequential(&self.merge_phase_trace(w, dim, dev));
+            sink.record_all(WarpOp::Barrier);
+            self.merge_phase_into(w, dim, dev, sink);
         }
-        t
     }
 
     /// The result-merging pass of a mixed window: Tensor accumulators and
     /// CUDA partials spill into a Z-sized shared region, a barrier, then
     /// the read-back + add pass and the split-edge index stream.
-    fn merge_phase_trace(&self, w: &RowWindow, dim: usize, dev: &DeviceSpec) -> BlockTrace {
+    fn merge_phase_into<S: TraceSink>(
+        &self,
+        w: &RowWindow,
+        dim: usize,
+        dev: &DeviceSpec,
+        sink: &mut S,
+    ) {
         let nwarps = 8usize;
         let z_words = (w.rows * dim) as u64;
         let spill_ops = z_words.div_ceil(8) * 2;
-        let mut t = BlockTrace {
-            warps: vec![WarpTrace::default(); nwarps],
-            // Each spill store covers a 4-word slice of the region.
-            shared_alloc_words: (spill_ops * 4) as u32,
-        };
+        sink.ensure_warps(nwarps);
+        // Each spill store covers a 4-word slice of the region.
+        let base = sink.alloc_shared((spill_ops * 4) as u32);
         let mut turn = 0usize;
-        let mut push = |t: &mut BlockTrace, op: WarpOp| {
-            t.warps[turn % nwarps].ops.push(op);
+        let mut push = |sink: &mut S, op: WarpOp| {
+            sink.record(turn % nwarps, op);
             turn += 1;
         };
         for i in 0..spill_ops {
-            push(&mut t, WarpOp::shared_write(i as u32 * 4, 4));
+            push(sink, WarpOp::shared_write(base + i as u32 * 4, 4));
         }
-        t.push_all(WarpOp::Barrier);
+        sink.record_all(WarpOp::Barrier);
         for i in 0..spill_ops {
-            push(&mut t, WarpOp::shared_read(i as u32 * 4, 4));
+            push(sink, WarpOp::shared_read(base + i as u32 * 4, 4));
         }
         for _ in 0..z_words.div_ceil(32) {
-            push(&mut t, WarpOp::Compute);
+            push(sink, WarpOp::Compute);
         }
         for _ in 0..coalesced_transactions(w.nnz as u64 * 4, dev.transaction_bytes) {
             push(
-                &mut t,
+                sink,
                 WarpOp::Global {
                     bytes: dev.transaction_bytes,
                 },
             );
         }
-        t
     }
 }
 
 impl StraightforwardHybrid {
+    /// Per-window block costs (tile_split + both path models) of the
+    /// partition — per-window independent, evaluated on the pool with
+    /// window order preserved. The timing half of
+    /// [`spmm_with_partition`](StraightforwardHybrid::spmm_with_partition).
+    pub fn partition_block_costs(
+        &self,
+        part: &RowWindowPartition,
+        a: &Csr,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> Vec<BlockCost> {
+        let cost_work = 2 * a.nnz() as u64 + part.len() as u64 * 64;
+        hc_parallel::par_map(&part.windows, cost_work, |w| {
+            (!w.is_empty()).then(|| self.window_cost(w, dim, dev))
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// SpMM against a prebuilt row-window partition of `a` — the reusable
     /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
     /// plan can amortize the partition build across requests. `part` must
@@ -243,25 +286,27 @@ impl StraightforwardHybrid {
         x: &DenseMatrix,
         dev: &DeviceSpec,
     ) -> SpmmResult {
-        let tile_k = Precision::Tf32.tile_k();
-        let dim = x.cols;
-
-        // Window costs (tile_split + both path models) are per-window
-        // independent — evaluated on the pool, window order preserved.
-        let cost_work = 2 * a.nnz() as u64 + part.len() as u64 * 64;
-        let blocks: Vec<BlockCost> = hc_parallel::par_map(&part.windows, cost_work, |w| {
-            (!w.is_empty()).then(|| self.window_cost(w, dim, dev))
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let blocks = self.partition_block_costs(part, a, x.cols, dev);
         let run = dev.execute(&blocks);
+        SpmmResult {
+            z: self.partition_numeric(part, a, x),
+            run,
+        }
+    }
 
-        // Numerics: tiles with density ≥ threshold are quantized (TF32),
-        // the rest exact — per entry, by its column's rank in the window.
-        // All ranking state is window-local, and windows tile the rows
-        // contiguously, so each pool worker owns its window's chunk of
-        // z.data exclusively (chunk index == window index).
+    /// Numerical result over a prebuilt partition: tiles with density ≥
+    /// threshold are quantized (TF32), the rest exact — per entry, by its
+    /// column's rank in the window. All ranking state is window-local, and
+    /// windows tile the rows contiguously, so each pool worker owns its
+    /// window's chunk of z.data exclusively (chunk index == window index).
+    /// Split out so a cached plan can pair it with cached block costs.
+    pub fn partition_numeric(
+        &self,
+        part: &RowWindowPartition,
+        a: &Csr,
+        x: &DenseMatrix,
+    ) -> DenseMatrix {
+        let tile_k = Precision::Tf32.tile_k();
         let mut z = DenseMatrix::zeros(a.nrows, x.cols);
         if a.nrows > 0 && x.cols > 0 {
             let cols = x.cols;
@@ -317,7 +362,7 @@ impl StraightforwardHybrid {
                 }
             });
         }
-        SpmmResult { z, run }
+        z
     }
 }
 
@@ -328,6 +373,11 @@ impl SpmmKernel for StraightforwardHybrid {
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         self.spmm_with_partition(&RowWindowPartition::build(a), a, x, dev)
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
+        let part = RowWindowPartition::build(a);
+        dev.execute(&self.partition_block_costs(&part, a, x.cols, dev))
     }
 }
 

@@ -14,7 +14,7 @@
 //! bank conflicts and hiding gather latency across warps; the plain kernel
 //! loads per-warp with a conflicting layout.
 
-use gpu_sim::trace::{BlockTrace, WarpOp, WarpTrace};
+use gpu_sim::trace::{BlockTrace, CounterTrace, TraceSink, WarpOp};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
 use graph_sparse::{Csr, DenseMatrix, RowWindow, RowWindowPartition};
 
@@ -144,14 +144,46 @@ impl TensorSpmm {
         dim: usize,
         dev: &DeviceSpec,
     ) -> BlockTrace {
-        self.window_trace_impl(nnz, nnz_cols, rows, dim, dev, true)
+        let mut t = BlockTrace::default();
+        self.window_trace_into(nnz, nnz_cols, rows, dim, dev, &mut t);
+        t
     }
 
-    /// Trace builder with the Z store made optional: the per-tile hybrid
-    /// merges a Tensor part and a CUDA part over the same output rows and
-    /// stores Z exactly once, so its Tensor sub-trace must omit the store
-    /// (matching the transaction subtraction in its cost merge).
-    pub(crate) fn window_trace_impl(
+    /// Counter-mode view of [`window_trace`](TensorSpmm::window_trace): the
+    /// same emitter, accumulating counters instead of event vectors.
+    pub fn window_counters(
+        &self,
+        nnz: usize,
+        nnz_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> CounterTrace {
+        let mut c = CounterTrace::default();
+        self.window_trace_into(nnz, nnz_cols, rows, dim, dev, &mut c);
+        c
+    }
+
+    /// The single emitter behind both representations, generic over the
+    /// [`TraceSink`].
+    pub fn window_trace_into<S: TraceSink>(
+        &self,
+        nnz: usize,
+        nnz_cols: usize,
+        rows: usize,
+        dim: usize,
+        dev: &DeviceSpec,
+        sink: &mut S,
+    ) {
+        self.window_trace_into_impl(nnz, nnz_cols, rows, dim, dev, true, sink);
+    }
+
+    /// Emitter with the Z store made optional: the per-tile hybrid merges a
+    /// Tensor part and a CUDA part over the same output rows and stores Z
+    /// exactly once, so its Tensor sub-phase must omit the store (matching
+    /// the transaction subtraction in its cost merge).
+    #[allow(clippy::too_many_arguments)] // window shape + device + mode; private plumbing
+    pub(crate) fn window_trace_into_impl<S: TraceSink>(
         &self,
         nnz: usize,
         nnz_cols: usize,
@@ -159,17 +191,15 @@ impl TensorSpmm {
         dim: usize,
         dev: &DeviceSpec,
         z_store: bool,
-    ) -> BlockTrace {
+        sink: &mut S,
+    ) {
         let tile_k = self.precision.tile_k();
         let tiles = nnz_cols.div_ceil(tile_k);
         let dim_chunks = dim.div_ceil(16);
         let nwarps = 8usize;
-        let mut t = BlockTrace {
-            warps: vec![WarpTrace::default(); nwarps],
-            shared_alloc_words: 0,
-        };
+        sink.ensure_warps(nwarps);
         if tiles == 0 {
-            return t;
+            return;
         }
         let entry_bytes = 6 + self.precision.storage_bytes();
         let eb = self.precision.storage_bytes();
@@ -182,14 +212,15 @@ impl TensorSpmm {
         let a_stores = (nnz as u64).div_ceil(dev.warp_size as u64);
         let a_words = (a_stores as u32).max(1) * 32;
         let x_words = frag_stores_each as u32 * 32;
-        t.shared_alloc_words = a_words + x_words;
+        let a_base = sink.alloc_shared(a_words);
+        let x_base = sink.alloc_shared(x_words);
         // Replays billed per staging store step by the unoptimized layout
         // (Fig. 6's 4-way pathology).
         let store_conflicts = if self.optimized_loading { 0 } else { 3 };
 
         let mut turn = 0usize;
-        let mut push = |t: &mut BlockTrace, op: WarpOp| {
-            t.warps[turn % nwarps].ops.push(op);
+        let mut push = |sink: &mut S, op: WarpOp| {
+            sink.record(turn % nwarps, op);
             turn += 1;
         };
 
@@ -198,16 +229,19 @@ impl TensorSpmm {
         let a_loads = coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
         for _ in 0..a_loads {
             push(
-                &mut t,
+                sink,
                 WarpOp::Global {
                     bytes: dev.transaction_bytes,
                 },
             );
         }
         for i in 0..a_stores {
-            push(&mut t, WarpOp::shared_write(i as u32 * 32 % a_words, 32));
+            push(
+                sink,
+                WarpOp::shared_write(a_base + i as u32 * 32 % a_words, 32),
+            );
         }
-        t.push_all(WarpOp::Barrier);
+        sink.record_all(WarpOp::Barrier);
 
         // -- Per-fragment staging + MMA. The unoptimized kernel also pays
         // extra partial-sector gathers (fragments*frag_rows/2 in total),
@@ -222,36 +256,35 @@ impl TensorSpmm {
         for f in 0..fragments {
             let chunk = (f as usize) % dim_chunks;
             for _ in 0..frag_rows {
-                push(&mut t, WarpOp::Global { bytes: 64 });
+                push(sink, WarpOp::Global { bytes: 64 });
             }
             let batch = extra_left.div_ceil(fragments - f);
             for _ in 0..batch {
-                push(&mut t, WarpOp::Global { bytes: 32 });
+                push(sink, WarpOp::Global { bytes: 32 });
             }
             extra_left -= batch;
             for s in 0..frag_stores_each {
                 push(
-                    &mut t,
+                    sink,
                     WarpOp::shared_access(
                         gpu_sim::AccessKind::Write,
-                        a_words + s as u32 * 32,
+                        x_base + s as u32 * 32,
                         32,
                         store_conflicts,
                     ),
                 );
             }
-            t.push_all(WarpOp::Barrier);
+            sink.record_all(WarpOp::Barrier);
             // Owning warp (Fig. 5b): two fragment loads, one WMMA.
             let w = chunk % nwarps;
             let tile_slice = (f / dim_chunks as u64 * 32 % a_words as u64) as u32;
-            t.warps[w]
-                .ops
-                .push(WarpOp::shared_read(tile_slice.min(a_words - 32), 32));
-            t.warps[w]
-                .ops
-                .push(WarpOp::shared_read(a_words, frag_read_words));
-            t.warps[w].ops.push(WarpOp::Wmma);
-            t.push_all(WarpOp::Barrier); // fence before buffer reuse
+            sink.record(
+                w,
+                WarpOp::shared_read(a_base + tile_slice.min(a_words - 32), 32),
+            );
+            sink.record(w, WarpOp::shared_read(x_base, frag_read_words));
+            sink.record(w, WarpOp::Wmma);
+            sink.record_all(WarpOp::Barrier); // fence before buffer reuse
         }
 
         // -- Result store, coalesced, once per output row.
@@ -259,13 +292,15 @@ impl TensorSpmm {
             let z_tx = coalesced_transactions(dim as u64 * 4, dev.transaction_bytes);
             for r in 0..rows {
                 for _ in 0..z_tx {
-                    t.warps[r % nwarps].ops.push(WarpOp::Global {
-                        bytes: dev.transaction_bytes,
-                    });
+                    sink.record(
+                        r % nwarps,
+                        WarpOp::Global {
+                            bytes: dev.transaction_bytes,
+                        },
+                    );
                 }
             }
         }
-        t
     }
 
     /// Numerically multiply one window at this kernel's precision,
@@ -311,6 +346,27 @@ impl TensorSpmm {
     /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
     /// plan can amortize the partition build across requests. `part` must
     /// have been built from a matrix with `a`'s structure.
+    /// Per-window block costs of the partition (empty windows launch no
+    /// block; survivors keep window order) — the timing half of
+    /// [`spmm_with_partition`](TensorSpmm::spmm_with_partition).
+    pub fn partition_block_costs(
+        &self,
+        part: &RowWindowPartition,
+        dim: usize,
+        dev: &DeviceSpec,
+    ) -> Vec<BlockCost> {
+        hc_parallel::par_map(&part.windows, part.len() as u64 * 64, |w| {
+            (!w.is_empty()).then(|| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev))
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// SpMM against a prebuilt row-window partition of `a` — the reusable
+    /// half of [`spmm`](SpmmKernel::spmm), split out so a cached serving
+    /// plan can amortize the partition build across requests. `part` must
+    /// have been built from a matrix with `a`'s structure.
     pub fn spmm_with_partition(
         &self,
         part: &RowWindowPartition,
@@ -318,20 +374,25 @@ impl TensorSpmm {
         x: &DenseMatrix,
         dev: &DeviceSpec,
     ) -> SpmmResult {
-        // Window costs are independent of each other; empty windows launch
-        // no block (order among the survivors is preserved).
-        let blocks: Vec<BlockCost> =
-            hc_parallel::par_map(&part.windows, part.len() as u64 * 64, |w| {
-                (!w.is_empty())
-                    .then(|| self.window_block_cost(w.nnz, w.nnz_cols(), w.rows, x.cols, dev))
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        let blocks = self.partition_block_costs(part, x.cols, dev);
         let run = dev.execute(&blocks);
-        // Numerics: windows tile the rows contiguously, so chunking z.data
-        // by window_rows·cols makes chunk index == window index and each
-        // worker owns its window's output exclusively.
+        SpmmResult {
+            z: self.partition_numeric(part, a, x),
+            run,
+        }
+    }
+
+    /// Numerical result over a prebuilt partition. Windows tile the rows
+    /// contiguously, so chunking z.data by window_rows·cols makes chunk
+    /// index == window index and each worker owns its window's output
+    /// exclusively. Split out so a cached plan can pair it with cached
+    /// block costs.
+    pub fn partition_numeric(
+        &self,
+        part: &RowWindowPartition,
+        a: &Csr,
+        x: &DenseMatrix,
+    ) -> DenseMatrix {
         let mut z = DenseMatrix::zeros(a.nrows, x.cols);
         if a.nrows > 0 && x.cols > 0 {
             let work = 2 * a.nnz() as u64 * x.cols as u64;
@@ -343,7 +404,7 @@ impl TensorSpmm {
                 }
             });
         }
-        SpmmResult { z, run }
+        z
     }
 }
 
@@ -354,6 +415,11 @@ impl SpmmKernel for TensorSpmm {
 
     fn spmm(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> SpmmResult {
         self.spmm_with_partition(&RowWindowPartition::build(a), a, x, dev)
+    }
+
+    fn spmm_run(&self, a: &Csr, x: &DenseMatrix, dev: &DeviceSpec) -> gpu_sim::KernelRun {
+        let part = RowWindowPartition::build(a);
+        dev.execute(&self.partition_block_costs(&part, x.cols, dev))
     }
 }
 

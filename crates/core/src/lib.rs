@@ -19,7 +19,10 @@
 //! * [`sanitize`] — compute-sanitizer-style checking of every kernel
 //!   family's window traces against the costs it bills;
 //! * [`resilient`] — typed errors, bounded retry, kernel-family fallback
-//!   chains and output validation over prepared [`Plan`]s.
+//!   chains and output validation over prepared [`Plan`]s;
+//! * [`workspace`] — the per-plan reusable execution arena (cached block
+//!   costs, recycled LOA staging buffers) that keeps the serving hot path
+//!   allocation-free per request.
 //!
 //! Kernels compute real `f32` numerics on the CPU while charging simulated
 //! GPU time through the `gpu-sim` substrate; see that crate's docs.
@@ -36,6 +39,7 @@ pub mod preprocess;
 pub mod resilient;
 pub mod sanitize;
 pub mod selector;
+pub mod workspace;
 
 pub use features::WindowFeatures;
 pub use kernels::cuda::CudaSpmm;
@@ -50,5 +54,8 @@ pub use resilient::{
     execute_resilient, fallback_chain, FallbackStep, HcError, ResiliencePolicy, ResilientRun,
     Validation,
 };
-pub use sanitize::{sanitize_family, sanitize_graph, FamilyReport, KernelFamily, SampleSpec};
+pub use sanitize::{
+    conformance_family, sanitize_family, sanitize_graph, FamilyReport, KernelFamily, SampleSpec,
+};
 pub use selector::{CoreChoice, SelectionPolicy, Selector};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -21,6 +21,7 @@ use crate::kernels::SpmmResult;
 use crate::loa::Loa;
 use crate::preprocess::Preprocessed;
 use crate::sanitize::KernelFamily;
+use crate::workspace::{Workspace, WorkspaceStats};
 use crate::{HcSpmm, StraightforwardHybrid};
 
 /// What to prepare: the kernel family that will execute requests and
@@ -99,6 +100,11 @@ pub struct Plan {
     /// Host wall-clock milliseconds the prepare step took (the serving
     /// layer's amortization numerator).
     pub prepare_wall_ms: f64,
+    /// Reusable execution arena: cached per-window block costs and
+    /// recycled LOA staging buffers. Interior-mutable, so a shared
+    /// (`Arc`ed) plan amortizes across requests; cloning the plan starts
+    /// a cold workspace.
+    pub workspace: Workspace,
 }
 
 impl Plan {
@@ -135,7 +141,14 @@ impl Plan {
             pre,
             loa,
             prepare_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            workspace: Workspace::default(),
         }
+    }
+
+    /// The workspace's traffic counters (block-cost cache hits, scratch
+    /// buffer reuse) — the serving layer's per-request allocation metric.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
     }
 
     /// Simulated milliseconds the prepare step would cost on the device:
@@ -178,25 +191,50 @@ impl Plan {
             Some(l) => {
                 // Route the request's values into the permuted structure,
                 // permute the feature rows to match, then map the output
-                // rows back to the original vertex order.
-                let mut ap = l.structure.clone();
+                // rows back to the original vertex order. All staging
+                // buffers come from the workspace and are fully
+                // overwritten before use, so reuse is bit-identical to
+                // fresh allocation.
+                let mut s = self.workspace.checkout();
+                let mut ap = s.ap.take().unwrap_or_else(|| l.structure.clone());
                 for (slot, &src) in ap.vals.iter_mut().zip(&l.val_gather) {
                     *slot = a.vals[src as usize];
                 }
-                let xp =
-                    DenseMatrix::from_fn(x.rows, x.cols, |new, j| x.row(l.perm[new] as usize)[j]);
-                let mut r = self.execute_layout(family, &ap, &xp, dev);
-                let mut z = DenseMatrix::zeros(r.z.rows, r.z.cols);
-                for (new, &old) in l.perm.iter().enumerate() {
-                    z.row_mut(old as usize).copy_from_slice(r.z.row(new));
+                let mut xp_data = std::mem::take(&mut s.xp);
+                xp_data.clear();
+                xp_data.reserve(x.rows * x.cols);
+                for new in 0..x.rows {
+                    xp_data.extend_from_slice(x.row(l.perm[new] as usize));
                 }
-                r.z = z;
+                let xp = DenseMatrix {
+                    rows: x.rows,
+                    cols: x.cols,
+                    data: xp_data,
+                };
+                let mut r = self.execute_layout(family, &ap, &xp, dev);
+                let mut zdata = std::mem::take(&mut s.zret);
+                zdata.clear();
+                zdata.resize(r.z.rows * r.z.cols, 0.0);
+                let cols = r.z.cols;
+                for (new, &old) in l.perm.iter().enumerate() {
+                    zdata[old as usize * cols..][..cols].copy_from_slice(r.z.row(new));
+                }
+                // Hand the result its remapped buffer; recycle the
+                // intermediate's storage (and the other stagers) for the
+                // next request on this plan.
+                s.zret = std::mem::replace(&mut r.z.data, zdata);
+                s.xp = xp.data;
+                s.ap = Some(ap);
+                self.workspace.check_in(s);
                 r
             }
         }
     }
 
-    /// Dispatch to a kernel family against the prepared partition.
+    /// Dispatch to a kernel family against the prepared partition. The
+    /// per-window block costs are a pure function of (structure, family,
+    /// feature width, device), so they come from the workspace cache —
+    /// built on the first request, reused after.
     fn execute_layout(
         &self,
         family: KernelFamily,
@@ -204,21 +242,33 @@ impl Plan {
         x: &DenseMatrix,
         dev: &DeviceSpec,
     ) -> SpmmResult {
-        match family {
-            KernelFamily::Straightforward => {
-                self.sf.spmm_with_partition(&self.pre.partition, a, x, dev)
-            }
-            KernelFamily::Cuda => self
-                .hc
-                .cuda
-                .spmm_with_partition(&self.pre.partition, a, x, dev),
-            KernelFamily::Tensor => {
-                self.hc
-                    .tensor
-                    .spmm_with_partition(&self.pre.partition, a, x, dev)
-            }
-            KernelFamily::Hybrid => self.hc.spmm_preprocessed(&self.pre, a, x, dev),
-        }
+        let blocks = self
+            .workspace
+            .block_costs(family, x.cols, dev.kind, || match family {
+                KernelFamily::Straightforward => {
+                    self.sf
+                        .partition_block_costs(&self.pre.partition, a, x.cols, dev)
+                }
+                KernelFamily::Cuda => {
+                    self.hc
+                        .cuda
+                        .partition_block_costs(&self.pre.partition, x.cols, dev)
+                }
+                KernelFamily::Tensor => {
+                    self.hc
+                        .tensor
+                        .partition_block_costs(&self.pre.partition, x.cols, dev)
+                }
+                KernelFamily::Hybrid => self.hc.block_costs(&self.pre, x.cols, dev),
+            });
+        let run = dev.execute(&blocks);
+        let z = match family {
+            KernelFamily::Straightforward => self.sf.partition_numeric(&self.pre.partition, a, x),
+            KernelFamily::Cuda => self.hc.cuda.numeric(a, x),
+            KernelFamily::Tensor => self.hc.tensor.partition_numeric(&self.pre.partition, a, x),
+            KernelFamily::Hybrid => self.hc.numeric(&self.pre, a, x),
+        };
+        SpmmResult { z, run }
     }
 
     /// Approximate resident bytes of the plan's owned artifacts — what a
@@ -324,6 +374,64 @@ mod tests {
         // result (structure-only artifacts).
         let plan_b = Plan::prepare(&b, spec, &dev);
         assert_eq!(zb, plan_b.execute(&b, &x, &dev).z);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_allocation() {
+        // The tentpole contract: executing a warm plan (recycled LOA
+        // staging buffers, cached block costs) must produce bit-identical
+        // output AND identical simulated timing to a cold plan.
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::scatter_relabel(&gen::molecules(512, 1_200, 3), 4);
+        let spec = PlanSpec {
+            family: KernelFamily::Hybrid,
+            use_loa: true,
+        };
+        let warm = Plan::prepare(&a, spec, &dev);
+        let xs: Vec<DenseMatrix> = (0..3)
+            .map(|s| DenseMatrix::random_features(512, 32, 40 + s))
+            .collect();
+        for (i, x) in xs.iter().enumerate() {
+            let got = warm.execute(&a, x, &dev);
+            // A cold plan allocates everything fresh.
+            let fresh = Plan::prepare(&a, spec, &dev).execute(&a, x, &dev);
+            assert_eq!(got.z, fresh.z, "request {i}: warm z != cold z");
+            assert_eq!(
+                got.run.time_ms.to_bits(),
+                fresh.run.time_ms.to_bits(),
+                "request {i}: warm timing != cold timing"
+            );
+        }
+        let s = warm.workspace_stats();
+        assert_eq!(s.scratch_allocs, 1, "only the first request allocates");
+        assert_eq!(s.scratch_reuses, 2);
+        assert_eq!(s.cost_builds, 1, "block costs built once");
+        assert_eq!(s.cost_reuses, 2);
+    }
+
+    #[test]
+    fn workspace_survives_feature_width_changes() {
+        // Requests with different feature widths resize the recycled
+        // buffers and key separate block-cost entries; outputs stay
+        // bit-identical to fresh plans either way.
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::scatter_relabel(&gen::molecules(256, 700, 5), 2);
+        let spec = PlanSpec {
+            family: KernelFamily::Tensor,
+            use_loa: true,
+        };
+        let warm = Plan::prepare(&a, spec, &dev);
+        for (i, dim) in [64, 8, 32, 8].iter().enumerate() {
+            let x = DenseMatrix::random_features(256, *dim, 90 + i as u64);
+            let got = warm.execute(&a, &x, &dev).z;
+            let fresh = Plan::prepare(&a, spec, &dev).execute(&a, &x, &dev).z;
+            assert_eq!(got, fresh, "dim {dim} diverged on the warm plan");
+        }
+        let s = warm.workspace_stats();
+        // Three distinct dims build three cost vectors; the repeated dim 8
+        // hits the cache.
+        assert_eq!((s.cost_builds, s.cost_reuses), (3, 1));
+        assert_eq!((s.scratch_allocs, s.scratch_reuses), (1, 3));
     }
 
     #[test]

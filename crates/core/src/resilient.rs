@@ -511,6 +511,47 @@ mod tests {
     }
 
     #[test]
+    fn fallback_reexecution_reuses_workspace_bit_identically() {
+        // Every device launch faults, so each run walks the full fallback
+        // chain — re-executing the plan several times per request through
+        // its workspace. Warm-arena re-execution must stay bit-identical
+        // to a cold plan under the identical fault schedule.
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::scatter_relabel(&gen::molecules(256, 700, 11), 3);
+        let x = DenseMatrix::random_features(256, 16, 12);
+        let spec = PlanSpec {
+            family: KernelFamily::Tensor,
+            use_loa: true,
+        };
+        let policy = ResiliencePolicy {
+            faults: FaultConfig {
+                seed: 5,
+                bit_flip: 0.0,
+                shared_alloc_fail: 1.0,
+                timeout: 0.0,
+                launch_fail: 0.0,
+            },
+            ..Default::default()
+        };
+        let warm = Plan::prepare(&a, spec, &dev);
+        let first = execute_resilient(&warm, &a, &x, &dev, &policy);
+        let second = execute_resilient(&warm, &a, &x, &dev, &policy);
+        let fresh = execute_resilient(&Plan::prepare(&a, spec, &dev), &a, &x, &dev, &policy);
+        assert_eq!(first.executed, FallbackStep::CpuReference);
+        let z1 = first.result.expect("CPU reference serves").z;
+        let z2 = second.result.expect("CPU reference serves").z;
+        let zf = fresh.result.expect("CPU reference serves").z;
+        assert_eq!(z1, z2, "warm re-execution diverged");
+        assert_eq!(z1, zf, "warm plan diverged from cold plan");
+        let s = warm.workspace_stats();
+        assert!(
+            s.scratch_reuses > 0,
+            "fallback attempts must recycle the arena: {s:?}"
+        );
+        assert!(s.cost_reuses > 0, "block costs must be reused: {s:?}");
+    }
+
+    #[test]
     fn shape_mismatch_is_a_typed_error_not_a_panic() {
         let (dev, a, _, plan) = setup(KernelFamily::Hybrid);
         let bad = DenseMatrix::random_features(a.ncols + 3, 16, 7);

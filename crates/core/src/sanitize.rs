@@ -167,6 +167,73 @@ pub fn sanitize_family(
     report
 }
 
+/// Counter-mode cost-conformance sweep for one family: every non-empty row
+/// window is re-counted through the family's counter-mode emitter — no
+/// per-op event vectors are ever materialized — and diffed against the
+/// [`BlockCost`](gpu_sim::BlockCost) the kernel bills for it. Cheap enough
+/// to cover *all* windows; the race / bounds / barrier analyses still need
+/// full event traces and stay behind [`sanitize_family`].
+pub fn conformance_family(
+    family: KernelFamily,
+    a: &Csr,
+    dim: usize,
+    dev: &DeviceSpec,
+    cfg: &SanitizerConfig,
+) -> FamilyReport {
+    use gpu_sim::sanitizer::{cost_conformance_counters, TraceCounters};
+
+    let part = RowWindowPartition::build(a);
+    let hc = HcSpmm::default();
+    let pre = matches!(family, KernelFamily::Hybrid).then(|| hc.preprocess(a, dev));
+
+    let mut report = FamilyReport {
+        family,
+        windows_checked: 0,
+        ops_checked: 0,
+        findings: Vec::new(),
+        suppressed: 0,
+    };
+    for (wi, w) in part.windows.iter().enumerate() {
+        if w.is_empty() {
+            continue;
+        }
+        let (cost, counters) = match family {
+            KernelFamily::Straightforward => {
+                let k = StraightforwardHybrid::default();
+                (k.window_cost(w, dim, dev), k.window_counters(w, dim, dev))
+            }
+            KernelFamily::Cuda => {
+                let k = CudaSpmm::optimized();
+                (
+                    k.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                    k.window_counters(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                )
+            }
+            KernelFamily::Tensor => {
+                let k = TensorSpmm::optimized();
+                (
+                    k.window_block_cost(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                    k.window_counters(w.nnz, w.nnz_cols(), w.rows, dim, dev),
+                )
+            }
+            KernelFamily::Hybrid => {
+                let choice = pre.as_ref().expect("preprocessed above").choices[wi];
+                (
+                    hc.window_cost(w, choice, dim, dev),
+                    hc.window_counters(w, choice, dim, dev),
+                )
+            }
+        };
+        let mut block = SanitizerReport {
+            ops_checked: counters.ops() as usize,
+            ..SanitizerReport::default()
+        };
+        cost_conformance_counters(&TraceCounters::from(&counters), &cost, cfg, &mut block);
+        absorb(&mut report, wi, block);
+    }
+    report
+}
+
 /// Merge one block's report into the family report.
 fn absorb(report: &mut FamilyReport, window: usize, block: SanitizerReport) {
     report.windows_checked += 1;
@@ -229,6 +296,20 @@ mod tests {
                     report.findings
                 );
             }
+        }
+    }
+
+    #[test]
+    fn counter_mode_conformance_sweep_is_clean_for_all_families() {
+        let a = gen::community(1024, 8_000, 32, 0.9, 11);
+        let dev = DeviceSpec::rtx3090();
+        let cfg = SanitizerConfig::default();
+        for family in KernelFamily::ALL {
+            let r = conformance_family(family, &a, 32, &dev, &cfg);
+            assert!(r.is_clean(), "{}: {:?}", r.family.name(), r.findings);
+            // The sweep covers every non-empty window, not a sample.
+            assert!(r.windows_checked >= 48, "{}", r.windows_checked);
+            assert!(r.ops_checked > 0);
         }
     }
 

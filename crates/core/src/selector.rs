@@ -80,8 +80,16 @@ impl Selector {
     }
 
     /// Train by batch gradient descent on standardized features until the
-    /// loss improvement falls under `1e-9` (or 20 000 epochs), then unfold
-    /// the standardization into raw-feature coefficients.
+    /// loss improvement stalls (or 200 000 epochs), then unfold the
+    /// standardization into raw-feature coefficients.
+    ///
+    /// The gradient step is taken every epoch, but the loss — needed only
+    /// for the convergence test — is evaluated every [`LOSS_STRIDE`]th
+    /// epoch via the softplus identity
+    /// `−[y·ln p + (1−y)·ln(1−p)] = softplus(z) − y·z`, which reuses the
+    /// sigmoid's `exp` and needs one `ln_1p` instead of two `ln`s. The
+    /// weight trajectory is identical to checking every epoch; at worst
+    /// the loop runs `LOSS_STRIDE − 1` extra (converged) epochs.
     pub fn train(samples: &[(WindowFeatures, CoreChoice)]) -> Selector {
         assert!(!samples.is_empty(), "empty training set");
         let n = samples.len() as f64;
@@ -115,28 +123,50 @@ impl Selector {
         let (mut w1, mut w2, mut b) = (0.0f64, 0.0f64, 0.0f64);
         let lr = 2.0;
         let mut prev_loss = f64::INFINITY;
+        /// Epochs between convergence checks (gradient steps still happen
+        /// every epoch); the stop tolerance scales with the stride.
+        const LOSS_STRIDE: usize = 8;
         // The training grid is near-separable, so the boundary keeps
         // sharpening as the weights grow; run long with a tight tolerance.
-        for _ in 0..200_000 {
+        for epoch in 0..200_000 {
+            let check = epoch % LOSS_STRIDE == LOSS_STRIDE - 1;
             let (mut g1, mut g2, mut gb, mut loss) = (0.0, 0.0, 0.0, 0.0);
-            for &(x1, x2, y) in &xs {
-                let z = w1 * x1 + w2 * x2 + b;
-                let p = 1.0 / (1.0 + (-z).exp());
-                let d = p - y;
-                g1 += d * x1;
-                g2 += d * x2;
-                gb += d;
-                let p = p.clamp(1e-12, 1.0 - 1e-12);
-                loss -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+            if check {
+                for &(x1, x2, y) in &xs {
+                    let z = w1 * x1 + w2 * x2 + b;
+                    let t = (-z).exp();
+                    let d = 1.0 / (1.0 + t) - y;
+                    g1 += d * x1;
+                    g2 += d * x2;
+                    gb += d;
+                    // softplus(z) = max(z,0) + ln(1 + e^{−|z|}), exact and
+                    // saturation-free; `t` already holds e^{−z}.
+                    let softplus = if z >= 0.0 {
+                        z + t.ln_1p()
+                    } else {
+                        (1.0 / t).ln_1p()
+                    };
+                    loss += softplus - y * z;
+                }
+            } else {
+                for &(x1, x2, y) in &xs {
+                    let z = w1 * x1 + w2 * x2 + b;
+                    let d = 1.0 / (1.0 + (-z).exp()) - y;
+                    g1 += d * x1;
+                    g2 += d * x2;
+                    gb += d;
+                }
             }
             w1 -= lr * g1 / n;
             w2 -= lr * g2 / n;
             b -= lr * gb / n;
-            loss /= n;
-            if (prev_loss - loss).abs() < 1e-12 {
-                break;
+            if check {
+                loss /= n;
+                if (prev_loss - loss).abs() < 1e-12 * LOSS_STRIDE as f64 {
+                    break;
+                }
+                prev_loss = loss;
             }
-            prev_loss = loss;
         }
         // Unfold standardization: w·(x-m)/s + b = (w/s)·x + (b - w·m/s).
         Selector {

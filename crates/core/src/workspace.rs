@@ -1,0 +1,271 @@
+//! Per-plan reusable execution workspace.
+//!
+//! Executing a [`Plan`](crate::Plan) used to re-derive its per-window
+//! block costs — a full sweep over the partition — and, on the LOA path,
+//! re-clone the permuted structure and re-build the permuted feature
+//! matrix on *every* request. All of that is a pure function of the
+//! plan's structure artifacts (plus the request's feature width and the
+//! device), so a plan carries a [`Workspace`]: an interior-mutable arena
+//! that caches block-cost vectors and recycles the LOA staging buffers
+//! across launches. Serving traffic through a cached plan therefore
+//! allocates O(1) scratch per request instead of O(graph).
+//!
+//! Reuse is bit-identical to fresh allocation by construction: every
+//! recycled buffer is fully overwritten before it is read (the value
+//! gather covers every permuted entry, the feature permutation writes
+//! every row, the output remap writes every row), and cached block-cost
+//! vectors are exactly the vector the builder closure would produce —
+//! built once by that same closure. The differential tests in
+//! `plan::tests` and `resilient::tests` pin this.
+//!
+//! Thread safety: the arena sits behind a `Mutex`, but buffers are
+//! *checked out* for the duration of a request, so the lock is never held
+//! across kernel execution. Two threads executing the same `Arc<Plan>`
+//! concurrently simply miss the scratch (one of them allocates fresh) —
+//! correct, just not amortized. The serving driver executes requests in
+//! order, so it always reuses.
+
+use std::sync::{Arc, Mutex};
+
+use gpu_sim::{BlockCost, DeviceKind};
+use graph_sparse::Csr;
+
+use crate::sanitize::KernelFamily;
+
+/// Workspace traffic counters (monotonic over the plan's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Block-cost vectors built from scratch (cache misses).
+    pub cost_builds: u64,
+    /// Executions served from a cached block-cost vector.
+    pub cost_reuses: u64,
+    /// LOA scratch checkouts that had to allocate fresh buffers.
+    pub scratch_allocs: u64,
+    /// LOA scratch checkouts satisfied by recycled buffers.
+    pub scratch_reuses: u64,
+}
+
+impl WorkspaceStats {
+    /// Merge another plan's counters into this one (the serving cache
+    /// aggregates over its resident plans).
+    pub fn add(&mut self, other: &WorkspaceStats) {
+        self.cost_builds += other.cost_builds;
+        self.cost_reuses += other.cost_reuses;
+        self.scratch_allocs += other.scratch_allocs;
+        self.scratch_reuses += other.scratch_reuses;
+    }
+
+    /// Fraction of block-cost requests served from cache (0 when none).
+    pub fn cost_hit_rate(&self) -> f64 {
+        let total = self.cost_builds + self.cost_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cost_reuses as f64 / total as f64
+        }
+    }
+}
+
+/// LOA staging buffers checked out of the workspace for one request.
+/// Every buffer is fully overwritten before use, so recycled contents
+/// can never leak into a result.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Permuted structure with the *previous* request's values; the value
+    /// gather overwrites all of them. `None` on a cold workspace.
+    pub ap: Option<Csr>,
+    /// Storage for the permuted feature matrix.
+    pub xp: Vec<f32>,
+    /// Storage for the output remap.
+    pub zret: Vec<f32>,
+}
+
+/// Key identifying one cached block-cost vector. Costs depend on the
+/// executing family, the feature width, and the device model; the plan's
+/// structure artifacts are fixed, so nothing else can vary them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CostKey {
+    family: KernelFamily,
+    dim: usize,
+    dev: DeviceKind,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    costs: Vec<(CostKey, Arc<Vec<BlockCost>>)>,
+    scratch: Option<Scratch>,
+    stats: WorkspaceStats,
+}
+
+/// Reusable per-plan arena: cached block-cost vectors plus recycled LOA
+/// staging buffers. Interior-mutable so shared (`Arc`ed) plans amortize
+/// across requests; see the module docs for the reuse contract.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    inner: Mutex<Inner>,
+}
+
+/// Distinct (family, dim, device) cost vectors retained per plan. Four
+/// families × a couple of feature widths in practice; the cap only guards
+/// against a pathological caller cycling feature widths.
+const MAX_COST_ENTRIES: usize = 8;
+
+impl Workspace {
+    /// The block-cost vector for `(family, dim, dev)`, building it with
+    /// `build` on the first request and serving the cached copy after.
+    /// The costs are value-independent, so the cached vector is exactly
+    /// what `build` would return.
+    pub fn block_costs(
+        &self,
+        family: KernelFamily,
+        dim: usize,
+        dev: DeviceKind,
+        build: impl FnOnce() -> Vec<BlockCost>,
+    ) -> Arc<Vec<BlockCost>> {
+        let key = CostKey { family, dim, dev };
+        {
+            let mut g = self.lock();
+            if let Some((_, blocks)) = g.costs.iter().find(|(k, _)| *k == key) {
+                let blocks = Arc::clone(blocks);
+                g.stats.cost_reuses += 1;
+                return blocks;
+            }
+        }
+        // Build outside the lock: cost derivation sweeps the partition
+        // (possibly on the worker pool) and must not serialize other
+        // executors of this plan. A concurrent racer may build the same
+        // vector; both are identical, first insert wins.
+        let blocks = Arc::new(build());
+        let mut g = self.lock();
+        if let Some((_, cached)) = g.costs.iter().find(|(k, _)| *k == key) {
+            let cached = Arc::clone(cached);
+            g.stats.cost_reuses += 1;
+            return cached;
+        }
+        g.stats.cost_builds += 1;
+        if g.costs.len() >= MAX_COST_ENTRIES {
+            g.costs.remove(0); // oldest entry; deterministic
+        }
+        g.costs.push((key, Arc::clone(&blocks)));
+        blocks
+    }
+
+    /// Check out the LOA staging buffers (empty on a cold workspace or
+    /// when another request holds them). Pair with
+    /// [`check_in`](Workspace::check_in) after the request completes.
+    pub fn checkout(&self) -> Scratch {
+        let mut g = self.lock();
+        match g.scratch.take() {
+            Some(s) => {
+                g.stats.scratch_reuses += 1;
+                s
+            }
+            None => {
+                g.stats.scratch_allocs += 1;
+                Scratch::default()
+            }
+        }
+    }
+
+    /// Return staging buffers for the next request to recycle.
+    pub fn check_in(&self, scratch: Scratch) {
+        self.lock().scratch = Some(scratch);
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means a panic unwound mid-checkout; the
+        // arena never holds partially-written state (buffers move in and
+        // out whole), so continuing is safe.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Clone for Workspace {
+    /// Cloning a plan starts it with a *cold* workspace: scratch buffers
+    /// cannot be shared across independent plans, and counters restart.
+    /// The first execution re-fills it.
+    fn clone(&self) -> Workspace {
+        Workspace::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_block() -> Vec<BlockCost> {
+        vec![BlockCost {
+            warps: 4,
+            ..Default::default()
+        }]
+    }
+
+    #[test]
+    fn cost_cache_builds_once_per_key() {
+        let ws = Workspace::default();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let b = ws.block_costs(KernelFamily::Cuda, 32, DeviceKind::Rtx3090, || {
+                builds += 1;
+                one_block()
+            });
+            assert_eq!(b.len(), 1);
+        }
+        assert_eq!(builds, 1);
+        let s = ws.stats();
+        assert_eq!((s.cost_builds, s.cost_reuses), (1, 2));
+        // A different dim is a different key.
+        ws.block_costs(KernelFamily::Cuda, 64, DeviceKind::Rtx3090, || {
+            builds += 1;
+            one_block()
+        });
+        assert_eq!(builds, 2);
+        assert!((ws.stats().cost_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_cache_is_bounded() {
+        let ws = Workspace::default();
+        for dim in 0..(2 * MAX_COST_ENTRIES) {
+            ws.block_costs(KernelFamily::Tensor, dim, DeviceKind::A100, one_block);
+        }
+        assert_eq!(ws.stats().cost_builds, 2 * MAX_COST_ENTRIES as u64);
+        // Recent keys survive; evicted ones rebuild.
+        ws.block_costs(
+            KernelFamily::Tensor,
+            2 * MAX_COST_ENTRIES - 1,
+            DeviceKind::A100,
+            || panic!("most recent key must still be cached"),
+        );
+    }
+
+    #[test]
+    fn scratch_round_trips_buffers() {
+        let ws = Workspace::default();
+        let s = ws.checkout();
+        assert!(s.ap.is_none());
+        ws.check_in(Scratch {
+            ap: None,
+            xp: vec![1.0; 8],
+            zret: vec![2.0; 4],
+        });
+        let s = ws.checkout();
+        assert_eq!(s.xp.len(), 8);
+        assert_eq!(s.zret.len(), 4);
+        let st = ws.stats();
+        assert_eq!((st.scratch_allocs, st.scratch_reuses), (1, 1));
+    }
+
+    #[test]
+    fn clone_is_cold() {
+        let ws = Workspace::default();
+        ws.block_costs(KernelFamily::Hybrid, 32, DeviceKind::Rtx3090, one_block);
+        let cold = ws.clone();
+        assert_eq!(cold.stats(), WorkspaceStats::default());
+    }
+}

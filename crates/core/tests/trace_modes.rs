@@ -1,0 +1,155 @@
+//! Differential tests for the two trace representations.
+//!
+//! Every kernel family emits its window trace through one generic emitter
+//! that can feed either a full event trace (`BlockTrace`) or an aggregated
+//! counter trace (`CounterTrace`). These tests pin the contract the cost
+//! model relies on: for every window of a mixed graph, the counters
+//! accumulated directly must equal the recount of the event trace, and the
+//! `BlockCost` derived from either representation must charge *identical*
+//! cycles on every device.
+
+use gpu_sim::trace::CounterTrace;
+use gpu_sim::{BlockCost, DeviceSpec};
+use graph_sparse::{gen, Csr, RowWindowPartition};
+use hc_core::{CudaSpmm, HcSpmm, StraightforwardHybrid, TensorSpmm};
+
+/// A graph with dense communities and a sparse fringe, so windows cover
+/// both core types and mixed per-tile splits.
+fn mixed_graph() -> Csr {
+    gen::community(2_048, 16_000, 48, 0.85, 23)
+}
+
+fn devices() -> [DeviceSpec; 2] {
+    [DeviceSpec::rtx3090(), DeviceSpec::a100()]
+}
+
+/// Assert event- and counter-mode emissions of one window agree in every
+/// observable the cost model consumes.
+fn assert_modes_agree(
+    family: &str,
+    event: &gpu_sim::BlockTrace,
+    counters: &CounterTrace,
+    dev: &DeviceSpec,
+) {
+    let recount = CounterTrace::from_trace(event);
+    assert_eq!(
+        recount, *counters,
+        "{family}: direct counter emission != event-trace recount"
+    );
+    assert_eq!(counters.ops() as usize, event.len(), "{family}: op totals");
+    let from_event = BlockCost::from(event);
+    let from_counters = BlockCost::from(counters);
+    assert_eq!(
+        from_event, from_counters,
+        "{family}: billed counters differ by representation"
+    );
+    // Bitwise-identical cycles, not approximately equal: both paths must
+    // flow through the same counters.
+    assert_eq!(
+        from_event.cycles(dev).to_bits(),
+        from_counters.cycles(dev).to_bits(),
+        "{family}: representations charge different cycles"
+    );
+}
+
+#[test]
+fn all_four_families_charge_identical_cycles_in_both_modes() {
+    let a = mixed_graph();
+    let part = RowWindowPartition::build(&a);
+    let hc = HcSpmm::default();
+    let cuda = CudaSpmm::optimized();
+    let tensor = TensorSpmm::optimized();
+    let sf = StraightforwardHybrid::default();
+    for dev in devices() {
+        let pre = hc.preprocess(&a, &dev);
+        let mut checked = 0usize;
+        for (wi, w) in part.windows.iter().enumerate() {
+            if w.is_empty() {
+                continue;
+            }
+            for dim in [32, 47] {
+                let (n, c, r) = (w.nnz, w.nnz_cols(), w.rows);
+                assert_modes_agree(
+                    "cuda",
+                    &cuda.window_trace(n, c, r, dim, &dev),
+                    &cuda.window_counters(n, c, r, dim, &dev),
+                    &dev,
+                );
+                assert_modes_agree(
+                    "tensor",
+                    &tensor.window_trace(n, c, r, dim, &dev),
+                    &tensor.window_counters(n, c, r, dim, &dev),
+                    &dev,
+                );
+                assert_modes_agree(
+                    "straightforward",
+                    &sf.window_trace(w, dim, &dev),
+                    &sf.window_counters(w, dim, &dev),
+                    &dev,
+                );
+                let choice = pre.choices[wi];
+                assert_modes_agree(
+                    "hybrid",
+                    &hc.window_trace(w, choice, dim, &dev),
+                    &hc.window_counters(w, choice, dim, &dev),
+                    &dev,
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 50, "graph too small to exercise the emitters");
+    }
+}
+
+#[test]
+fn unoptimized_variants_agree_too() {
+    // The ablation configurations exercise the bank-conflict and
+    // extra-gather branches of the emitters.
+    let a = gen::molecules(1_024, 4_000, 7);
+    let part = RowWindowPartition::build(&a);
+    let cuda = CudaSpmm::unoptimized();
+    let tensor = TensorSpmm::unoptimized();
+    let dev = DeviceSpec::rtx3090();
+    for w in part.windows.iter().filter(|w| !w.is_empty()).take(24) {
+        let (n, c, r) = (w.nnz, w.nnz_cols(), w.rows);
+        assert_modes_agree(
+            "cuda(unopt)",
+            &cuda.window_trace(n, c, r, 64, &dev),
+            &cuda.window_counters(n, c, r, 64, &dev),
+            &dev,
+        );
+        assert_modes_agree(
+            "tensor(unopt)",
+            &tensor.window_trace(n, c, r, 64, &dev),
+            &tensor.window_counters(n, c, r, 64, &dev),
+            &dev,
+        );
+    }
+}
+
+#[test]
+fn counter_mode_skips_event_vectors() {
+    // The whole point of counter mode: a window with thousands of events
+    // compresses to one fixed-size struct whose op total still matches.
+    let a = mixed_graph();
+    let part = RowWindowPartition::build(&a);
+    let dev = DeviceSpec::rtx3090();
+    let tensor = TensorSpmm::optimized();
+    let w = part
+        .windows
+        .iter()
+        .max_by_key(|w| w.nnz)
+        .expect("non-empty partition");
+    let event = tensor.window_trace(w.nnz, w.nnz_cols(), w.rows, 128, &dev);
+    let counters = tensor.window_counters(w.nnz, w.nnz_cols(), w.rows, 128, &dev);
+    assert!(
+        event.len() > 1_000,
+        "want a big window, got {}",
+        event.len()
+    );
+    assert_eq!(counters.ops() as usize, event.len());
+    assert_eq!(
+        std::mem::size_of_val(&counters),
+        std::mem::size_of::<CounterTrace>()
+    );
+}

@@ -46,6 +46,7 @@ pub use memory::{coalesced_transactions, gather_transactions, shared_store_confl
 pub use precision::Precision;
 pub use profile::KernelProfile;
 pub use sanitizer::{
-    sanitize_block, CheckKind, Finding, SanitizerConfig, SanitizerReport, TraceCounters,
+    cost_conformance_counters, sanitize_block, CheckKind, Finding, SanitizerConfig,
+    SanitizerReport, TraceCounters,
 };
-pub use trace::{AccessKind, BlockTrace, SharedAccess, WarpOp, WarpTrace};
+pub use trace::{AccessKind, BlockTrace, CounterTrace, SharedAccess, TraceSink, WarpOp, WarpTrace};

@@ -25,7 +25,7 @@ use std::fmt;
 
 use crate::cost::BlockCost;
 use crate::device::DeviceSpec;
-use crate::trace::{AccessKind, BlockTrace, SharedAccess, WarpOp};
+use crate::trace::{AccessKind, BlockTrace, CounterTrace, SharedAccess, WarpOp};
 
 /// Which analysis produced a finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -433,27 +433,24 @@ pub struct TraceCounters {
     pub warps: u32,
 }
 
-/// Recount the billable work in a trace.
-pub fn count_trace(trace: &BlockTrace) -> TraceCounters {
-    let mut c = TraceCounters {
-        warps: trace.warps.len() as u32,
-        ..TraceCounters::default()
-    };
-    for warp in &trace.warps {
-        for op in &warp.ops {
-            match op {
-                WarpOp::Compute => c.fma_issues += 1,
-                WarpOp::Wmma => c.wmma_issues += 1,
-                WarpOp::Global { .. } => c.global_transactions += 1,
-                WarpOp::Shared { conflicts, .. } => {
-                    c.shared_accesses += 1;
-                    c.bank_conflicts += *conflicts as u64;
-                }
-                WarpOp::Barrier => {}
-            }
+impl From<&CounterTrace> for TraceCounters {
+    /// Collapse a counter-mode trace into the lint's counter set (the lint
+    /// compares the load+store sum, so the direction split folds).
+    fn from(c: &CounterTrace) -> TraceCounters {
+        TraceCounters {
+            fma_issues: c.compute_issues,
+            wmma_issues: c.wmma_issues,
+            global_transactions: c.global_transactions,
+            shared_accesses: c.shared_loads + c.shared_stores,
+            bank_conflicts: c.bank_conflicts,
+            warps: c.warps,
         }
     }
-    c
+}
+
+/// Recount the billable work in a trace.
+pub fn count_trace(trace: &BlockTrace) -> TraceCounters {
+    TraceCounters::from(&CounterTrace::from_trace(trace))
 }
 
 /// Trace-vs-cost conformance lint: the counters a kernel bills to the
@@ -465,7 +462,19 @@ fn cost_conformance(
     cfg: &SanitizerConfig,
     out: &mut SanitizerReport,
 ) {
-    let traced = count_trace(trace);
+    cost_conformance_counters(&count_trace(trace), cost, cfg, out);
+}
+
+/// The conformance lint against pre-aggregated counters — the entry point
+/// for counter-mode traces, which never materialize per-op event vectors.
+/// [`sanitize_block`] routes full event traces through the same check via
+/// [`count_trace`].
+pub fn cost_conformance_counters(
+    traced: &TraceCounters,
+    cost: &BlockCost,
+    cfg: &SanitizerConfig,
+    out: &mut SanitizerReport,
+) {
     let cap = cfg.max_findings_per_check;
     let mut counted = 0usize;
     let mut diff = |name: &str, traced_v: u64, billed_v: u64, out: &mut SanitizerReport| {

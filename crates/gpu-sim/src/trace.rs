@@ -18,6 +18,7 @@
 //! [`BlockCost`]: crate::BlockCost
 //! [`sanitizer`]: crate::sanitizer
 
+use crate::cost::{BlockCost, DramTraffic, SharedTraffic};
 use crate::device::DeviceSpec;
 
 /// Direction of a shared-memory access.
@@ -213,6 +214,242 @@ impl BlockTrace {
             }
         }
         self.shared_alloc_words = base + other.shared_alloc_words;
+    }
+}
+
+/// Where a kernel's trace emitter writes its operations.
+///
+/// Emitters are generic over the sink so the *same* code path can produce
+/// either a full per-op event trace ([`BlockTrace`] — what the sanitizer's
+/// race / bounds / barrier analyses need) or a handful of accumulated
+/// counters ([`CounterTrace`] — what the cost model and the conformance
+/// lint need), without the hot path ever pushing per-access events into
+/// vectors.
+///
+/// Contract emitters must follow:
+///
+/// * Declare warps with [`ensure_warps`](TraceSink::ensure_warps) before
+///   recording on them; `record(w, ..)` requires `w < warp_count()`.
+/// * Reserve shared memory through
+///   [`alloc_shared`](TraceSink::alloc_shared) and address accesses
+///   relative to the returned region base — that is what lets sequentially
+///   composed phases (the per-tile hybrid) land in disjoint regions.
+/// * Record block-wide barriers with
+///   [`record_all`](TraceSink::record_all)`(WarpOp::Barrier)`, never via
+///   [`record`](TraceSink::record): counter mode counts barrier *epochs*,
+///   which only a block-wide arrival defines.
+pub trait TraceSink {
+    /// Declare that the block runs with at least `n` warps. Growing an
+    /// event-mode block mid-stream pads the new warps with the barrier
+    /// count already retired, keeping the block barrier-balanced.
+    fn ensure_warps(&mut self, n: usize);
+
+    /// Number of warps currently declared.
+    fn warp_count(&self) -> usize;
+
+    /// Reserve `words` more words of the block's shared allocation and
+    /// return the base offset of the new region.
+    fn alloc_shared(&mut self, words: u32) -> u32;
+
+    /// Record one operation on warp `warp` (`warp < warp_count()`).
+    fn record(&mut self, warp: usize, op: WarpOp);
+
+    /// Record `op` on every declared warp — block-wide barriers.
+    fn record_all(&mut self, op: WarpOp);
+}
+
+impl TraceSink for BlockTrace {
+    fn ensure_warps(&mut self, n: usize) {
+        if self.warps.len() >= n {
+            return;
+        }
+        let bars = self
+            .warps
+            .iter()
+            .map(|w| w.barrier_count())
+            .max()
+            .unwrap_or(0);
+        self.warps.resize_with(n, || WarpTrace {
+            ops: vec![WarpOp::Barrier; bars],
+        });
+    }
+
+    fn warp_count(&self) -> usize {
+        self.warps.len()
+    }
+
+    fn alloc_shared(&mut self, words: u32) -> u32 {
+        let base = self.shared_alloc_words;
+        self.shared_alloc_words += words;
+        base
+    }
+
+    fn record(&mut self, warp: usize, op: WarpOp) {
+        self.warps[warp].ops.push(op);
+    }
+
+    fn record_all(&mut self, op: WarpOp) {
+        self.push_all(op);
+    }
+}
+
+/// Aggregated, counter-mode view of a block's trace: the billable work of
+/// the block without the per-op event vectors. This is what production
+/// paths accumulate; the event-level [`BlockTrace`] stays behind sanitizer
+/// entry points, which need addresses and ordering.
+///
+/// The cost model consumes either representation through
+/// [`BlockCost::from`]; because both conversions go through these counters,
+/// a counter-mode emission and a full event trace of the same kernel charge
+/// *identical* cycles (pinned per kernel family by `trace_modes.rs` in
+/// `hc-core`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterTrace {
+    /// Warps the block runs with.
+    pub warps: u32,
+    /// Warp-wide CUDA-pipe FMA issues ([`WarpOp::Compute`]).
+    pub compute_issues: u64,
+    /// Tensor-core issues ([`WarpOp::Wmma`]).
+    pub wmma_issues: u64,
+    /// Block-wide barrier epochs (`__syncthreads()` the whole block
+    /// retires together).
+    pub barrier_epochs: u64,
+    /// Warp-wide shared loads (direction-unknown accesses count here; the
+    /// cost model only uses the load+store sum).
+    pub shared_loads: u64,
+    /// Warp-wide shared stores.
+    pub shared_stores: u64,
+    /// Serialized bank-conflict replays summed over shared accesses.
+    pub bank_conflicts: u64,
+    /// Global-memory transactions issued.
+    pub global_transactions: u64,
+    /// Bytes moved by those transactions ([`WarpOp::Global`] carries no
+    /// direction, so loads and stores pool here).
+    pub global_bytes: u64,
+    /// Declared shared allocation, in 4-byte words.
+    pub shared_alloc_words: u32,
+}
+
+impl CounterTrace {
+    /// Accumulate one non-barrier operation.
+    fn count(&mut self, op: WarpOp) {
+        match op {
+            WarpOp::Compute => self.compute_issues += 1,
+            WarpOp::Wmma => self.wmma_issues += 1,
+            WarpOp::Shared { conflicts, access } => {
+                match access.map(|a| a.kind) {
+                    Some(AccessKind::Write) => self.shared_stores += 1,
+                    _ => self.shared_loads += 1,
+                }
+                self.bank_conflicts += conflicts as u64;
+            }
+            WarpOp::Global { bytes } => {
+                self.global_transactions += 1;
+                self.global_bytes += bytes as u64;
+            }
+            // Per-warp barrier arrivals carry no billable work; epochs are
+            // counted in `record_all` / `from_trace`.
+            WarpOp::Barrier => {}
+        }
+    }
+
+    /// Total operations the counters stand for — equals
+    /// [`BlockTrace::len`] of the equivalent event trace for
+    /// barrier-uniform blocks (each epoch is one barrier op per warp).
+    pub fn ops(&self) -> u64 {
+        self.compute_issues
+            + self.wmma_issues
+            + self.shared_loads
+            + self.shared_stores
+            + self.global_transactions
+            + self.barrier_epochs * self.warps as u64
+    }
+
+    /// Recount a full event trace into counters. Barrier epochs are the
+    /// maximum per-warp barrier count — every emitter in this workspace
+    /// produces barrier-uniform blocks, so this is also each warp's count.
+    pub fn from_trace(t: &BlockTrace) -> CounterTrace {
+        let mut c = CounterTrace {
+            warps: t.warps.len() as u32,
+            shared_alloc_words: t.shared_alloc_words,
+            ..CounterTrace::default()
+        };
+        c.barrier_epochs = t.warps.iter().map(|w| w.barrier_count()).max().unwrap_or(0) as u64;
+        for w in &t.warps {
+            for &op in &w.ops {
+                c.count(op);
+            }
+        }
+        c
+    }
+}
+
+impl TraceSink for CounterTrace {
+    fn ensure_warps(&mut self, n: usize) {
+        self.warps = self.warps.max(n as u32);
+    }
+
+    fn warp_count(&self) -> usize {
+        self.warps as usize
+    }
+
+    fn alloc_shared(&mut self, words: u32) -> u32 {
+        let base = self.shared_alloc_words;
+        self.shared_alloc_words += words;
+        base
+    }
+
+    fn record(&mut self, warp: usize, op: WarpOp) {
+        debug_assert!(
+            (warp as u32) < self.warps.max(1),
+            "record on undeclared warp {warp}"
+        );
+        debug_assert!(
+            !matches!(op, WarpOp::Barrier),
+            "block-wide barriers must go through record_all"
+        );
+        self.count(op);
+    }
+
+    fn record_all(&mut self, op: WarpOp) {
+        if matches!(op, WarpOp::Barrier) {
+            self.barrier_epochs += 1;
+        } else {
+            for _ in 0..self.warps {
+                self.count(op);
+            }
+        }
+    }
+}
+
+impl From<&CounterTrace> for BlockCost {
+    /// The billable view of a counter trace. [`WarpOp::Global`] is
+    /// directionless, so all global bytes land in `bytes_loaded`; the cost
+    /// model streams the load+store sum, so cycles are unaffected.
+    fn from(c: &CounterTrace) -> BlockCost {
+        BlockCost {
+            cuda_fma_issues: c.compute_issues,
+            wmma_issues: c.wmma_issues,
+            dram: DramTraffic {
+                bytes_loaded: c.global_bytes,
+                bytes_stored: 0,
+                transactions: c.global_transactions,
+            },
+            shared: SharedTraffic {
+                loads: c.shared_loads,
+                stores: c.shared_stores,
+                bank_conflicts: c.bank_conflicts,
+            },
+            warps: c.warps,
+        }
+    }
+}
+
+impl From<&BlockTrace> for BlockCost {
+    /// The billable view of an event trace — defined as the counter view of
+    /// its recount, so both representations charge identical cycles.
+    fn from(t: &BlockTrace) -> BlockCost {
+        BlockCost::from(&CounterTrace::from_trace(t))
     }
 }
 

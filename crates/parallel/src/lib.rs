@@ -27,21 +27,45 @@
 //! chunking would. A panic in any worker is re-raised on the calling
 //! thread once the region drains.
 //!
-//! Regions whose `work` hint is below [`MIN_PARALLEL_WORK`] run inline on
-//! the calling thread: thread spawn costs (~tens of µs) would dominate.
+//! ## Calibrated engagement (the serial fast path)
+//!
+//! Whether a region actually spawns workers is decided per call from the
+//! caller's `work` hint (scalar operations, the same unit the simulated
+//! cost model reports) and a one-time host [`calibration`]: the estimated
+//! serial time saved by fanning out over `min(threads, physical cores)`
+//! workers must repay the measured thread-spawn cost several times over,
+//! and `work` must clear the [`MIN_PARALLEL_WORK`] floor. Regions that do
+//! not qualify run inline on the calling thread and are counted as
+//! *serial fallbacks* (see [`pool_stats`]) — on a single-core host every
+//! region falls back, which is exactly the fast path: forced `--threads N`
+//! parallelism there is pure overhead. Because the parallel and serial
+//! executions are bit-identical, the engagement decision is a pure
+//! scheduling choice and never changes results.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 /// Process-wide thread-count override set by [`set_threads`] (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Scalar-operation threshold below which parallel regions run inline.
-///
-/// Calibrated against thread-spawn cost: at ~1 ns/op, 32 Ki ops is well
-/// under the cost of standing up even two workers.
+/// Scalar-operation threshold below which parallel regions always run
+/// inline, regardless of calibration: at ~1 ns/op, 32 Ki ops is well under
+/// the cost of standing up even two workers.
 pub const MIN_PARALLEL_WORK: u64 = 1 << 15;
+
+/// How many times the spawn cost must be repaid by the estimated parallel
+/// saving before a region fans out. Spawning is only worth it when the
+/// region is clearly — not marginally — large enough.
+const SPAWN_REPAY_FACTOR: f64 = 4.0;
+
+/// Target batch duration handed out per queue lock, in nanoseconds. Large
+/// enough that queue locking stays cold, small enough that a skewed batch
+/// can be absorbed by the other workers.
+const TARGET_BATCH_NS: f64 = 20_000.0;
 
 /// Set the process-wide worker count. `0` clears the override, restoring
 /// the `HC_THREADS` / available-parallelism default. Wired to the CLI's
@@ -76,10 +100,179 @@ pub fn threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Whether a region of `work` scalar operations is worth parallelizing
-/// under the current configuration.
+/// How parallel regions decide between fanning out and the serial fast
+/// path. The default [`Auto`](ParallelMode::Auto) applies the calibrated
+/// profitability model; the other two exist for tests and measurements
+/// that must pin one side of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// Calibrated decision (the default): fan out only when the estimated
+    /// saving repays the spawn cost on this host.
+    Auto,
+    /// Always fan out when `threads() > 1` and there is more than one
+    /// item, ignoring calibration. For exercising the pool itself.
+    Force,
+    /// Never fan out. Equivalent to `threads() == 1` for every region.
+    Never,
+}
+
+static PARALLEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Override the engagement policy process-wide (see [`ParallelMode`]).
+/// Results are bit-identical in every mode; only scheduling changes.
+pub fn set_parallel_mode(mode: ParallelMode) {
+    let v = match mode {
+        ParallelMode::Auto => 0,
+        ParallelMode::Force => 1,
+        ParallelMode::Never => 2,
+    };
+    PARALLEL_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The current engagement policy.
+pub fn parallel_mode() -> ParallelMode {
+    match PARALLEL_MODE.load(Ordering::Relaxed) {
+        1 => ParallelMode::Force,
+        2 => ParallelMode::Never,
+        _ => ParallelMode::Auto,
+    }
+}
+
+/// One-time host measurement that prices the parallel/serial decision.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Measured cost of standing up one scoped worker thread, ns.
+    pub spawn_ns: f64,
+    /// Measured host nanoseconds per scalar-op work unit.
+    pub ns_per_unit: f64,
+    /// Physical parallelism of the host (`available_parallelism`),
+    /// independent of the configured [`threads`] count. Workers beyond
+    /// this count cannot speed anything up.
+    pub cores: usize,
+}
+
+static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+
+fn measure_calibration() -> Calibration {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // ns per scalar work unit: time a simple dependent arithmetic loop
+    // (the same flavour of work the kernels' hot loops do) and take the
+    // best of a few reps so preemption only inflates discarded samples.
+    const UNITS: u64 = 1 << 16;
+    let mut ns_per_unit = f64::MAX;
+    let mut sink = 0u64;
+    for rep in 0..3u64 {
+        let t = Instant::now();
+        let mut acc = rep;
+        for k in 0..UNITS {
+            acc = acc.wrapping_mul(31).wrapping_add(k);
+        }
+        let dt = t.elapsed().as_nanos() as f64 / UNITS as f64;
+        sink = sink.wrapping_add(acc);
+        ns_per_unit = ns_per_unit.min(dt);
+    }
+    std::hint::black_box(sink);
+    let ns_per_unit = ns_per_unit.clamp(0.05, 100.0);
+    // Spawn cost: time an empty two-worker scoped region, best of a few.
+    let mut spawn_ns = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let r = crossbeam::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|_| {});
+            }
+        });
+        debug_assert!(r.is_ok());
+        spawn_ns = spawn_ns.min(t.elapsed().as_nanos() as f64 / 2.0);
+    }
+    let spawn_ns = spawn_ns.clamp(1_000.0, 50_000_000.0);
+    Calibration {
+        spawn_ns,
+        ns_per_unit,
+        cores,
+    }
+}
+
+/// The lazily measured host [`Calibration`] (one measurement per process,
+/// a few hundred microseconds on first use).
+pub fn calibration() -> Calibration {
+    *CALIBRATION.get_or_init(measure_calibration)
+}
+
+/// Regions that fanned out over worker threads since the last
+/// [`reset_pool_stats`].
+static PARALLEL_REGIONS: AtomicU64 = AtomicU64::new(0);
+/// Regions that wanted parallelism (`threads() > 1`, non-empty) but took
+/// the serial fast path because the work would not repay the spawn cost.
+static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the engagement counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Regions that spawned workers.
+    pub parallel_regions: u64,
+    /// Regions that took the serial fast path despite `threads() > 1`.
+    pub serial_fallbacks: u64,
+}
+
+/// Read the engagement counters accumulated since the last reset.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        parallel_regions: PARALLEL_REGIONS.load(Ordering::Relaxed),
+        serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the engagement counters (e.g. before a measured region).
+pub fn reset_pool_stats() {
+    PARALLEL_REGIONS.store(0, Ordering::Relaxed);
+    SERIAL_FALLBACKS.store(0, Ordering::Relaxed);
+}
+
+/// Whether a region of `work` scalar operations would fan out under the
+/// current configuration, calibration and [`ParallelMode`].
 pub fn should_parallelize(work: u64) -> bool {
-    work >= MIN_PARALLEL_WORK && threads() > 1
+    decide(work, threads())
+}
+
+/// The engagement decision: pure function of the work hint, the
+/// configured thread count, the host calibration and the mode override.
+fn decide(work: u64, nthreads: usize) -> bool {
+    if nthreads <= 1 {
+        return false;
+    }
+    match parallel_mode() {
+        ParallelMode::Force => true,
+        ParallelMode::Never => false,
+        ParallelMode::Auto => {
+            if work < MIN_PARALLEL_WORK {
+                return false;
+            }
+            let cal = calibration();
+            let t_eff = nthreads.min(cal.cores);
+            if t_eff <= 1 {
+                // More workers than cores cannot reduce wall time; forced
+                // --threads N on a single-core host stays serial.
+                return false;
+            }
+            let serial_ns = work as f64 * cal.ns_per_unit;
+            let saved_ns = serial_ns * (1.0 - 1.0 / t_eff as f64);
+            saved_ns > SPAWN_REPAY_FACTOR * cal.spawn_ns * nthreads as f64
+        }
+    }
+}
+
+/// Work-derived batch grain: aim for [`TARGET_BATCH_NS`] of estimated work
+/// per queue lock, clamped so every worker still sees several batches (a
+/// skewed batch can be absorbed) and at least one item moves per claim.
+fn batch_grain(n: usize, work: u64, nthreads: usize) -> usize {
+    let cal = calibration();
+    let per_item_ns = (work as f64 / n as f64).max(1.0) * cal.ns_per_unit;
+    let balance_cap = n.div_ceil(nthreads * 4).max(1);
+    let by_cost = (TARGET_BATCH_NS / per_item_ns).floor() as usize;
+    by_cost.clamp(1, balance_cap)
 }
 
 /// Run `f(i, item)` for every `(i, item)`, distributing items over the
@@ -96,15 +289,17 @@ where
         return;
     }
     let nthreads = threads().min(n);
-    if nthreads <= 1 || work < MIN_PARALLEL_WORK {
+    if !decide(work, nthreads) {
+        if threads() > 1 && n > 1 {
+            SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        }
         for (i, item) in items {
             f(i, item);
         }
         return;
     }
-    // Batch grain: enough batches per worker that a skewed batch can be
-    // absorbed by the others, few enough that queue locking stays cold.
-    let grain = n.div_ceil(nthreads * 8).max(1);
+    PARALLEL_REGIONS.fetch_add(1, Ordering::Relaxed);
+    let grain = batch_grain(n, work, nthreads);
     let queue = Mutex::new(items.into_iter());
     let result = crossbeam::thread::scope(|scope| {
         for _ in 0..nthreads {
@@ -139,6 +334,20 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk_size > 0, "chunk_size must be positive");
+    if data.is_empty() {
+        return;
+    }
+    // Serial fast path without materializing the chunk list.
+    let nthreads = threads().min(data.len().div_ceil(chunk_size));
+    if !decide(work, nthreads) {
+        if threads() > 1 && data.len() > chunk_size {
+            SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        }
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
     let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_size).enumerate().collect();
     run_indexed(chunks, work, &f);
 }
@@ -146,17 +355,31 @@ where
 /// Deterministic parallel map over an index range: returns
 /// `(0..n).map(f).collect()`, computed on the pool. Slot `i` of the output
 /// is `f(i)` regardless of thread count.
+///
+/// Results are written straight into the output allocation (no
+/// `Option` round-trip, no second traversal). If `f` panics, the panic
+/// propagates and already-initialized slots are leaked — never dropped
+/// twice or read uninitialized.
 pub fn par_map_indexed<R, F>(n: usize, work: u64, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    par_chunks_mut(&mut out, 1, work, |i, slot| slot[0] = Some(f(i)));
-    out.into_iter()
-        .map(|s| s.expect("worker filled every slot"))
-        .collect()
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit<R>` requires no initialization, so extending
+    // the length over freshly reserved capacity is sound.
+    unsafe { out.set_len(n) };
+    par_chunks_mut(&mut out, 1, work, |i, slot| {
+        slot[0].write(f(i));
+    });
+    let mut out = ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    // SAFETY: every slot `0..n` was written exactly once above
+    // (`par_chunks_mut` visits each chunk exactly once and a write-only
+    // panic would have propagated before reaching here), so the buffer is
+    // fully initialized `R`s; `MaybeUninit<R>` has `R`'s layout, and
+    // `ManuallyDrop` ensures exactly one owner of the allocation.
+    unsafe { Vec::from_raw_parts(ptr.cast::<R>(), len, cap) }
 }
 
 /// Deterministic parallel map over a slice: `items.iter().map(f).collect()`
@@ -174,11 +397,27 @@ where
 mod tests {
     use super::*;
 
-    /// Work hint that always takes the parallel path (when threads > 1).
+    /// Work hint that always clears the profitability model (when forced
+    /// or on a multi-core host).
     const BIG: u64 = u64::MAX;
 
-    /// Serializes tests that touch the process-wide thread override.
+    /// Serializes tests that touch the process-wide thread/mode overrides.
     static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// RAII guard: force the pool to engage so its machinery is exercised
+    /// even on single-core CI hosts, restoring `Auto` on drop.
+    struct ForcePool;
+    impl ForcePool {
+        fn new() -> Self {
+            set_parallel_mode(ParallelMode::Force);
+            ForcePool
+        }
+    }
+    impl Drop for ForcePool {
+        fn drop(&mut self) {
+            set_parallel_mode(ParallelMode::Auto);
+        }
+    }
 
     #[test]
     fn zero_and_one_item_workloads() {
@@ -193,6 +432,7 @@ mod tests {
     #[test]
     fn map_matches_serial_at_any_thread_count() {
         let _guard = OVERRIDE_LOCK.lock();
+        let _force = ForcePool::new();
         let items: Vec<u64> = (0..10_000).collect();
         let serial: Vec<u64> = items.iter().map(|&v| v.wrapping_mul(v) ^ 0xabcd).collect();
         let saved = thread_override();
@@ -207,6 +447,7 @@ mod tests {
     #[test]
     fn chunks_are_disjoint_and_complete() {
         let _guard = OVERRIDE_LOCK.lock();
+        let _force = ForcePool::new();
         let saved = thread_override();
         set_threads(7);
         let mut data = vec![0u32; 1000];
@@ -224,6 +465,7 @@ mod tests {
         let _guard = OVERRIDE_LOCK.lock();
         // One item 1000× heavier than the rest: dynamic batching means the
         // other workers absorb the remaining items, and output is unchanged.
+        let _force = ForcePool::new();
         let saved = thread_override();
         set_threads(4);
         let costly = |i: usize| -> u64 {
@@ -240,6 +482,7 @@ mod tests {
     #[test]
     fn worker_panic_propagates() {
         let _guard = OVERRIDE_LOCK.lock();
+        let _force = ForcePool::new();
         let saved = thread_override();
         set_threads(4);
         let result = std::panic::catch_unwind(|| {
@@ -285,5 +528,95 @@ mod tests {
         set_threads(0);
         assert!(threads() >= 1);
         set_threads(saved);
+    }
+
+    #[test]
+    fn calibration_is_sane_and_cached() {
+        let a = calibration();
+        assert!(a.spawn_ns >= 1_000.0 && a.spawn_ns <= 50_000_000.0);
+        assert!(a.ns_per_unit >= 0.05 && a.ns_per_unit <= 100.0);
+        assert!(a.cores >= 1);
+        let b = calibration();
+        assert_eq!(a.spawn_ns.to_bits(), b.spawn_ns.to_bits(), "cached");
+    }
+
+    #[test]
+    fn serial_fallback_and_parallel_regions_are_counted() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let saved = thread_override();
+        set_threads(4);
+
+        // Never mode: a large region still runs serially and counts as a
+        // fallback (the configuration wanted parallelism).
+        set_parallel_mode(ParallelMode::Never);
+        reset_pool_stats();
+        let v = par_map_indexed(128, BIG, |i| i);
+        assert_eq!(v.len(), 128);
+        let s = pool_stats();
+        assert_eq!(s.parallel_regions, 0);
+        assert_eq!(s.serial_fallbacks, 1);
+
+        // Force mode: the same region fans out.
+        set_parallel_mode(ParallelMode::Force);
+        reset_pool_stats();
+        let v = par_map_indexed(128, BIG, |i| i);
+        assert_eq!(v.len(), 128);
+        let s = pool_stats();
+        assert_eq!(s.parallel_regions, 1);
+        assert_eq!(s.serial_fallbacks, 0);
+
+        set_parallel_mode(ParallelMode::Auto);
+        // Auto mode, trivial work: serial fast path.
+        reset_pool_stats();
+        let v = par_map_indexed(128, 16, |i| i);
+        assert_eq!(v.len(), 128);
+        assert_eq!(pool_stats().parallel_regions, 0);
+
+        set_threads(saved);
+    }
+
+    #[test]
+    fn engagement_decision_respects_cores_and_floor() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let saved = thread_override();
+        set_threads(8);
+        set_parallel_mode(ParallelMode::Auto);
+        // Below the floor: never parallel, whatever the host looks like.
+        assert!(!should_parallelize(MIN_PARALLEL_WORK - 1));
+        // Huge work: parallel exactly when the host has >1 core to use.
+        let cal = calibration();
+        assert_eq!(should_parallelize(u64::MAX / 2), cal.cores > 1);
+        set_threads(saved);
+    }
+
+    #[test]
+    fn par_map_indexed_drops_each_result_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] usize);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let _guard = OVERRIDE_LOCK.lock();
+        let _force = ForcePool::new();
+        let saved = thread_override();
+        set_threads(4);
+        DROPS.store(0, Ordering::Relaxed);
+        let v = par_map_indexed(512, BIG, Counted);
+        assert_eq!(v.len(), 512);
+        drop(v);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 512);
+        set_threads(saved);
+    }
+
+    #[test]
+    fn batch_grain_is_bounded() {
+        // Cheap items: grain capped by the load-balance bound.
+        let g = batch_grain(1_000, 1_000, 4);
+        assert!(g >= 1 && g <= 1_000_usize.div_ceil(16));
+        // Expensive items: grain collapses to one item per claim.
+        assert_eq!(batch_grain(64, u64::MAX, 4), 1);
     }
 }

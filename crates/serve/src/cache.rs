@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use gpu_sim::DeviceSpec;
 use graph_sparse::{Csr, StructureFingerprint};
-use hc_core::{Plan, PlanSpec};
+use hc_core::{Plan, PlanSpec, WorkspaceStats};
 
 /// Cache traffic counters. `requests == hits + misses` always holds;
 /// `rejected` counts the subset of misses whose plan was too large to
@@ -201,6 +201,18 @@ impl PlanCache {
     /// Whether a plan for this structure is resident (no LRU touch).
     pub fn contains(&self, fp: StructureFingerprint) -> bool {
         self.entries.contains_key(&fp)
+    }
+
+    /// Aggregate workspace counters over the resident plans — how much
+    /// per-request allocation the cached population is amortizing away.
+    /// Evicted and rejected plans take their counters with them, so this
+    /// reflects the plans still serving.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        let mut s = WorkspaceStats::default();
+        for e in self.entries.values() {
+            s.add(&e.plan.workspace_stats());
+        }
+        s
     }
 }
 

@@ -328,6 +328,60 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_bit_identical_across_eviction() {
+        // The same request stream served (a) through a warm cached plan
+        // (workspace amortizing every request) and (b) through a
+        // zero-budget cache (every request re-prepares a cold plan, so
+        // nothing is ever reused) must produce identical responses.
+        let dev = DeviceSpec::rtx3090();
+        let g = Arc::new(gen::community(256, 1_500, 8, 0.9, 1));
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| Request {
+                graph: Arc::clone(&g),
+                features: DenseMatrix::random_features(256, 16, 50 + i),
+            })
+            .collect();
+        let mut warm = BatchDriver::new(u64::MAX, PlanSpec::hybrid());
+        let mut cold = BatchDriver::new(0, PlanSpec::hybrid());
+        let rw = warm.run(&reqs, &dev);
+        let rc = cold.run(&reqs, &dev);
+        for (i, (w, c)) in rw.iter().zip(&rc).enumerate() {
+            assert_eq!(
+                w.z().expect("serves"),
+                c.z().expect("serves"),
+                "request {i}: warm plan != per-request cold plan"
+            );
+            assert_eq!(w.exec_sim_ms.to_bits(), c.exec_sim_ms.to_bits());
+        }
+        // The warm driver really did amortize: one resident plan, reused
+        // scratchwork after the first request.
+        let ws = warm.cache.workspace_stats();
+        assert_eq!(ws.cost_builds, 1);
+        assert_eq!(ws.cost_reuses, 5);
+        // The cold driver retained nothing, so it reports no counters.
+        assert_eq!(cold.cache.workspace_stats(), Default::default());
+
+        // And a cache that evicts between repeats still serves the exact
+        // same bytes after re-preparing the plan.
+        let bytes = hc_core::Plan::prepare(&g, PlanSpec::hybrid(), &dev).approx_bytes();
+        let other = Arc::new(gen::erdos_renyi(256, 700, 9));
+        let mut evicting = BatchDriver::new(bytes, PlanSpec::hybrid());
+        let before = evicting.serve(&reqs[0], &dev);
+        // Inserting a second structure evicts the first (budget of one).
+        evicting.serve(
+            &Request {
+                graph: Arc::clone(&other),
+                features: DenseMatrix::random_features(256, 16, 99),
+            },
+            &dev,
+        );
+        let after = evicting.serve(&reqs[0], &dev);
+        assert!(!after.hit, "the plan must have been evicted");
+        assert_eq!(before.z().unwrap(), after.z().unwrap());
+        assert!(evicting.stats().evictions >= 1);
+    }
+
+    #[test]
     fn malformed_graph_and_bad_shape_fail_without_cache_traffic() {
         let dev = DeviceSpec::rtx3090();
         let good = Arc::new(gen::erdos_renyi(64, 300, 1));
