@@ -38,6 +38,12 @@
 //! absorbed are exempt (both sides ran identical code, so their ratio is
 //! scheduler noise). This is a host timing, so the `perf-override` label
 //! escape applies.
+//!
+//! Exit codes: `0` pass, `1` regression or assertion failure, `2` bad
+//! invocation or unreadable/unparsable *current* report, `3` missing or
+//! unparsable *baseline* (printed as a one-line `NO BASELINE:` reason) —
+//! so a fresh branch with no committed baseline is distinguishable from
+//! a real failure.
 
 use bench::metrics::{gate, BenchReport};
 
@@ -50,7 +56,24 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn load(path: &str) -> BenchReport {
+/// Exit code for a missing or unparsable *baseline*: distinct from both
+/// "regression found" (1) and "bad invocation / bad current report" (2),
+/// so CI can tell "no baseline to compare against" apart from a genuine
+/// failure and surface it as its own step instead of a false red.
+const EXIT_NO_BASELINE: i32 = 3;
+
+fn load_baseline(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("NO BASELINE: cannot read baseline {path}: {err}");
+        std::process::exit(EXIT_NO_BASELINE);
+    });
+    BenchReport::from_json(&text).unwrap_or_else(|err| {
+        eprintln!("NO BASELINE: cannot parse baseline {path}: {err}");
+        std::process::exit(EXIT_NO_BASELINE);
+    })
+}
+
+fn load_current(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
         eprintln!("ERROR: cannot read {path}: {err}");
         std::process::exit(2);
@@ -93,8 +116,8 @@ fn main() {
         usage();
     };
 
-    let base = load(&baseline);
-    let cur = load(&current);
+    let base = load_baseline(&baseline);
+    let cur = load_current(&current);
     if base.scale != cur.scale {
         eprintln!(
             "WARNING: scale mismatch (baseline 1/{}, current 1/{}) — \

@@ -1,0 +1,32 @@
+//! `lint-sync` — reject raw sync primitives outside the facade.
+//!
+//! Scans `crates/*/src` under the workspace root (first CLI argument,
+//! default `.`) and prints every violation of the two facade rules.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` scan error (bad root, IO).
+
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let (findings, files) = match hc_check::lint::lint_tree(Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint-sync: cannot scan {root}: {e}");
+            exit(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint-sync: OK ({files} files clean)");
+        exit(0);
+    }
+    println!(
+        "lint-sync: {} finding(s) across {files} files",
+        findings.len()
+    );
+    exit(1);
+}

@@ -1,0 +1,474 @@
+//! Bounded model-checking driver over `hc_parallel::sync::model`.
+//!
+//! [`check`] runs a closure repeatedly, once per explored interleaving.
+//! Each run replays a schedule prefix recorded from earlier runs and
+//! extends it with the scheduler's default policy (run-to-completion);
+//! afterwards the run's decision trace is folded into a DFS stack whose
+//! frames remember which alternative choices remain. Exploration is
+//! bounded by a **preemption bound** (schedules that switch away from a
+//! still-enabled thread more than `preemption_bound` times are skipped —
+//! the classic CHESS result is that almost all real concurrency bugs
+//! manifest within 2 preemptions) and pruned by **canonical-prefix
+//! hashing**: adjacent steps of different threads touching different
+//! objects commute, so prefixes are bubble-sorted into a canonical order
+//! and a prefix whose canonical hash was already visited is not explored
+//! again.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use hc_parallel::sync::model::{
+    self, LockEdge, Model, ModelAbort, OpKind, OpSig, StepRec, Violation,
+};
+
+/// Exploration limits and expectations for one [`check`] session.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum number of preemptive context switches per schedule
+    /// (switching away from a still-enabled thread).
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules; exceeding it sets
+    /// [`Report::truncated`] rather than failing.
+    pub max_schedules: usize,
+    /// Per-run step budget (livelock guard).
+    pub max_steps: usize,
+    /// When true (the default), observing more than one outcome value
+    /// across completed runs is reported as a violation — the signature
+    /// of a lost update.
+    pub expect_deterministic: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preemption_bound: 2,
+            max_schedules: 4096,
+            max_steps: 20_000,
+            expect_deterministic: true,
+        }
+    }
+}
+
+/// Result of exploring a closure's interleavings.
+#[derive(Debug)]
+pub struct Report {
+    /// Label passed to [`check`].
+    pub name: String,
+    /// Number of schedules actually run.
+    pub schedules: usize,
+    /// Schedules skipped because their canonical prefix was already
+    /// visited (commuting interleavings).
+    pub pruned: usize,
+    /// Whether exploration stopped at `max_schedules`.
+    pub truncated: bool,
+    /// Distinct outcome values of completed (non-aborted) runs, sorted.
+    pub outcomes: Vec<u64>,
+    /// All violations found, deduplicated by message.
+    pub violations: Vec<Violation>,
+    /// Accumulated lock-order acquisition edges (by lock class).
+    pub lock_edges: Vec<LockEdge>,
+    /// Cycles in the lock-order graph (each a closed name path);
+    /// non-empty means a potential deadlock by inconsistent ordering.
+    pub lock_cycles: Vec<Vec<&'static str>>,
+}
+
+impl Report {
+    /// All completed runs produced at most one outcome value.
+    pub fn deterministic(&self) -> bool {
+        self.outcomes.len() <= 1
+    }
+
+    /// Any data race found.
+    pub fn has_race(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::Race { .. }))
+    }
+
+    /// Any deadlocked interleaving found.
+    pub fn has_deadlock(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::Deadlock { .. }))
+    }
+
+    /// Any model-thread panic recorded.
+    pub fn has_panic(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::Panic { .. }))
+    }
+
+    /// No violations and no lock-order cycles.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.lock_cycles.is_empty()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "[{}] {} schedules ({} pruned{}), outcomes {:?}\n",
+            self.name,
+            self.schedules,
+            self.pruned,
+            if self.truncated { ", TRUNCATED" } else { "" },
+            self.outcomes
+        );
+        for v in &self.violations {
+            s.push_str(&format!("  violation: {v}\n"));
+        }
+        for c in &self.lock_cycles {
+            s.push_str(&format!("  lock-order cycle: {}\n", c.join(" -> ")));
+        }
+        for e in &self.lock_edges {
+            s.push_str(&format!("  edge {} -> {}: {}\n", e.from, e.to, e.detail));
+        }
+        s
+    }
+
+    /// Panic (with the summary) unless the report is clean.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.clean(),
+            "hc-check found violations:\n{}",
+            self.summary()
+        );
+    }
+}
+
+struct Frame {
+    choice: usize,
+    enabled: Vec<usize>,
+    pending: Vec<(usize, OpSig)>,
+    tried: Vec<usize>,
+}
+
+/// Explore `f` under the default [`Options`].
+pub fn check<F>(name: &str, f: F) -> Report
+where
+    F: Fn() -> u64,
+{
+    check_with(name, Options::default(), f)
+}
+
+/// Explore `f`'s interleavings under `opts`. The closure runs once per
+/// schedule; it must be restartable (runs see fresh state when they
+/// allocate their shared objects inside the closure) and return an
+/// outcome value summarizing the observable result.
+pub fn check_with<F>(name: &str, opts: Options, f: F) -> Report
+where
+    F: Fn() -> u64,
+{
+    let model = Arc::new(Model::new());
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut outcomes: BTreeSet<u64> = BTreeSet::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut seen_msgs: HashSet<String> = HashSet::new();
+    let mut schedules = 0usize;
+    let mut pruned = 0usize;
+    let mut truncated = false;
+
+    // Model threads unwind with ModelAbort constantly during exploration;
+    // silence the default "thread panicked" chatter for the duration.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    loop {
+        model.begin_run(schedule.clone(), opts.max_steps);
+        model::attach_main(&model);
+        let r = catch_unwind(AssertUnwindSafe(&f));
+        let panic_msg = match &r {
+            Err(p) if !p.is::<ModelAbort>() => Some(describe_payload(p)),
+            _ => None,
+        };
+        model.finish_main(panic_msg);
+        model.wait_all_finished();
+        model::detach_current();
+        let run = model.end_run();
+        schedules += 1;
+        if !run.aborted {
+            if let Ok(v) = r {
+                outcomes.insert(v);
+            }
+        }
+        for v in run.violations {
+            push_violation(&mut violations, &mut seen_msgs, v);
+        }
+
+        // Fold the trace into the DFS stack.
+        for (k, step) in run.trace.iter().enumerate() {
+            if k < stack.len() {
+                stack[k].choice = step.chosen;
+            } else {
+                stack.push(Frame {
+                    choice: step.chosen,
+                    enabled: step.enabled.clone(),
+                    pending: step.pending.clone(),
+                    tried: vec![step.chosen],
+                });
+            }
+        }
+        stack.truncate(run.trace.len());
+
+        // Record canonical hashes of every prefix of this run.
+        let steps: Vec<(usize, OpSig)> = run
+            .trace
+            .iter()
+            .map(|s: &StepRec| (s.chosen, s.sig))
+            .collect();
+        for k in 0..steps.len() {
+            visited.insert(canonical_hash(&steps[..=k]));
+        }
+
+        if schedules >= opts.max_schedules {
+            truncated = true;
+            break;
+        }
+
+        // Deepest frame with an unexplored, bound-respecting alternative.
+        let mut next: Option<usize> = None;
+        'depths: for depth in (0..stack.len()).rev() {
+            let base = preemptions_upto(&stack, depth);
+            let prev_choice = depth.checked_sub(1).map(|d| stack[d].choice);
+            loop {
+                let alt = {
+                    let frame = &stack[depth];
+                    frame
+                        .enabled
+                        .iter()
+                        .copied()
+                        .find(|a| !frame.tried.contains(a))
+                };
+                let Some(alt) = alt else { break };
+                stack[depth].tried.push(alt);
+                let extra = match prev_choice {
+                    Some(p) if p != alt && stack[depth].enabled.contains(&p) => 1,
+                    _ => 0,
+                };
+                if base + extra > opts.preemption_bound {
+                    continue;
+                }
+                let alt_sig = stack[depth]
+                    .pending
+                    .iter()
+                    .find(|(t, _)| *t == alt)
+                    .map(|&(_, s)| s);
+                if let Some(sig) = alt_sig {
+                    let mut prefix: Vec<(usize, OpSig)> = stack[..depth]
+                        .iter()
+                        .zip(steps.iter())
+                        .map(|(fr, &(_, s))| (fr.choice, s))
+                        .collect();
+                    // steps beyond this run's trace can't occur: stack was
+                    // truncated to the trace, and prefix sigs come from the
+                    // final (current) path.
+                    prefix.push((alt, sig));
+                    if visited.contains(&canonical_hash(&prefix)) {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+                schedule = stack[..depth].iter().map(|fr| fr.choice).collect();
+                schedule.push(alt);
+                stack.truncate(depth + 1);
+                next = Some(depth);
+                break 'depths;
+            }
+        }
+        if next.is_none() {
+            break;
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+
+    let outcomes: Vec<u64> = outcomes.into_iter().collect();
+    if opts.expect_deterministic && outcomes.len() > 1 {
+        push_violation(
+            &mut violations,
+            &mut seen_msgs,
+            Violation::Nondeterministic {
+                outcomes: outcomes.clone(),
+            },
+        );
+    }
+
+    let lock_edges = model.lock_edges();
+    let lock_cycles = find_cycles(&lock_edges);
+
+    Report {
+        name: name.to_string(),
+        schedules,
+        pruned,
+        truncated,
+        outcomes,
+        violations,
+        lock_edges,
+        lock_cycles,
+    }
+}
+
+fn describe_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+fn push_violation(out: &mut Vec<Violation>, seen: &mut HashSet<String>, v: Violation) {
+    if out.len() >= 32 {
+        return;
+    }
+    if seen.insert(v.to_string()) {
+        out.push(v);
+    }
+}
+
+/// Preemptions within the first `depth` scheduling decisions.
+fn preemptions_upto(stack: &[Frame], depth: usize) -> usize {
+    (1..depth)
+        .filter(|&j| {
+            let prev = stack[j - 1].choice;
+            stack[j].choice != prev && stack[j].enabled.contains(&prev)
+        })
+        .count()
+}
+
+fn is_sync_obj_op(kind: OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::MutexLock
+            | OpKind::MutexTryLock
+            | OpKind::MutexUnlock
+            | OpKind::RwRead
+            | OpKind::RwWrite
+            | OpKind::RwUnlockRead
+            | OpKind::RwUnlockWrite
+            | OpKind::AtomicLoad
+            | OpKind::AtomicStore
+            | OpKind::AtomicRmw
+            | OpKind::CellRead
+            | OpKind::CellWrite
+    )
+}
+
+fn is_read_only(kind: OpKind) -> bool {
+    matches!(kind, OpKind::AtomicLoad | OpKind::CellRead | OpKind::RwRead)
+}
+
+/// Two adjacent steps commute iff different threads touch sync objects
+/// that are either distinct or only read. Thread-lifecycle and condvar
+/// ops are conservatively dependent on everything.
+fn independent(a: (usize, OpSig), b: (usize, OpSig)) -> bool {
+    a.0 != b.0
+        && is_sync_obj_op(a.1.kind)
+        && is_sync_obj_op(b.1.kind)
+        && a.1.obj != 0
+        && b.1.obj != 0
+        && (a.1.obj != b.1.obj || (is_read_only(a.1.kind) && is_read_only(b.1.kind)))
+}
+
+/// Hash of the canonical form of a step prefix: adjacent independent
+/// steps are bubbled into thread-id order, so commuting interleavings
+/// collapse to one hash.
+fn canonical_hash(steps: &[(usize, OpSig)]) -> u64 {
+    let mut seq: Vec<(usize, OpSig)> = steps.to_vec();
+    loop {
+        let mut changed = false;
+        for i in 1..seq.len() {
+            if seq[i - 1].0 > seq[i].0 && independent(seq[i - 1], seq[i]) {
+                seq.swap(i - 1, i);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut h = DefaultHasher::new();
+    for (tid, sig) in &seq {
+        tid.hash(&mut h);
+        sig.kind.hash(&mut h);
+        sig.obj.hash(&mut h);
+        sig.obj2.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Cycles in the lock-order graph, one representative path per back edge.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<&'static str>> {
+    let mut adj: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
+    let mut nodes: Vec<&'static str> = Vec::new();
+    for e in edges {
+        if !nodes.contains(&e.from) {
+            nodes.push(e.from);
+        }
+        if !nodes.contains(&e.to) {
+            nodes.push(e.to);
+        }
+        let next = adj.entry(e.from).or_default();
+        if !next.contains(&e.to) {
+            next.push(e.to);
+        }
+    }
+    let mut cycles: Vec<Vec<&'static str>> = Vec::new();
+    let mut seen_sets: HashSet<Vec<&'static str>> = HashSet::new();
+    for &start in &nodes {
+        let mut path: Vec<&'static str> = Vec::new();
+        let mut on_path: HashSet<&'static str> = HashSet::new();
+        let mut done: HashSet<&'static str> = HashSet::new();
+        dfs_cycles(
+            start,
+            &adj,
+            &mut path,
+            &mut on_path,
+            &mut done,
+            &mut cycles,
+            &mut seen_sets,
+        );
+    }
+    cycles
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_cycles(
+    node: &'static str,
+    adj: &HashMap<&'static str, Vec<&'static str>>,
+    path: &mut Vec<&'static str>,
+    on_path: &mut HashSet<&'static str>,
+    done: &mut HashSet<&'static str>,
+    cycles: &mut Vec<Vec<&'static str>>,
+    seen_sets: &mut HashSet<Vec<&'static str>>,
+) {
+    if done.contains(node) {
+        return;
+    }
+    path.push(node);
+    on_path.insert(node);
+    for &next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+        if on_path.contains(&next) {
+            let from = path
+                .iter()
+                .position(|&n| n == next)
+                .unwrap_or(path.len() - 1);
+            let mut cycle: Vec<&'static str> = path[from..].to_vec();
+            cycle.push(next);
+            let mut key = cycle.clone();
+            key.sort_unstable();
+            key.dedup();
+            if seen_sets.insert(key) {
+                cycles.push(cycle);
+            }
+        } else {
+            dfs_cycles(next, adj, path, on_path, done, cycles, seen_sets);
+        }
+    }
+    on_path.remove(node);
+    path.pop();
+    done.insert(node);
+}

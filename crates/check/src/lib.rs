@@ -1,0 +1,33 @@
+//! # hc-check — concurrency verification for the HC-SpMM workspace
+//!
+//! Three analyses, all hand-rolled (no crates.io), guarding the serving
+//! tier's move to genuinely concurrent shared state:
+//!
+//! 1. **Bounded model checking** (`checker`, `--cfg hc_check` only):
+//!    drives the instrumented scheduler behind `hc_parallel::sync` to
+//!    exhaustively explore thread interleavings — DFS over scheduling
+//!    decisions with a preemption bound and canonical-prefix state
+//!    hashing — flagging data races, deadlocks, panics and
+//!    non-deterministic outcomes (lost updates).
+//! 2. **Lock-order analysis** (part of every checker run): acquisition
+//!    edges between lock *class names* accumulate across all explored
+//!    interleavings; any cycle is a potential deadlock and is reported
+//!    with the acquiring thread and its held-lock stack.
+//! 3. **Source lint** ([`lint`], `cargo run -p hc-check --bin lint-sync`):
+//!    scans `crates/*/src` and rejects direct `std` sync/thread primitive
+//!    use outside the facade, plus lock guards held across
+//!    device-execution boundaries.
+//!
+//! The checker compiles only under `RUSTFLAGS="--cfg hc_check"` (the
+//! facade routes through the model scheduler in that configuration); the
+//! lint is available in every build.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+
+#[cfg(hc_check)]
+pub mod checker;
+
+#[cfg(hc_check)]
+pub use checker::{check, check_with, Options, Report};

@@ -1,0 +1,526 @@
+//! Source-level sync lint (`lint-sync`).
+//!
+//! Two rules over `crates/*/src`:
+//!
+//! * **R1 `facade`** — direct use of `std` sync/thread primitives (or the
+//!   retired `parking_lot`/`crossbeam` shims) outside the
+//!   `hc_parallel::sync` facade. Only the facade may talk to the OS:
+//!   that is what makes every lock and spawn visible to the model
+//!   checker and the lock-order analysis. `Arc`, `Weak`, `OnceLock` and
+//!   the facade-re-exported `Ordering` remain fine.
+//! * **R2 `guard-across-execute`** — a lock guard bound by `let` that is
+//!   still live (not dropped, still in scope) on a line that calls a
+//!   device-execution boundary (`.execute*(`). Holding workspace-class
+//!   locks across kernel execution is the invariant the Workspace
+//!   hazard token enforces dynamically; this catches it statically.
+//!
+//! A line ending in the waiver comment (`lint-sync: allow`) is exempt —
+//! used by tests that *deliberately* hold a guard across a boundary to
+//! prove the dynamic assert fires. The facade directory
+//! (`crates/parallel/src/sync/`) is excluded wholesale: it is the one
+//! legitimate user of the raw primitives.
+//!
+//! All patterns are assembled at runtime from fragments so this file
+//! does not flag itself.
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in (workspace-relative where possible).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`facade` or `guard-across-execute`).
+    pub rule: &'static str,
+    /// What was matched and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn std_sync() -> String {
+    format!("std::{}::", "sync")
+}
+
+fn std_thread() -> String {
+    format!("std::{}::", "thread")
+}
+
+/// Leaf names of `std::sync` that must go through the facade.
+const SYNC_LEAVES: [&str; 6] = ["Mutex", "RwLock", "Condvar", "Barrier", "mpsc", "atomic"];
+
+/// Leaf names of `std::thread` that must go through the facade.
+const THREAD_LEAVES: [&str; 7] = [
+    "spawn",
+    "scope",
+    "Builder",
+    "park",
+    "available_parallelism",
+    "yield_now",
+    "JoinHandle",
+];
+
+fn waiver() -> String {
+    format!("lint-{}: {}", "sync", "allow")
+}
+
+/// Device-execution boundary call patterns for R2.
+fn execute_needles() -> Vec<String> {
+    [
+        "execute",
+        "execute_as",
+        "execute_layout",
+        "execute_concurrent",
+        "execute_sequence",
+    ]
+    .iter()
+    .map(|n| format!(".{n}("))
+    .collect()
+}
+
+/// Strip `//` line comments and (possibly nested) `/* */` block comments,
+/// preserving line structure so findings keep their line numbers. String
+/// literal contents are left intact (patterns are composed at runtime in
+/// the one file that talks about them).
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut block_depth = 0usize;
+    let mut in_line_comment = false;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = if i + 1 < bytes.len() {
+            Some(bytes[i + 1] as char)
+        } else {
+            None
+        };
+        if in_line_comment {
+            if c == '\n' {
+                in_line_comment = false;
+                out.push('\n');
+            }
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '*' && next == Some('/') {
+                block_depth -= 1;
+                i += 2;
+                continue;
+            }
+            if c == '/' && next == Some('*') {
+                block_depth += 1;
+                i += 2;
+                continue;
+            }
+            if c == '\n' {
+                out.push('\n');
+            }
+            i += 1;
+            continue;
+        }
+        if in_str {
+            out.push(c);
+            if c == '\\' {
+                if let Some(n) = next {
+                    out.push(n);
+                    i += 2;
+                    continue;
+                }
+            }
+            if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match (c, next) {
+            ('/', Some('/')) => {
+                in_line_comment = true;
+                i += 2;
+            }
+            ('/', Some('*')) => {
+                block_depth += 1;
+                i += 2;
+            }
+            ('"', _) => {
+                in_str = true;
+                out.push(c);
+                i += 1;
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn first_ident(s: &str) -> Option<String> {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    if end == 0 {
+        None
+    } else {
+        Some(s[..end].to_string())
+    }
+}
+
+struct LiveGuard {
+    ident: String,
+    depth: i32,
+    bound_line: usize,
+}
+
+/// Lint one source file (pure; `file` is only a label for findings).
+pub fn lint_source(file: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let stripped = strip_comments(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let sync_prefix = std_sync();
+    let thread_prefix = std_thread();
+    let sync_group = format!("{}{{", sync_prefix);
+    let thread_group = format!("{}{{", thread_prefix);
+    let waive = waiver();
+    let exec_needles = execute_needles();
+    let lock_calls = [
+        ".lock()".to_string(),
+        ".read()".to_string(),
+        ".write()".to_string(),
+    ];
+
+    let mut depth: i32 = 0;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+
+    for (idx, line) in stripped.lines().enumerate() {
+        let lineno = idx + 1;
+        let waived = raw_lines.get(idx).is_some_and(|raw| raw.contains(&waive));
+
+        if !waived {
+            // R1: fully-qualified forbidden paths.
+            for leaf in SYNC_LEAVES {
+                if line.contains(&format!("{sync_prefix}{leaf}")) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: "facade",
+                        message: format!(
+                            "direct {sync_prefix}{leaf} — use hc_parallel::sync::{leaf} \
+                             so the model checker sees it"
+                        ),
+                    });
+                }
+            }
+            for leaf in THREAD_LEAVES {
+                if line.contains(&format!("{thread_prefix}{leaf}")) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: "facade",
+                        message: format!(
+                            "direct {thread_prefix}{leaf} — use hc_parallel::sync::thread"
+                        ),
+                    });
+                }
+            }
+            // R1: grouped imports `use std::sync::{..}` / `use std::thread::{..}`.
+            for (group, leaves) in [
+                (&sync_group, &SYNC_LEAVES[..]),
+                (&thread_group, &THREAD_LEAVES[..]),
+            ] {
+                if let Some(pos) = line.find(group.as_str()) {
+                    let rest = &line[pos + group.len()..];
+                    let inner = rest.split('}').next().unwrap_or(rest);
+                    for leaf in leaves {
+                        if inner
+                            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                            .any(|tok| tok == *leaf)
+                        {
+                            findings.push(Finding {
+                                file: file.to_string(),
+                                line: lineno,
+                                rule: "facade",
+                                message: format!(
+                                    "grouped import of {group}..{leaf}}} — use hc_parallel::sync"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            // R1: retired external shims.
+            for (krate, hint) in [
+                (format!("parking{}", "_lot"), "hc_parallel::sync::Mutex"),
+                (
+                    format!("cross{}", "beam"),
+                    "hc_parallel::sync::thread::scope",
+                ),
+            ] {
+                if line
+                    .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .any(|tok| tok == krate)
+                {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: "facade",
+                        message: format!("retired dependency {krate} — use {hint}"),
+                    });
+                }
+            }
+        }
+
+        // R2 state: guard bindings, drops, execute boundaries.
+        let trimmed = line.trim_start();
+        let is_lock_line = lock_calls.iter().any(|c| line.contains(c.as_str()));
+        let has_execute = exec_needles.iter().any(|n| line.contains(n.as_str()));
+
+        if has_execute && !waived {
+            for g in &guards {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "guard-across-execute",
+                    message: format!(
+                        "device-execution call with lock guard `{}` (bound line {}) still \
+                         live — release the guard before executing",
+                        g.ident, g.bound_line
+                    ),
+                });
+            }
+            if is_lock_line {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "guard-across-execute",
+                    message: "lock acquired and device execution on one statement — \
+                              split and release the guard first"
+                        .to_string(),
+                });
+            }
+        }
+
+        if is_lock_line {
+            if let Some(rest) = trimmed
+                .strip_prefix("let mut ")
+                .or_else(|| trimmed.strip_prefix("let "))
+            {
+                if let Some(ident) = first_ident(rest) {
+                    if ident != "_" {
+                        guards.push(LiveGuard {
+                            ident,
+                            depth,
+                            bound_line: lineno,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Explicit drops release guards.
+        let mut scan = line;
+        while let Some(pos) = scan.find("drop(") {
+            let inner = &scan[pos + 5..];
+            if let Some(ident) = first_ident(inner) {
+                guards.retain(|g| g.ident != ident);
+            }
+            scan = inner;
+        }
+
+        // Scope tracking: a guard dies when its block closes.
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively lint every `.rs` file under `root/crates/*/src`, skipping
+/// the facade directory itself. Returns findings plus the number of
+/// files scanned.
+pub fn lint_tree(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no crates/ directory under {}", root.display()),
+        ));
+    }
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for krate in crate_dirs {
+        let src = krate.join("src");
+        if src.is_dir() {
+            lint_dir(&src, root, &mut findings, &mut files)?;
+        }
+    }
+    Ok((findings, files))
+}
+
+fn lint_dir(
+    dir: &Path,
+    root: &Path,
+    findings: &mut Vec<Finding>,
+    files: &mut usize,
+) -> std::io::Result<()> {
+    // The facade is the sanctioned user of raw primitives.
+    let path_str = dir.to_string_lossy().replace('\\', "/");
+    if path_str.ends_with("parallel/src/sync") {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            lint_dir(&path, root, findings, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            *files += 1;
+            findings.extend(lint_source(&label, &text));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Forbidden patterns are composed so this test module does not trip
+    // the lint on its own source.
+    fn sync_path(leaf: &str) -> String {
+        format!("use std::{}::{leaf};", "sync")
+    }
+
+    #[test]
+    fn flags_direct_std_sync_use() {
+        let src = format!("{}\nfn main() {{}}\n", sync_path("Mutex"));
+        let f = lint_source("x.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "facade");
+        assert_eq!(f[0].line, 1);
+        // Arc and OnceLock stay allowed.
+        let ok = format!("{}\n{}\n", sync_path("Arc"), sync_path("OnceLock"));
+        assert!(lint_source("x.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn flags_grouped_imports_and_thread_spawn() {
+        let src = format!(
+            "use std::{}::{{Arc, Mutex}};\nlet h = std::{}::spawn(|| 1);\n",
+            "sync", "thread"
+        );
+        let f = lint_source("y.rs", &src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("Mutex"));
+        assert!(f[1].message.contains("spawn"));
+        // Grouped import of allowed leaves only: clean.
+        let ok = format!("use std::{}::{{Arc, OnceLock, Weak}};\n", "sync");
+        assert!(lint_source("y.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn flags_retired_shims_but_not_in_comments() {
+        let pl = format!("parking{}", "_lot");
+        let cb = format!("cross{}", "beam");
+        let src =
+            format!("use {pl}::Mutex;\n// historical note: {cb}::thread::scope was used here\n");
+        let f = lint_source("z.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    // ".exe" + "cute(" composed so this file's own test snippets do not
+    // trip the lint when lint-sync scans the workspace.
+    fn exec_line() -> String {
+        format!("    dev.exe{}(&blocks);", "cute")
+    }
+
+    #[test]
+    fn flags_guard_held_across_execute() {
+        let e = exec_line();
+        let src = format!(
+            "\
+fn bad(&self, dev: &DeviceSpec) {{
+    let mut inner = self.inner.lock();
+{e}
+}}
+fn good(&self, dev: &DeviceSpec) {{
+    let mut inner = self.inner.lock();
+    drop(inner);
+{e}
+}}
+fn scoped(&self, dev: &DeviceSpec) {{
+    {{
+        let mut inner = self.inner.lock();
+        inner.touch();
+    }}
+{e}
+}}
+"
+        );
+        let f = lint_source("w.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "guard-across-execute");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("inner"));
+    }
+
+    #[test]
+    fn waiver_comment_exempts_a_line() {
+        let e = exec_line();
+        let half = format!("lint-{}", "sync");
+        let src = format!("let g = m.lock();\n{e} // {half}: deliberate in this test\n");
+        // Waiver text is "lint-sync: allow"; the line above lacks "allow".
+        let f = lint_source("v.rs", &src);
+        assert_eq!(f.len(), 1);
+        let src = format!("let g = m.lock();\n{e} // {}\n", super::waiver());
+        assert!(lint_source("v.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn comment_stripping_preserves_line_numbers() {
+        let import = format!("use std::{}::Condvar;", "sync");
+        let src = format!("/* block\n   comment */\n{import}\n");
+        let f = lint_source("u.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Model-checking the real `SharedPlanCache` (the tentpole payoff): the
+//! bounded scheduler explores the interleavings of two request threads —
+//! racing misses on one fingerprint, disjoint shards, and a request
+//! racing a quarantine — and asserts no race, no deadlock, no panic, and
+//! a consistent lock-order graph (`plan-shard → quarantine-registry`,
+//! acyclic).
+//!
+//! Runs only under `RUSTFLAGS="--cfg hc_check"` with
+//! `--test-threads=1` (the model scheduler is process-global). Graphs
+//! are tiny and the worker pool is pinned to one thread so the explored
+//! state space stays small: the concurrency under test is the cache's,
+//! not the pool's.
+#![cfg(hc_check)]
+
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, Csr, StructureFingerprint};
+use hc_check::{check_with, Options};
+use hc_core::PlanSpec;
+use hc_parallel::sync::thread;
+use hc_serve::SharedPlanCache;
+
+fn tiny_graphs(n: usize) -> Vec<Csr> {
+    (0..n)
+        .map(|i| gen::erdos_renyi(24, 60, 7 + i as u64))
+        .collect()
+}
+
+fn opts() -> Options {
+    Options {
+        preemption_bound: 2,
+        max_schedules: 2048,
+        max_steps: 20_000,
+        // Racing misses legitimately vary hit counts between schedules;
+        // outcome determinism is asserted per-test where it must hold.
+        expect_deterministic: false,
+        ..Options::default()
+    }
+}
+
+/// Two threads miss on the same fingerprint concurrently: both prepare,
+/// first insert wins, both serve, counters stay coherent under every
+/// interleaving.
+#[test]
+fn racing_misses_on_one_fingerprint_are_clean() {
+    hc_parallel::set_threads(1);
+    let gs = tiny_graphs(1);
+    let dev = DeviceSpec::rtx3090();
+    let report = check_with("shared-cache-racing-miss", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let g = gs[0].clone();
+                let dev = dev.clone();
+                thread::spawn(move || {
+                    let (plan, _hit) = cache.get_or_prepare(&g, &dev);
+                    plan.approx_bytes()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("request thread");
+        }
+        let s = cache.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.hits + s.misses, s.requests);
+        assert!(s.misses >= 1 && s.misses <= 2, "{s:?}");
+        assert_eq!(cache.len(), 1, "first insert wins, exactly one resident");
+        // Encode the (legitimately schedule-dependent) miss count into
+        // the outcome so the explorer proves both interleavings exist.
+        s.misses
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "{}", report.summary());
+}
+
+/// Requests on disjoint shards do not contend; outcome is deterministic.
+#[test]
+fn disjoint_shards_are_independent_and_deterministic() {
+    hc_parallel::set_threads(1);
+    let gs = tiny_graphs(8);
+    let dev = DeviceSpec::rtx3090();
+    // Pick two graphs that land on different shards of a 2-lane cache.
+    let (g1, g2) = {
+        let base = StructureFingerprint::of(&gs[0]).lo & 1;
+        let other = gs[1..]
+            .iter()
+            .find(|g| StructureFingerprint::of(g).lo & 1 != base)
+            .expect("some graph lands on the other shard");
+        (gs[0].clone(), other.clone())
+    };
+    let report = check_with("shared-cache-disjoint-shards", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let handles: Vec<_> = [g1.clone(), g2.clone()]
+            .into_iter()
+            .map(|g| {
+                let cache = Arc::clone(&cache);
+                let dev = dev.clone();
+                thread::spawn(move || {
+                    let (_, hit) = cache.get_or_prepare(&g, &dev);
+                    assert!(!hit, "distinct structures cannot hit");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("request thread");
+        }
+        let s = cache.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (2, 0, 2));
+        assert_eq!(cache.len(), 2);
+        0
+    });
+    report.assert_clean();
+    assert!(report.deterministic(), "{}", report.summary());
+}
+
+/// A request races a quarantine on the same fingerprint. Under every
+/// interleaving: no deadlock (lock order shard → registry is respected
+/// on both paths), and after both complete the fingerprint is barred and
+/// not resident.
+#[test]
+fn request_racing_quarantine_is_clean_and_lock_order_consistent() {
+    hc_parallel::set_threads(1);
+    let gs = tiny_graphs(1);
+    let dev = DeviceSpec::rtx3090();
+    let fp = StructureFingerprint::of(&gs[0]);
+    let report = check_with("shared-cache-quarantine-race", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let server = {
+            let cache = Arc::clone(&cache);
+            let g = gs[0].clone();
+            let dev = dev.clone();
+            thread::spawn(move || {
+                let (_, hit) = cache.get_or_prepare(&g, &dev);
+                u64::from(hit)
+            })
+        };
+        let reaper = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.quarantine(fp))
+        };
+        let hit = server.join().expect("server thread");
+        let _evicted = reaper.join().expect("reaper thread");
+        assert_eq!(hit, 0, "nothing was resident to hit");
+        assert!(cache.is_quarantined(fp));
+        assert_eq!(cache.len(), 0, "quarantined fp must not be resident");
+        let s = cache.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.quarantined, 1);
+        // Outcome records whether the miss was barred by quarantine
+        // (reaper won) or admitted-then-evicted (server won) — both
+        // orders must be explored and both end in the same final state.
+        s.quarantine_misses
+    });
+    report.assert_clean();
+    assert!(
+        report
+            .lock_edges
+            .iter()
+            .any(|e| e.from == "plan-shard" && e.to == "quarantine-registry"),
+        "expected shard→registry acquisition edge: {}",
+        report.summary()
+    );
+    assert!(
+        report.lock_cycles.is_empty(),
+        "lock-order graph must be acyclic: {}",
+        report.summary()
+    );
+}

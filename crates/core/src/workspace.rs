@@ -18,14 +18,20 @@
 //! built once by that same closure. The differential tests in
 //! `plan::tests` and `resilient::tests` pin this.
 //!
-//! Thread safety: the arena sits behind a `Mutex`, but buffers are
-//! *checked out* for the duration of a request, so the lock is never held
-//! across kernel execution. Two threads executing the same `Arc<Plan>`
-//! concurrently simply miss the scratch (one of them allocates fresh) —
-//! correct, just not amortized. The serving driver executes requests in
-//! order, so it always reuses.
+//! Thread safety: the arena sits behind a facade `Mutex` (so the model
+//! checker sees every acquisition), but buffers are *checked out* for the
+//! duration of a request, so the lock is never held across kernel
+//! execution. Two threads executing the same `Arc<Plan>` concurrently
+//! simply miss the scratch (one of them allocates fresh) — correct, just
+//! not amortized. The serving driver executes requests in order, so it
+//! always reuses. The lock is declared *hazardous*
+//! ([`Mutex::hazard`]): `DeviceSpec::execute*` calls
+//! `assert_no_hazard_guards`, so holding this guard across a kernel
+//! launch panics in debug builds instead of silently serializing.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use hc_parallel::sync::{Mutex, MutexGuard};
 
 use gpu_sim::{BlockCost, DeviceKind};
 use graph_sparse::Csr;
@@ -100,9 +106,17 @@ struct Inner {
 /// Reusable per-plan arena: cached block-cost vectors plus recycled LOA
 /// staging buffers. Interior-mutable so shared (`Arc`ed) plans amortize
 /// across requests; see the module docs for the reuse contract.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Workspace {
     inner: Mutex<Inner>,
+}
+
+impl Default for Workspace {
+    fn default() -> Workspace {
+        Workspace {
+            inner: Mutex::hazard("workspace-arena", Inner::default()),
+        }
+    }
 }
 
 /// Distinct (family, dim, device) cost vectors retained per plan. Four
@@ -177,11 +191,11 @@ impl Workspace {
         self.lock().stats
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // A poisoned lock only means a panic unwound mid-checkout; the
-        // arena never holds partially-written state (buffers move in and
-        // out whole), so continuing is safe.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // The facade swallows poison: a poisoned lock only means a panic
+        // unwound mid-checkout, and the arena never holds
+        // partially-written state (buffers move in and out whole).
+        self.inner.lock()
     }
 }
 
@@ -259,6 +273,26 @@ mod tests {
         assert_eq!(s.zret.len(), 4);
         let st = ws.stats();
         assert_eq!((st.scratch_allocs, st.scratch_reuses), (1, 1));
+    }
+
+    /// Satellite guard-token regression: the workspace arena lock is a
+    /// hazard lock, and `DeviceSpec::execute` asserts none are held, so
+    /// holding the guard across a kernel launch must panic in debug
+    /// builds (and release the token cleanly during unwind).
+    #[test]
+    #[cfg(debug_assertions)]
+    fn guard_across_execute_panics_in_debug() {
+        use gpu_sim::DeviceSpec;
+        let ws = Workspace::default();
+        let dev = DeviceSpec::rtx3090();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = ws.lock(); // lint-sync: allow — deliberately held across execute
+            dev.execute(&[]); // lint-sync: allow — this is the regression under test
+        }));
+        assert!(result.is_err(), "hazard guard across execute must panic");
+        // The unwind released the token: a clean execute works again.
+        assert_eq!(hc_parallel::sync::hazard_guards_held(), 0);
+        dev.execute(&[]);
     }
 
     #[test]

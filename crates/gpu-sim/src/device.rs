@@ -207,6 +207,7 @@ impl DeviceSpec {
     /// The time is `max(SM makespan, DRAM roofline) + launch overhead`. The
     /// profile aggregates the counters of every block.
     pub fn execute(&self, blocks: &[BlockCost]) -> KernelRun {
+        hc_parallel::sync::assert_no_hazard_guards("DeviceSpec::execute");
         faults::observe_launch();
         let mut profile = KernelProfile::default();
         for b in blocks {
@@ -236,6 +237,7 @@ impl DeviceSpec {
     /// would overlap them. The partition is chosen to minimize the larger
     /// makespan; DRAM stays shared (one roofline).
     pub fn execute_concurrent(&self, a: &[BlockCost], b: &[BlockCost]) -> KernelRun {
+        hc_parallel::sync::assert_no_hazard_guards("DeviceSpec::execute_concurrent");
         if a.is_empty() || b.is_empty() {
             let mut all = a.to_vec();
             all.extend_from_slice(b);
@@ -272,6 +274,7 @@ impl DeviceSpec {
     /// Aggregation + Update pipeline): times add, launch overhead is paid per
     /// kernel, profiles merge.
     pub fn execute_sequence(&self, kernels: &[Vec<BlockCost>]) -> KernelRun {
+        hc_parallel::sync::assert_no_hazard_guards("DeviceSpec::execute_sequence");
         let mut total = KernelRun::default();
         for blocks in kernels {
             let run = self.execute(blocks);

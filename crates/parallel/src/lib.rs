@@ -19,13 +19,17 @@
 //! ## Pool shape
 //!
 //! The pool is *scoped*: each parallel region spawns up to [`threads`]
-//! workers via `crossbeam::thread::scope` (std scoped threads underneath),
+//! workers via [`sync::thread::scope`] (std scoped threads underneath),
 //! which lets closures borrow the caller's data without `'static` bounds.
 //! Work items are handed out in deterministic index batches from a
-//! `parking_lot::Mutex`-guarded queue, so a skewed item (a dense row
+//! [`sync::Mutex`]-guarded queue, so a skewed item (a dense row
 //! window among sparse ones) does not serialize the region the way static
 //! chunking would. A panic in any worker is re-raised on the calling
 //! thread once the region drains.
+//!
+//! All synchronization goes through the [`sync`] facade so the pool's
+//! internals are explorable by `hc-check`'s model scheduler under
+//! `--cfg hc_check` (and lintable by its `lint-sync` pass).
 //!
 //! ## Calibrated engagement (the serial fast path)
 //!
@@ -42,15 +46,17 @@
 //! executions are bit-identical, the engagement decision is a pure
 //! scheduling choice and never changes results.
 
+pub mod sync;
+
 use std::mem::{ManuallyDrop, MaybeUninit};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use sync::{AtomicU64, AtomicU8, AtomicUsize, Mutex, Ordering};
 
 /// Process-wide thread-count override set by [`set_threads`] (0 = unset).
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Untracked: a quiescent configuration cell, not contended state.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new_untracked(0);
 
 /// Scalar-operation threshold below which parallel regions always run
 /// inline, regardless of calibration: at ~1 ns/op, 32 Ki ops is well under
@@ -95,9 +101,7 @@ pub fn threads() -> usize {
     {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    sync::thread::available_parallelism()
 }
 
 /// How parallel regions decide between fanning out and the serial fast
@@ -116,7 +120,7 @@ pub enum ParallelMode {
     Never,
 }
 
-static PARALLEL_MODE: AtomicU8 = AtomicU8::new(0);
+static PARALLEL_MODE: AtomicU8 = AtomicU8::new_untracked(0);
 
 /// Override the engagement policy process-wide (see [`ParallelMode`]).
 /// Results are bit-identical in every mode; only scheduling changes.
@@ -154,9 +158,7 @@ pub struct Calibration {
 static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
 
 fn measure_calibration() -> Calibration {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = sync::thread::available_parallelism();
     // ns per scalar work unit: time a simple dependent arithmetic loop
     // (the same flavour of work the kernels' hot loops do) and take the
     // best of a few reps so preemption only inflates discarded samples.
@@ -179,7 +181,7 @@ fn measure_calibration() -> Calibration {
     let mut spawn_ns = f64::MAX;
     for _ in 0..3 {
         let t = Instant::now();
-        let r = crossbeam::thread::scope(|scope| {
+        let r = sync::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|_| {});
             }
@@ -197,8 +199,153 @@ fn measure_calibration() -> Calibration {
 
 /// The lazily measured host [`Calibration`] (one measurement per process,
 /// a few hundred microseconds on first use).
+///
+/// Measurements persist to `target/hc-calibration.json` keyed by core
+/// count (override the location with `HC_CALIBRATION_PATH`, disable
+/// persistence by setting it empty), so repeated bench runs skip the
+/// re-measurement. An absent, unparsable or out-of-range entry falls
+/// back to a fresh measurement. Under an active `hc-check` model run a
+/// fixed synthetic calibration is returned instead, keeping the
+/// engagement decision deterministic across explored interleavings.
 pub fn calibration() -> Calibration {
-    *CALIBRATION.get_or_init(measure_calibration)
+    #[cfg(hc_check)]
+    if sync::model::active_here() {
+        return Calibration {
+            spawn_ns: 20_000.0,
+            ns_per_unit: 1.0,
+            cores: 1,
+        };
+    }
+    *CALIBRATION.get_or_init(|| {
+        let cores = sync::thread::available_parallelism();
+        let path = calibration_path();
+        if let Some(p) = &path {
+            if let Some(cal) = load_calibration(p, cores) {
+                return cal;
+            }
+        }
+        let cal = measure_calibration();
+        if let Some(p) = &path {
+            save_calibration(p, cal);
+        }
+        cal
+    })
+}
+
+/// Where calibration entries persist: `HC_CALIBRATION_PATH` when set
+/// (empty string disables persistence), else `hc-calibration.json` inside
+/// the enclosing cargo `target` directory (found by walking up from the
+/// running executable), else `target/hc-calibration.json` relative to the
+/// working directory.
+fn calibration_path() -> Option<std::path::PathBuf> {
+    match std::env::var("HC_CALIBRATION_PATH") {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => Some(std::path::PathBuf::from(v)),
+        Err(_) => {
+            let from_exe = std::env::current_exe().ok().and_then(|exe| {
+                exe.ancestors()
+                    .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                    .map(|t| t.join("hc-calibration.json"))
+            });
+            Some(
+                from_exe.unwrap_or_else(|| {
+                    std::path::PathBuf::from("target").join("hc-calibration.json")
+                }),
+            )
+        }
+    }
+}
+
+/// Every numeric value following `"key":` occurrences in `text`, in order.
+fn nums_after(text: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\"");
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(idx) = text[pos..].find(&pat) {
+        let after_key = pos + idx + pat.len();
+        let Some(colon) = text[after_key..].find(':') else {
+            break;
+        };
+        let num_start = after_key + colon + 1;
+        let rest = text[num_start..].trim_start();
+        let trimmed = text[num_start..].len() - rest.len();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            out.push(v);
+        }
+        pos = num_start + trimmed + end;
+    }
+    out
+}
+
+/// Parse every valid calibration entry out of a persisted file. Entries
+/// with out-of-range values (a stale or corrupt file) are dropped.
+fn parse_calibration_entries(text: &str) -> Vec<Calibration> {
+    if nums_after(text, "version").first().copied() != Some(1.0) {
+        return Vec::new();
+    }
+    let cores = nums_after(text, "cores");
+    let spawn = nums_after(text, "spawn_ns");
+    let unit = nums_after(text, "ns_per_unit");
+    cores
+        .iter()
+        .zip(spawn.iter())
+        .zip(unit.iter())
+        .filter_map(|((&c, &s), &u)| {
+            let cores_ok = (1.0..=1_000_000.0).contains(&c) && c.fract() == 0.0;
+            let spawn_ok = (1_000.0..=50_000_000.0).contains(&s);
+            let unit_ok = (0.05..=100.0).contains(&u);
+            (cores_ok && spawn_ok && unit_ok).then_some(Calibration {
+                spawn_ns: s,
+                ns_per_unit: u,
+                cores: c as usize,
+            })
+        })
+        .collect()
+}
+
+fn render_calibration_entries(entries: &[Calibration]) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"cores\":{},\"spawn_ns\":{:.1},\"ns_per_unit\":{:.4}}}",
+                c.cores, c.spawn_ns, c.ns_per_unit
+            )
+        })
+        .collect();
+    format!("{{\"version\":1,\"entries\":[{}]}}\n", body.join(","))
+}
+
+/// Load the persisted calibration for `cores`, if present and valid.
+fn load_calibration(path: &std::path::Path, cores: usize) -> Option<Calibration> {
+    let text = std::fs::read_to_string(path).ok()?;
+    parse_calibration_entries(&text)
+        .into_iter()
+        .find(|c| c.cores == cores)
+}
+
+/// Merge `cal` into the persisted file (best-effort: IO errors simply
+/// mean the next run re-measures).
+fn save_calibration(path: &std::path::Path, cal: Calibration) {
+    let mut entries: Vec<Calibration> = std::fs::read_to_string(path)
+        .ok()
+        .map(|t| parse_calibration_entries(&t))
+        .unwrap_or_default();
+    entries.retain(|c| c.cores != cal.cores);
+    entries.push(cal);
+    entries.sort_by_key(|c| c.cores);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, render_calibration_entries(&entries)).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 /// Regions that fanned out over worker threads since the last
@@ -300,8 +447,8 @@ where
     }
     PARALLEL_REGIONS.fetch_add(1, Ordering::Relaxed);
     let grain = batch_grain(n, work, nthreads);
-    let queue = Mutex::new(items.into_iter());
-    let result = crossbeam::thread::scope(|scope| {
+    let queue = Mutex::named("pool-queue", items.into_iter());
+    let result = sync::thread::scope(|scope| {
         for _ in 0..nthreads {
             scope.spawn(|_| loop {
                 let batch: Vec<(usize, I)> = {
@@ -402,7 +549,7 @@ mod tests {
     const BIG: u64 = u64::MAX;
 
     /// Serializes tests that touch the process-wide thread/mode overrides.
-    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::named("test-override", ());
 
     /// RAII guard: force the pool to engage so its machinery is exercised
     /// even on single-core CI hosts, restoring `Auto` on drop.
@@ -591,8 +738,7 @@ mod tests {
 
     #[test]
     fn par_map_indexed_drops_each_result_exactly_once() {
-        use std::sync::atomic::AtomicUsize;
-        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        static DROPS: AtomicUsize = AtomicUsize::new_untracked(0);
         struct Counted(#[allow(dead_code)] usize);
         impl Drop for Counted {
             fn drop(&mut self) {
@@ -609,6 +755,80 @@ mod tests {
         drop(v);
         assert_eq!(DROPS.load(Ordering::Relaxed), 512);
         set_threads(saved);
+    }
+
+    #[test]
+    fn calibration_persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hc-cal-test-{}", std::process::id()));
+        let path = dir.join("hc-calibration.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file: nothing to load.
+        assert!(load_calibration(&path, 4).is_none());
+
+        let cal = Calibration {
+            spawn_ns: 123_456.0,
+            ns_per_unit: 0.75,
+            cores: 4,
+        };
+        save_calibration(&path, cal);
+        let loaded = load_calibration(&path, 4).expect("entry for 4 cores");
+        assert_eq!(loaded.cores, 4);
+        assert!((loaded.spawn_ns - cal.spawn_ns).abs() < 1.0);
+        assert!((loaded.ns_per_unit - cal.ns_per_unit).abs() < 1e-3);
+        // Keyed by core count: a different host shape misses.
+        assert!(load_calibration(&path, 8).is_none());
+
+        // Merging keeps other core counts and replaces the same one.
+        save_calibration(
+            &path,
+            Calibration {
+                spawn_ns: 9_000.0,
+                ns_per_unit: 0.10,
+                cores: 8,
+            },
+        );
+        save_calibration(
+            &path,
+            Calibration {
+                spawn_ns: 200_000.0,
+                ns_per_unit: 0.50,
+                cores: 4,
+            },
+        );
+        let four = load_calibration(&path, 4).expect("replaced entry");
+        assert!((four.spawn_ns - 200_000.0).abs() < 1.0);
+        let eight = load_calibration(&path, 8).expect("merged entry");
+        assert!((eight.spawn_ns - 9_000.0).abs() < 1.0);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn calibration_persistence_rejects_stale_or_garbage() {
+        // Unparsable text yields no entries.
+        assert!(parse_calibration_entries("not json at all").is_empty());
+        // Wrong version is treated as stale wholesale.
+        assert!(parse_calibration_entries(
+            "{\"version\":2,\"entries\":[{\"cores\":4,\"spawn_ns\":5000.0,\"ns_per_unit\":0.5}]}"
+        )
+        .is_empty());
+        // Out-of-range values are dropped (clock glitch, corrupt write).
+        assert!(parse_calibration_entries(
+            "{\"version\":1,\"entries\":[{\"cores\":4,\"spawn_ns\":1.0,\"ns_per_unit\":0.5}]}"
+        )
+        .is_empty());
+        assert!(parse_calibration_entries(
+            "{\"version\":1,\"entries\":[{\"cores\":0,\"spawn_ns\":5000.0,\"ns_per_unit\":0.5}]}"
+        )
+        .is_empty());
+        // A valid entry parses exactly.
+        let good = parse_calibration_entries(
+            "{\"version\":1,\"entries\":[{\"cores\":16,\"spawn_ns\":5000.0,\"ns_per_unit\":0.5}]}",
+        );
+        assert_eq!(good.len(), 1);
+        assert_eq!(good[0].cores, 16);
     }
 
     #[test]

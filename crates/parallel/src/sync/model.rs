@@ -1,0 +1,944 @@
+//! # Instrumented scheduler behind the sync facade (`--cfg hc_check`)
+//!
+//! A loom-style cooperative scheduler: when a checker run is active, every
+//! facade operation ([`op`]) parks the calling OS thread and hands control
+//! to a single global decision point, so exactly one *model thread* runs
+//! between consecutive operations. The scheduler replays a caller-supplied
+//! schedule prefix and extends it with a deterministic default policy
+//! (run-to-completion: stay on the last chosen thread while it remains
+//! enabled), recording at every step which threads were enabled and what
+//! operation each had pending. The `hc-check` crate drives DFS over those
+//! records to enumerate interleavings.
+//!
+//! On top of the schedule machinery this module maintains:
+//!
+//! * **vector clocks** per thread, joined through mutex/rwlock
+//!   release→acquire pairs, atomic accesses (treated as acquire/release)
+//!   and spawn/join edges — the happens-before relation;
+//! * **race detection** for [`RaceCell`] accesses (FastTrack-style write
+//!   epoch + read epochs checked against the accessor's clock);
+//! * a **lock-order graph** over lock *class names*: acquiring `B` while
+//!   holding `A` records the edge `A → B` with the acquiring thread and
+//!   its held-lock stack; cycles (potential deadlocks) are reported by
+//!   the checker. Edges accumulate across all runs of a check session;
+//! * **deadlock detection**: a state where unfinished threads exist but
+//!   none is enabled aborts the run with every thread's pending
+//!   operation and held locks.
+//!
+//! Threads outside an active run (the common case even under
+//! `--cfg hc_check`) pass through the facade untouched: [`op`] returns
+//! `None` and the wrappers fall back to plain `std::sync` behaviour.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Panic payload used to unwind model threads when a run aborts
+/// (violation found, deadlock, step limit). Not a user-visible error.
+pub struct ModelAbort;
+
+/// Kind of a facade operation (one scheduling point each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// First scheduling point of a spawned thread.
+    Start,
+    /// `Mutex::lock` (enabled iff unowned).
+    MutexLock,
+    /// `Mutex::try_lock` (always enabled; result says whether it took).
+    MutexTryLock,
+    /// Mutex guard drop.
+    MutexUnlock,
+    /// `RwLock::read` (enabled iff no writer).
+    RwRead,
+    /// `RwLock::write` (enabled iff no writer and no readers).
+    RwWrite,
+    /// Read guard drop.
+    RwUnlockRead,
+    /// Write guard drop.
+    RwUnlockWrite,
+    /// Tracked atomic load.
+    AtomicLoad,
+    /// Tracked atomic store.
+    AtomicStore,
+    /// Tracked atomic read-modify-write (swap/fetch_*/compare_exchange).
+    AtomicRmw,
+    /// `Condvar::wait` releasing its mutex (`obj2`).
+    CvRelease,
+    /// `Condvar::wait` reacquiring after a notification (enabled iff a
+    /// permit is available and the mutex is free).
+    CvReacquire,
+    /// `Condvar::notify_one`.
+    CvNotifyOne,
+    /// `Condvar::notify_all`.
+    CvNotifyAll,
+    /// [`RaceCell`] read.
+    CellRead,
+    /// [`RaceCell`] write.
+    CellWrite,
+    /// Parent side of a thread spawn (`obj` = child tid).
+    Spawn,
+    /// Join on a finished thread (`obj` = child tid).
+    Join,
+    /// Explicit yield point.
+    Yield,
+}
+
+/// Signature of one pending/executed operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpSig {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Primary object identity (address of the facade primitive, or the
+    /// child tid for `Spawn`/`Join`).
+    pub obj: u64,
+    /// Secondary object (the mutex of a condvar wait).
+    pub obj2: u64,
+    /// Lock-class / object name for reports.
+    pub name: &'static str,
+}
+
+/// A concurrency violation found during a run.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// No enabled thread while unfinished threads remain.
+    Deadlock {
+        /// Per-thread pending operation and held locks.
+        detail: String,
+    },
+    /// Unsynchronized conflicting access to a [`RaceCell`].
+    Race {
+        /// Cell name.
+        name: &'static str,
+        /// Both access sites (thread + operation).
+        detail: String,
+    },
+    /// A model thread panicked with a real (non-abort) payload.
+    Panic {
+        /// Thread label.
+        thread: String,
+        /// Panic message.
+        message: String,
+    },
+    /// The replayed schedule chose a thread that was not enabled —
+    /// the program under test is not deterministic given a schedule.
+    ReplayDivergence {
+        /// What diverged.
+        detail: String,
+    },
+    /// A run exceeded the step budget (livelock or runaway loop).
+    StepLimit {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// Completed runs produced more than one outcome value.
+    Nondeterministic {
+        /// The distinct outcomes observed (sorted).
+        outcomes: Vec<u64>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            Violation::Race { name, detail } => write!(f, "data race on '{name}': {detail}"),
+            Violation::Panic { thread, message } => {
+                write!(f, "panic in {thread}: {message}")
+            }
+            Violation::ReplayDivergence { detail } => write!(f, "replay divergence: {detail}"),
+            Violation::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
+            Violation::Nondeterministic { outcomes } => {
+                write!(f, "nondeterministic outcomes: {outcomes:?}")
+            }
+        }
+    }
+}
+
+/// One scheduling decision, as recorded in a run's trace.
+#[derive(Clone, Debug)]
+pub struct StepRec {
+    /// Thread that was chosen to execute its pending operation.
+    pub chosen: usize,
+    /// The operation it executed.
+    pub sig: OpSig,
+    /// All threads that were enabled at this point.
+    pub enabled: Vec<usize>,
+    /// Pending operation of every enabled thread (for DFS alternatives).
+    pub pending: Vec<(usize, OpSig)>,
+}
+
+/// An acquisition-order edge between two lock classes.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    /// Lock class already held.
+    pub from: &'static str,
+    /// Lock class acquired while holding `from`.
+    pub to: &'static str,
+    /// Acquiring thread and its held-lock stack at the acquisition site.
+    pub detail: String,
+}
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct RunRecord {
+    /// The decision trace (one entry per scheduling point).
+    pub trace: Vec<StepRec>,
+    /// Violations found during the run.
+    pub violations: Vec<Violation>,
+    /// Whether the run was aborted (violation / step limit).
+    pub aborted: bool,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    name: &'static str,
+    registered: bool,
+    finished: bool,
+    pending: Option<OpSig>,
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<(usize, u64)>,
+    reads: Vec<(usize, u64)>,
+}
+
+#[derive(Default)]
+struct ModelState {
+    threads: Vec<ThreadState>,
+    vc: Vec<Vec<u64>>,
+    schedule: Vec<usize>,
+    trace: Vec<StepRec>,
+    active: Option<usize>,
+    last_chosen: Option<usize>,
+    abort: bool,
+    run_complete: bool,
+    total: usize,
+    finished: usize,
+    max_steps: usize,
+    mutex_owner: HashMap<u64, usize>,
+    rw: HashMap<u64, RwState>,
+    cv_permits: HashMap<u64, u64>,
+    release_vc: HashMap<u64, Vec<u64>>,
+    cells: HashMap<u64, CellState>,
+    held: Vec<Vec<(u64, &'static str)>>,
+    violations: Vec<Violation>,
+    // Lock-order graph: accumulated across every run of the session.
+    edge_keys: HashSet<(&'static str, &'static str)>,
+    edges: Vec<LockEdge>,
+}
+
+/// The global decision point shared by all threads of a check session.
+pub struct Model {
+    st: StdMutex<ModelState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Model>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Whether the calling thread is attached to an active model run.
+pub fn active_here() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Report one facade operation. Returns `None` when the calling thread is
+/// not attached to a model (normal execution), `Some(result)` after the
+/// scheduler has granted the operation (`result` is op-specific: 1/0 for
+/// `MutexTryLock`, otherwise 0).
+pub fn op(kind: OpKind, obj: u64, obj2: u64, name: &'static str) -> Option<u64> {
+    if std::thread::panicking() {
+        // Guard drops during a ModelAbort unwind must not re-enter the
+        // scheduler (the run is already being torn down).
+        return None;
+    }
+    let cur = CURRENT.with(|c| c.borrow().clone());
+    let (model, tid) = cur?;
+    Some(model.yield_op(
+        tid,
+        OpSig {
+            kind,
+            obj,
+            obj2,
+            name,
+        },
+    ))
+}
+
+/// Token carried from [`spawn_prepare`] (parent side) into the child
+/// thread's [`child_run`].
+pub struct SpawnToken {
+    model: Arc<Model>,
+    tid: usize,
+}
+
+impl SpawnToken {
+    /// Model thread id allocated for the child.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+/// Parent half of a model thread spawn: allocates the child's tid and
+/// executes the `Spawn` scheduling point. Returns `None` when the caller
+/// is not attached to a model (spawn proceeds as a plain OS thread).
+pub fn spawn_prepare(name: &'static str) -> Option<SpawnToken> {
+    if std::thread::panicking() {
+        return None;
+    }
+    let cur = CURRENT.with(|c| c.borrow().clone());
+    let (model, tid) = cur?;
+    let child = {
+        let mut st = model.lock_state();
+        if st.abort {
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        let child = st.threads.len();
+        st.threads.push(ThreadState {
+            name,
+            registered: false,
+            finished: false,
+            pending: None,
+        });
+        st.vc.push(vec![0; child + 1]);
+        st.held.push(Vec::new());
+        child
+    };
+    model.yield_op(
+        tid,
+        OpSig {
+            kind: OpKind::Spawn,
+            obj: child as u64,
+            obj2: 0,
+            name,
+        },
+    );
+    Some(SpawnToken { model, tid: child })
+}
+
+/// Child half of a model thread spawn: attaches the OS thread to the
+/// model, runs `f` under the scheduler, records any real panic as a
+/// violation, and marks the model thread finished.
+pub fn child_run<T>(token: SpawnToken, f: impl FnOnce() -> T) -> Result<T, Box<dyn Any + Send>> {
+    let SpawnToken { model, tid } = token;
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&model), tid)));
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        op(OpKind::Start, 0, 0, "start");
+        f()
+    }));
+    if let Err(payload) = &r {
+        if !payload.is::<ModelAbort>() {
+            model.record_panic(tid, describe_payload(payload));
+        }
+    }
+    model.finish(tid);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    r
+}
+
+/// Model-join every child tid in `children` (used by the facade scope to
+/// run spawned workers to completion before std's auto-join).
+pub fn join_children(children: &Arc<StdMutex<Vec<usize>>>) {
+    let tids: Vec<usize> = children
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    for tid in tids {
+        op(OpKind::Join, tid as u64, 0, "scope-join");
+    }
+}
+
+/// Abort the current run if the calling thread is attached to a model
+/// (used when a scope body panics with parked children).
+pub fn abort_if_active() {
+    let cur = CURRENT.with(|c| c.borrow().clone());
+    if let Some((model, _)) = cur {
+        model.abort_now();
+    }
+}
+
+/// Attach the calling thread to `model` as the main thread (tid 0).
+pub fn attach_main(model: &Arc<Model>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(model), 0)));
+}
+
+/// Detach the calling thread from any model.
+pub fn detach_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+fn describe_payload(payload: &Box<dyn Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+fn vc_join(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        if *d < s {
+            *d = s;
+        }
+    }
+}
+
+fn vc_get(vc: &[u64], i: usize) -> u64 {
+    vc.get(i).copied().unwrap_or(0)
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model {
+    /// Fresh model (one per check session).
+    pub fn new() -> Self {
+        Model {
+            st: StdMutex::new(ModelState::default()),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ModelState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reset per-run state and install the schedule prefix to replay.
+    /// Lock-order edges accumulate across runs and are *not* reset.
+    pub fn begin_run(&self, schedule: Vec<usize>, max_steps: usize) {
+        let mut st = self.lock_state();
+        debug_assert!(
+            st.finished == st.total,
+            "begin_run with {} of {} threads still live",
+            st.total - st.finished,
+            st.total
+        );
+        st.threads = vec![ThreadState {
+            name: "main",
+            registered: true,
+            finished: false,
+            pending: None,
+        }];
+        st.vc = vec![vec![1]];
+        st.held = vec![Vec::new()];
+        st.schedule = schedule;
+        st.trace = Vec::new();
+        st.active = None;
+        st.last_chosen = None;
+        st.abort = false;
+        st.run_complete = false;
+        st.total = 1;
+        st.finished = 0;
+        st.max_steps = max_steps;
+        st.mutex_owner = HashMap::new();
+        st.rw = HashMap::new();
+        st.cv_permits = HashMap::new();
+        st.release_vc = HashMap::new();
+        st.cells = HashMap::new();
+        st.violations = Vec::new();
+    }
+
+    /// Mark the main thread finished; `panic_msg` records a real panic in
+    /// the run body as a violation (pass `None` for ModelAbort payloads).
+    pub fn finish_main(&self, panic_msg: Option<String>) {
+        if let Some(msg) = panic_msg {
+            self.record_panic(0, msg);
+        }
+        self.finish(0);
+    }
+
+    /// Block until every model thread of the current run has finished.
+    pub fn wait_all_finished(&self) {
+        let mut st = self.lock_state();
+        while st.finished < st.total {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Collect the run's trace and violations (call after
+    /// [`Model::wait_all_finished`]).
+    pub fn end_run(&self) -> RunRecord {
+        let mut st = self.lock_state();
+        RunRecord {
+            trace: std::mem::take(&mut st.trace),
+            violations: std::mem::take(&mut st.violations),
+            aborted: st.abort,
+        }
+    }
+
+    /// Snapshot of the accumulated lock-order edges.
+    pub fn lock_edges(&self) -> Vec<LockEdge> {
+        self.lock_state().edges.clone()
+    }
+
+    /// Abort the current run: parked threads wake and unwind with
+    /// [`ModelAbort`].
+    pub fn abort_now(&self) {
+        let mut st = self.lock_state();
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn record_panic(&self, tid: usize, message: String) {
+        let mut st = self.lock_state();
+        let thread = format!("t{tid} '{}'", st.threads[tid].name);
+        st.violations.push(Violation::Panic { thread, message });
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn finish(&self, tid: usize) {
+        let mut st = self.lock_state();
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        if !st.threads[tid].finished {
+            st.threads[tid].finished = true;
+            st.threads[tid].pending = None;
+            st.finished += 1;
+        }
+        self.try_schedule(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Core scheduling point: park with `sig` pending, wait to be chosen,
+    /// apply the operation's transition, and resume running.
+    fn yield_op(&self, me: usize, sig: OpSig) -> u64 {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        if st.active == Some(me) {
+            st.active = None;
+        }
+        st.threads[me].pending = Some(sig);
+        self.try_schedule(&mut st);
+        loop {
+            if st.abort {
+                st.threads[me].pending = None;
+                drop(st);
+                panic_any(ModelAbort);
+            }
+            if st.active == Some(me) {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.threads[me].pending = None;
+        let result = self.apply(me, sig, &mut st);
+        if st.abort {
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        result
+    }
+
+    /// Pick the next thread to run, if the system is quiescent (every
+    /// registered live thread parked with a pending operation).
+    fn try_schedule(&self, st: &mut ModelState) {
+        if st.abort || st.run_complete || st.active.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        for t in &st.threads {
+            if t.registered && !t.finished && t.pending.is_none() {
+                return; // not quiescent yet
+            }
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.registered && !t.finished)
+            .filter(|(i, t)| t.pending.is_some_and(|sig| Self::enabled(st, *i, sig)))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.threads.iter().all(|t| !t.registered || t.finished) {
+                st.run_complete = true;
+            } else {
+                let detail = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.registered && !t.finished)
+                    .map(|(i, t)| {
+                        let pend = t
+                            .pending
+                            .map(|s| format!("{:?} on '{}'", s.kind, s.name))
+                            .unwrap_or_else(|| "<running>".to_string());
+                        let held: Vec<&str> = st.held[i].iter().map(|&(_, n)| n).collect();
+                        format!("t{i} '{}' waiting {pend}, holding {held:?}", t.name)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                st.violations.push(Violation::Deadlock { detail });
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let k = st.trace.len();
+        let chosen = if k < st.schedule.len() {
+            let want = st.schedule[k];
+            if enabled.contains(&want) {
+                want
+            } else {
+                st.violations.push(Violation::ReplayDivergence {
+                    detail: format!("step {k}: schedule wants t{want}, enabled {enabled:?}"),
+                });
+                Self::default_choice(&enabled, st.last_chosen)
+            }
+        } else {
+            Self::default_choice(&enabled, st.last_chosen)
+        };
+        let pending: Vec<(usize, OpSig)> = enabled
+            .iter()
+            .filter_map(|&i| st.threads[i].pending.map(|s| (i, s)))
+            .collect();
+        let sig = st.threads[chosen].pending.unwrap_or(OpSig {
+            kind: OpKind::Yield,
+            obj: 0,
+            obj2: 0,
+            name: "?",
+        });
+        st.trace.push(StepRec {
+            chosen,
+            sig,
+            enabled,
+            pending,
+        });
+        if st.trace.len() > st.max_steps {
+            st.violations.push(Violation::StepLimit {
+                limit: st.max_steps,
+            });
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        st.last_chosen = Some(chosen);
+        st.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Run-to-completion default: keep the last-chosen thread while it is
+    /// enabled, otherwise the lowest-numbered enabled thread.
+    fn default_choice(enabled: &[usize], last: Option<usize>) -> usize {
+        if let Some(l) = last {
+            if enabled.contains(&l) {
+                return l;
+            }
+        }
+        enabled[0]
+    }
+
+    /// Whether `sig` can execute now (never blocks when granted).
+    fn enabled(st: &ModelState, _tid: usize, sig: OpSig) -> bool {
+        match sig.kind {
+            OpKind::MutexLock => !st.mutex_owner.contains_key(&sig.obj),
+            OpKind::RwRead => st.rw.get(&sig.obj).is_none_or(|s| s.writer.is_none()),
+            OpKind::RwWrite => st
+                .rw
+                .get(&sig.obj)
+                .is_none_or(|s| s.writer.is_none() && s.readers.is_empty()),
+            OpKind::CvReacquire => {
+                st.cv_permits.get(&sig.obj).copied().unwrap_or(0) > 0
+                    && !st.mutex_owner.contains_key(&sig.obj2)
+            }
+            OpKind::Join => st.threads.get(sig.obj as usize).is_some_and(|t| t.finished),
+            _ => true,
+        }
+    }
+
+    fn record_lock_edges(st: &mut ModelState, me: usize, name: &'static str) {
+        let held: Vec<&'static str> = st.held[me].iter().map(|&(_, n)| n).collect();
+        for &from in &held {
+            if from == name || !st.edge_keys.insert((from, name)) {
+                continue;
+            }
+            let detail = format!(
+                "t{me} '{}' acquired '{name}' while holding {held:?}",
+                st.threads[me].name
+            );
+            st.edges.push(LockEdge {
+                from,
+                to: name,
+                detail,
+            });
+        }
+    }
+
+    fn acquire_vc(st: &mut ModelState, me: usize, obj: u64) {
+        if let Some(rvc) = st.release_vc.get(&obj) {
+            let rvc = rvc.clone();
+            vc_join(&mut st.vc[me], &rvc);
+        }
+    }
+
+    fn release_vc_update(st: &mut ModelState, me: usize, obj: u64) {
+        let my = st.vc[me].clone();
+        let slot = st.release_vc.entry(obj).or_default();
+        vc_join(slot, &my);
+        st.vc[me][me] += 1;
+    }
+
+    fn remove_held(st: &mut ModelState, me: usize, obj: u64) {
+        if let Some(pos) = st.held[me].iter().rposition(|&(o, _)| o == obj) {
+            st.held[me].remove(pos);
+        }
+    }
+
+    /// Execute `sig`'s state transition for thread `me`. Called only when
+    /// the scheduler granted the (enabled) operation.
+    fn apply(&self, me: usize, sig: OpSig, st: &mut ModelState) -> u64 {
+        match sig.kind {
+            OpKind::Start | OpKind::Yield => 0,
+            OpKind::MutexLock => {
+                Self::record_lock_edges(st, me, sig.name);
+                st.mutex_owner.insert(sig.obj, me);
+                st.held[me].push((sig.obj, sig.name));
+                Self::acquire_vc(st, me, sig.obj);
+                0
+            }
+            OpKind::MutexTryLock => {
+                if st.mutex_owner.contains_key(&sig.obj) {
+                    0
+                } else {
+                    Self::record_lock_edges(st, me, sig.name);
+                    st.mutex_owner.insert(sig.obj, me);
+                    st.held[me].push((sig.obj, sig.name));
+                    Self::acquire_vc(st, me, sig.obj);
+                    1
+                }
+            }
+            OpKind::MutexUnlock => {
+                st.mutex_owner.remove(&sig.obj);
+                Self::remove_held(st, me, sig.obj);
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::RwRead => {
+                Self::record_lock_edges(st, me, sig.name);
+                st.rw.entry(sig.obj).or_default().readers.push(me);
+                st.held[me].push((sig.obj, sig.name));
+                Self::acquire_vc(st, me, sig.obj);
+                0
+            }
+            OpKind::RwWrite => {
+                Self::record_lock_edges(st, me, sig.name);
+                st.rw.entry(sig.obj).or_default().writer = Some(me);
+                st.held[me].push((sig.obj, sig.name));
+                Self::acquire_vc(st, me, sig.obj);
+                0
+            }
+            OpKind::RwUnlockRead => {
+                if let Some(s) = st.rw.get_mut(&sig.obj) {
+                    if let Some(pos) = s.readers.iter().position(|&r| r == me) {
+                        s.readers.remove(pos);
+                    }
+                }
+                Self::remove_held(st, me, sig.obj);
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::RwUnlockWrite => {
+                if let Some(s) = st.rw.get_mut(&sig.obj) {
+                    s.writer = None;
+                }
+                Self::remove_held(st, me, sig.obj);
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::AtomicLoad => {
+                Self::acquire_vc(st, me, sig.obj);
+                0
+            }
+            OpKind::AtomicStore => {
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::AtomicRmw => {
+                Self::acquire_vc(st, me, sig.obj);
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::CvRelease => {
+                st.mutex_owner.remove(&sig.obj2);
+                Self::remove_held(st, me, sig.obj2);
+                Self::release_vc_update(st, me, sig.obj2);
+                0
+            }
+            OpKind::CvReacquire => {
+                if let Some(p) = st.cv_permits.get_mut(&sig.obj) {
+                    *p = p.saturating_sub(1);
+                }
+                Self::record_lock_edges(st, me, sig.name);
+                st.mutex_owner.insert(sig.obj2, me);
+                st.held[me].push((sig.obj2, sig.name));
+                Self::acquire_vc(st, me, sig.obj);
+                Self::acquire_vc(st, me, sig.obj2);
+                0
+            }
+            OpKind::CvNotifyOne => {
+                *st.cv_permits.entry(sig.obj).or_insert(0) += 1;
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::CvNotifyAll => {
+                let p = st.cv_permits.entry(sig.obj).or_insert(0);
+                *p = p.saturating_add(1 << 20);
+                Self::release_vc_update(st, me, sig.obj);
+                0
+            }
+            OpKind::CellRead => {
+                let my_clock = vc_get(&st.vc[me], me);
+                let mut race: Option<String> = None;
+                if let Some(cell) = st.cells.get(&sig.obj) {
+                    if let Some((w, wc)) = cell.last_write {
+                        if w != me && vc_get(&st.vc[me], w) < wc {
+                            race = Some(format!(
+                                "read by t{me} '{}' concurrent with write by t{w}",
+                                st.threads[me].name
+                            ));
+                        }
+                    }
+                }
+                let cell = st.cells.entry(sig.obj).or_default();
+                if let Some(pos) = cell.reads.iter().position(|&(t, _)| t == me) {
+                    cell.reads[pos] = (me, my_clock);
+                } else {
+                    cell.reads.push((me, my_clock));
+                }
+                if let Some(detail) = race {
+                    st.violations.push(Violation::Race {
+                        name: sig.name,
+                        detail,
+                    });
+                    st.abort = true;
+                    self.cv.notify_all();
+                }
+                0
+            }
+            OpKind::CellWrite => {
+                let my_clock = vc_get(&st.vc[me], me);
+                let mut race: Option<String> = None;
+                if let Some(cell) = st.cells.get(&sig.obj) {
+                    if let Some((w, wc)) = cell.last_write {
+                        if w != me && vc_get(&st.vc[me], w) < wc {
+                            race = Some(format!(
+                                "write by t{me} '{}' concurrent with write by t{w}",
+                                st.threads[me].name
+                            ));
+                        }
+                    }
+                    if race.is_none() {
+                        for &(r, rc) in &cell.reads {
+                            if r != me && vc_get(&st.vc[me], r) < rc {
+                                race = Some(format!(
+                                    "write by t{me} '{}' concurrent with read by t{r}",
+                                    st.threads[me].name
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+                let cell = st.cells.entry(sig.obj).or_default();
+                cell.last_write = Some((me, my_clock));
+                cell.reads.clear();
+                if let Some(detail) = race {
+                    st.violations.push(Violation::Race {
+                        name: sig.name,
+                        detail,
+                    });
+                    st.abort = true;
+                    self.cv.notify_all();
+                }
+                0
+            }
+            OpKind::Spawn => {
+                let child = sig.obj as usize;
+                st.threads[child].registered = true;
+                st.total += 1;
+                let parent_vc = st.vc[me].clone();
+                vc_join(&mut st.vc[child], &parent_vc);
+                let c = vc_get(&st.vc[child], child).max(1);
+                if st.vc[child].len() <= child {
+                    st.vc[child].resize(child + 1, 0);
+                }
+                st.vc[child][child] = c;
+                st.vc[me][me] += 1;
+                0
+            }
+            OpKind::Join => {
+                let child = sig.obj as usize;
+                let child_vc = st.vc[child].clone();
+                vc_join(&mut st.vc[me], &child_vc);
+                0
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell
+// ---------------------------------------------------------------------------
+
+/// A deliberately unsynchronized shared cell, available only under
+/// `--cfg hc_check`, for exposing code paths to the model's race
+/// detector. Under an active model only one thread runs at a time, so the
+/// underlying accesses never physically race; the *model* flags the
+/// missing happens-before edge. Accessing a `RaceCell` from multiple
+/// threads outside an active model run is not supported.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    name: &'static str,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: accesses are serialized by the model scheduler (one running
+// thread at a time); see the type-level docs for the out-of-model caveat.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    /// New cell named for race reports.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        RaceCell {
+            name,
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Read the value (a `CellRead` scheduling point).
+    pub fn get(&self) -> T {
+        op(OpKind::CellRead, self as *const Self as u64, 0, self.name);
+        // SAFETY: the model serializes all attached threads; detached use
+        // is single-threaded by contract.
+        unsafe { *self.inner.get() }
+    }
+
+    /// Write the value (a `CellWrite` scheduling point).
+    pub fn set(&self, value: T) {
+        op(OpKind::CellWrite, self as *const Self as u64, 0, self.name);
+        // SAFETY: as in `get`.
+        unsafe { *self.inner.get() = value }
+    }
+}

@@ -90,26 +90,61 @@ impl PlanCache {
     /// same hits, evictions and counters at any thread count.
     pub fn get_or_prepare(&mut self, a: &Csr, dev: &DeviceSpec) -> (Arc<Plan>, bool) {
         let fp = StructureFingerprint::of(a);
-        self.stats.requests += 1;
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&fp) {
-            e.last_used = self.clock;
-            self.stats.hits += 1;
-            return (Arc::clone(&e.plan), true);
+        if let Some(plan) = self.touch(fp) {
+            return (plan, true);
         }
-        self.stats.misses += 1;
         let plan = Arc::new(Plan::prepare(a, self.spec, dev));
         if self.quarantined.contains(&fp) {
             // Quarantined structures are served by fresh ad-hoc plans but
             // never regain residency: a poisoned plan is gone for good,
             // and nothing under its fingerprint is ever re-served.
-            self.stats.quarantine_misses += 1;
+            self.note_quarantine_miss();
             return (plan, false);
+        }
+        (self.admit(fp, plan), false)
+    }
+
+    /// Record a lookup: on a hit, refresh the LRU stamp and return the
+    /// resident plan; on a miss, count it and return `None` — the caller
+    /// prepares the plan (outside any lock, in the sharded cache) and
+    /// offers it back via [`admit`](PlanCache::admit). Split out of
+    /// [`get_or_prepare`](PlanCache::get_or_prepare) so
+    /// [`SharedPlanCache`](crate::SharedPlanCache) never holds a shard
+    /// lock across `Plan::prepare`.
+    pub fn touch(&mut self, fp: StructureFingerprint) -> Option<Arc<Plan>> {
+        self.stats.requests += 1;
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.last_used = self.clock;
+            self.stats.hits += 1;
+            return Some(Arc::clone(&e.plan));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Count a miss that quarantine barred from admission (pairs with a
+    /// [`touch`](PlanCache::touch) miss).
+    pub fn note_quarantine_miss(&mut self) {
+        self.stats.quarantine_misses += 1;
+    }
+
+    /// Offer a freshly prepared plan for residency after a
+    /// [`touch`](PlanCache::touch) miss. First insert wins: if a
+    /// concurrent racer already admitted a plan for `fp`, the resident
+    /// plan is returned (so every caller serves the same `Arc`) and the
+    /// offered one is dropped. Oversized plans are counted `rejected` and
+    /// returned unretained; otherwise LRU entries are evicted until the
+    /// newcomer fits.
+    pub fn admit(&mut self, fp: StructureFingerprint, plan: Arc<Plan>) -> Arc<Plan> {
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.last_used = self.clock;
+            return Arc::clone(&e.plan);
         }
         let bytes = plan.approx_bytes();
         if bytes > self.budget {
             self.stats.rejected += 1;
-            return (plan, false);
+            return plan;
         }
         while self.bytes + bytes > self.budget {
             self.evict_lru();
@@ -123,7 +158,7 @@ impl PlanCache {
                 last_used: self.clock,
             },
         );
-        (plan, false)
+        plan
     }
 
     /// Drop the least-recently-used entry. `last_used` stamps are unique

@@ -22,6 +22,8 @@
 
 pub mod cache;
 pub mod driver;
+pub mod shared;
 
 pub use cache::{CacheStats, PlanCache};
 pub use driver::{BatchDriver, BatchSummary, Outcome, Request, Response};
+pub use shared::SharedPlanCache;

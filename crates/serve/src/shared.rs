@@ -1,0 +1,262 @@
+//! Concurrent sharded plan cache.
+//!
+//! [`SharedPlanCache`] is the first genuinely concurrent piece of the
+//! serving tier: N fingerprint-addressed lanes (shards), each an
+//! independently locked [`PlanCache`] with `total_budget / N` bytes, plus
+//! one global quarantine registry shared by every lane. Callers take
+//! `&self`, so the cache can sit behind an `Arc` and serve request
+//! threads directly.
+//!
+//! ## Concurrency contract
+//!
+//! * **Shard addressing**: `fp.lo & (shards - 1)` (the shard count is
+//!   rounded up to a power of two). The fingerprint's low lane is already
+//!   avalanche-mixed, so masking it spreads structures evenly.
+//! * **`Plan::prepare` runs outside every lock.** A lookup touches the
+//!   shard (hit → done), releases it, prepares, then re-locks to admit.
+//!   Two racers may both prepare the same plan; admission is
+//!   first-insert-wins ([`PlanCache::admit`]), so both serve the *same*
+//!   resident `Arc` and the loser's copy is dropped. Plans are pure
+//!   functions of (structure, spec, device), so the copies are
+//!   interchangeable bit-for-bit either way.
+//! * **Lock order: shard → quarantine registry.** Both
+//!   [`get_or_prepare`](SharedPlanCache::get_or_prepare) (miss path) and
+//!   [`quarantine`](SharedPlanCache::quarantine) acquire the structure's
+//!   shard first and the registry second; nothing acquires two shards at
+//!   once. The model suite in `crates/check/tests/shared_cache_model.rs`
+//!   explores the interleavings and the lock-order graph under
+//!   `--cfg hc_check`; a seeded inversion of this order is caught by the
+//!   cycle detector in `crates/check/tests/mutants.rs`.
+//! * **Quarantine is permanent and race-free.** `quarantine(fp)` holds
+//!   the shard lock while it registers the fingerprint and evicts the
+//!   resident plan, and the admit path re-checks the registry under the
+//!   same shard lock — so once `quarantine` returns, no plan for that
+//!   fingerprint is resident and none can ever be admitted again.
+//!   Requests racing *ahead* of the quarantine call may still be served
+//!   the old plan; that is inherent (the fault had not been reported
+//!   yet), identical to the single-threaded cache.
+//!
+//! Counter semantics are inherited per shard: within each shard
+//! `requests == hits + misses` and `rejected <= misses`, and both
+//! invariants survive aggregation ([`stats`](SharedPlanCache::stats)
+//! sums the lanes). The hammer test in `tests/hammer.rs` pins them at
+//! 1, 2 and 8 threads.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{Csr, StructureFingerprint};
+use hc_core::{Plan, PlanSpec, WorkspaceStats};
+use hc_parallel::sync::Mutex;
+
+use crate::cache::{CacheStats, PlanCache};
+
+/// Sharded, internally synchronized [`PlanCache`]: fingerprint-addressed
+/// lanes under independent locks, one shared quarantine registry. See
+/// the module docs for the concurrency contract.
+pub struct SharedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+    mask: usize,
+    quarantine: Mutex<HashSet<StructureFingerprint>>,
+    spec: PlanSpec,
+}
+
+impl SharedPlanCache {
+    /// Cache with `total_budget_bytes` split evenly across `shards` lanes
+    /// (rounded up to a power of two, minimum 1) for plans of `spec`.
+    pub fn new(total_budget_bytes: u64, spec: PlanSpec, shards: usize) -> SharedPlanCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = total_budget_bytes / n as u64;
+        SharedPlanCache {
+            shards: (0..n)
+                .map(|_| Mutex::named("plan-shard", PlanCache::new(per_shard, spec)))
+                .collect(),
+            mask: n - 1,
+            quarantine: Mutex::named("quarantine-registry", HashSet::new()),
+            spec,
+        }
+    }
+
+    fn shard(&self, fp: StructureFingerprint) -> &Mutex<PlanCache> {
+        &self.shards[fp.lo as usize & self.mask]
+    }
+
+    /// Look up the plan for `a`'s structure, preparing (and, budget and
+    /// quarantine permitting, retaining) it on a miss. Returns the plan
+    /// and whether it was a hit. `Plan::prepare` runs with no lock held;
+    /// concurrent racers on the same fingerprint converge on one resident
+    /// plan (first insert wins).
+    pub fn get_or_prepare(&self, a: &Csr, dev: &DeviceSpec) -> (Arc<Plan>, bool) {
+        let fp = StructureFingerprint::of(a);
+        if let Some(plan) = self.shard(fp).lock().touch(fp) {
+            return (plan, true);
+        }
+        // Miss counted; prepare outside the lock.
+        let plan = Arc::new(Plan::prepare(a, self.spec, dev));
+        let mut shard = self.shard(fp).lock();
+        // Lock order: shard → quarantine registry (held only for the
+        // membership probe).
+        let barred = self.quarantine.lock().contains(&fp);
+        if barred {
+            shard.note_quarantine_miss();
+            return (plan, false);
+        }
+        (shard.admit(fp, plan), false)
+    }
+
+    /// Quarantine a structure after its plan produced a fault: register
+    /// the fingerprint globally and evict the resident plan, both under
+    /// the structure's shard lock, so no subsequent request can ever be
+    /// served a plan cached under this fingerprint. Returns true if a
+    /// plan was resident.
+    pub fn quarantine(&self, fp: StructureFingerprint) -> bool {
+        let mut shard = self.shard(fp).lock();
+        // Lock order: shard → quarantine registry.
+        self.quarantine.lock().insert(fp);
+        shard.quarantine(fp)
+    }
+
+    /// Whether this structure is barred from residency.
+    pub fn is_quarantined(&self, fp: StructureFingerprint) -> bool {
+        self.quarantine.lock().contains(&fp)
+    }
+
+    /// Aggregate traffic counters over all shards. Each shard's counters
+    /// are exact; the sum is a consistent snapshot only when no requests
+    /// are in flight (shards are locked one at a time).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let st = s.lock().stats();
+            total.requests += st.requests;
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+            total.rejected += st.rejected;
+            total.quarantined += st.quarantined;
+            total.quarantine_misses += st.quarantine_misses;
+        }
+        total
+    }
+
+    /// Number of resident plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged across all shard budgets.
+    pub fn bytes_used(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().bytes_used()).sum()
+    }
+
+    /// Number of lanes (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-lane byte budget.
+    pub fn shard_budget(&self) -> u64 {
+        // All shards share one budget; read it from the first.
+        self.shards[0].lock().budget()
+    }
+
+    /// The spec every cached plan was prepared with.
+    pub fn spec(&self) -> PlanSpec {
+        self.spec
+    }
+
+    /// Aggregate workspace counters over the resident plans.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        let mut total = WorkspaceStats::default();
+        for s in &self.shards {
+            total.add(&s.lock().workspace_stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::{gen, DenseMatrix};
+
+    fn graphs(n: usize) -> Vec<Csr> {
+        (0..n)
+            .map(|i| gen::erdos_renyi(192, 800, i as u64 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        for (ask, got) in [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8)] {
+            let c = SharedPlanCache::new(1 << 20, PlanSpec::hybrid(), ask);
+            assert_eq!(c.shard_count(), got);
+            assert_eq!(c.shard_budget(), (1 << 20) / got as u64);
+        }
+    }
+
+    #[test]
+    fn single_threaded_traffic_matches_unsharded_semantics() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = graphs(4);
+        let cache = SharedPlanCache::new(u64::MAX / 8, PlanSpec::hybrid(), 4);
+        for round in 0..3 {
+            for g in &gs {
+                let (_, hit) = cache.get_or_prepare(g, &dev);
+                assert_eq!(hit, round > 0);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.requests, 12);
+        assert_eq!(s.hits + s.misses, s.requests);
+        assert_eq!(s.misses, 4);
+        assert_eq!(cache.len(), 4);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn results_are_bit_identical_to_fresh_plans() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = graphs(2);
+        let cache = SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2);
+        for g in &gs {
+            let x = DenseMatrix::random_features(g.nrows, 24, 5);
+            let fresh = Plan::prepare(g, PlanSpec::hybrid(), &dev)
+                .execute(g, &x, &dev)
+                .z;
+            let (p1, _) = cache.get_or_prepare(g, &dev);
+            let (p2, hit) = cache.get_or_prepare(g, &dev);
+            assert!(hit);
+            assert!(Arc::ptr_eq(&p1, &p2));
+            assert_eq!(p1.execute(g, &x, &dev).z, fresh);
+        }
+    }
+
+    #[test]
+    fn quarantine_is_global_and_permanent() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = graphs(2);
+        let fp = StructureFingerprint::of(&gs[0]);
+        let cache = SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 4);
+        let (poisoned, _) = cache.get_or_prepare(&gs[0], &dev);
+        assert!(cache.quarantine(fp), "resident plan must be evicted");
+        assert!(cache.is_quarantined(fp));
+        assert_eq!(cache.stats().quarantined, 1);
+        for _ in 0..2 {
+            let (plan, hit) = cache.get_or_prepare(&gs[0], &dev);
+            assert!(!hit);
+            assert!(!Arc::ptr_eq(&plan, &poisoned));
+        }
+        assert_eq!(cache.stats().quarantine_misses, 2);
+        // Unrelated structures are unaffected.
+        cache.get_or_prepare(&gs[1], &dev);
+        let (_, hit) = cache.get_or_prepare(&gs[1], &dev);
+        assert!(hit);
+    }
+}

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use gpu_sim::DeviceSpec;
 use graph_sparse::{gen, io, Csr, DenseMatrix};
 use hc_core::{KernelFamily, Plan, PlanSpec};
-use hc_serve::{BatchDriver, PlanCache, Request};
+use hc_parallel::sync::thread;
+use hc_serve::{BatchDriver, PlanCache, Request, SharedPlanCache};
 
 fn karate() -> Csr {
     io::read_edge_list_file(concat!(
@@ -81,6 +82,77 @@ fn loa_cached_plans_match_cold_on_square_graphs() {
         // And the LOA path must still be numerically the true product.
         assert!(a.spmm_reference(&x).max_abs_diff(&want) < 0.05);
     }
+}
+
+/// The concurrent sharded cache inherits the same contract: plans served
+/// through `SharedPlanCache` — hit or miss, from any number of threads —
+/// must be bit-identical to a cold prepare-per-request, for every kernel
+/// family.
+#[test]
+fn shared_cache_is_bit_identical_to_cold_for_every_family() {
+    let dev = DeviceSpec::rtx3090();
+    for family in KernelFamily::ALL {
+        let spec = PlanSpec {
+            family,
+            use_loa: false,
+        };
+        let cache = SharedPlanCache::new(u64::MAX / 8, spec, 4);
+        for (name, a) in &test_graphs() {
+            let x = DenseMatrix::random_features(a.ncols, 16, 21);
+            let want = cold(a, &x, spec, &dev);
+            for round in 0..2 {
+                let (plan, hit) = cache.get_or_prepare(a, &dev);
+                assert_eq!(hit, round > 0);
+                assert_eq!(
+                    plan.execute(a, &x, &dev).z,
+                    want,
+                    "{} on {name}: shared-cache output (round {round}) differs from cold",
+                    family.name()
+                );
+            }
+        }
+    }
+}
+
+/// Concurrent serves through the shared cache agree with the cold path
+/// even while other threads are mutating the same shards.
+#[test]
+fn shared_cache_is_bit_identical_under_concurrency() {
+    let dev = DeviceSpec::rtx3090();
+    let spec = PlanSpec::hybrid();
+    let cache = SharedPlanCache::new(u64::MAX / 8, spec, 4);
+    let graphs = test_graphs();
+    let want: Vec<DenseMatrix> = graphs
+        .iter()
+        .map(|(_, a)| {
+            let x = DenseMatrix::random_features(a.ncols, 12, 31);
+            cold(a, &x, spec, &dev)
+        })
+        .collect();
+    thread::scope(|s| {
+        let (cache, graphs, want, dev) = (&cache, &graphs, &want, &dev);
+        for t in 0..4usize {
+            s.spawn(move |_| {
+                for round in 0..2usize {
+                    for idx in 0..graphs.len() {
+                        let i = (idx + t) % graphs.len();
+                        let (name, a) = &graphs[i];
+                        let x = DenseMatrix::random_features(a.ncols, 12, 31);
+                        let (plan, _) = cache.get_or_prepare(a, dev);
+                        assert_eq!(
+                            plan.execute(a, &x, dev).z,
+                            want[i],
+                            "thread {t} round {round} on {name}: differs from cold"
+                        );
+                    }
+                }
+            });
+        }
+    })
+    .expect("serving threads must not panic");
+    let s = cache.stats();
+    assert_eq!(s.hits + s.misses, s.requests);
+    assert_eq!(s.requests, 4 * 2 * 4);
 }
 
 #[test]

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use hc_parallel::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::csr::Csr;
@@ -160,7 +160,7 @@ impl DatasetId {
     /// (dataset, scale) pair no matter how many threads or call sites ask.
     pub fn load_cached(self, scale: usize) -> Arc<Dataset> {
         type Cache = HashMap<(DatasetId, usize), Arc<Dataset>>;
-        static CACHE: Mutex<Option<Cache>> = Mutex::new(None);
+        static CACHE: Mutex<Option<Cache>> = Mutex::named("dataset-cache", None);
         let mut guard = CACHE.lock();
         let map = guard.get_or_insert_with(HashMap::new);
         if let Some(ds) = map.get(&(self, scale)) {
