@@ -31,6 +31,14 @@
 //! schedule hits. Like the cache assertions, these counters are
 //! deterministic and have no override.
 //!
+//! `--max-p99-ms MS` requires the current report's `serving_load` block
+//! to show a 99th-percentile *simulated* serving latency of at most `MS`
+//! ms, and an amortized cohorted cost strictly below the uncohorted
+//! control cost. `--min-cohort-rate R` requires the same block to show a
+//! cohort rate (admitted requests executed in a cohort of ≥ 2) of at
+//! least `R`. Simulated time is deterministic, so both are exact and
+//! have no override.
+//!
 //! `--min-kernel-speedup-floor F` fails when any kernel family in the
 //! current report times slower multithreaded than serial (`speedup < F`)
 //! without its `serial_fallback` flag set — i.e. the pool actually fanned
@@ -51,7 +59,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --baseline <path> --current <path> \
          [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R] \
-         [--max-degraded-rate R] [--min-kernel-speedup-floor F]"
+         [--max-degraded-rate R] [--max-p99-ms MS] [--min-cohort-rate R] \
+         [--min-kernel-speedup-floor F]"
     );
     std::process::exit(2);
 }
@@ -91,6 +100,8 @@ fn main() {
     let mut min_ms = 10.0f64;
     let mut min_hit_rate: Option<f64> = None;
     let mut max_degraded_rate: Option<f64> = None;
+    let mut max_p99_ms: Option<f64> = None;
+    let mut min_cohort_rate: Option<f64> = None;
     let mut speedup_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -105,6 +116,10 @@ fn main() {
             }
             "--max-degraded-rate" => {
                 max_degraded_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-p99-ms" => max_p99_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--min-cohort-rate" => {
+                min_cohort_rate = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--min-kernel-speedup-floor" => {
                 speedup_floor = Some(value().parse().unwrap_or_else(|_| usage()))
@@ -197,6 +212,57 @@ fn main() {
                 fr.degraded_rate
             );
             std::process::exit(1);
+        }
+    }
+
+    if max_p99_ms.is_some() || min_cohort_rate.is_some() {
+        let Some(sl) = &cur.serving_load else {
+            eprintln!(
+                "FAIL: --max-p99-ms/--min-cohort-rate given but the current \
+                 report has no \"serving_load\" block (did ext_serving_load run?)"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "serving load: {} submitted / {} admitted ({} queue-shed, {} quota-shed), \
+             {} cohorts at rate {:.3}, p50 {:.4} / p99 {:.4} ms (sim), \
+             amortized {:.4} vs uncohorted {:.4} ms/request",
+            sl.submitted,
+            sl.admitted,
+            sl.rejected_queue,
+            sl.rejected_quota,
+            sl.cohorts,
+            sl.cohort_rate,
+            sl.p50_sim_ms,
+            sl.p99_sim_ms,
+            sl.amortized_sim_ms,
+            sl.uncohorted_sim_ms
+        );
+        if let Some(max_p99) = max_p99_ms {
+            if sl.p99_sim_ms > max_p99 {
+                eprintln!(
+                    "FAIL: serving p99 {:.4} ms (sim) above allowed {max_p99} ms",
+                    sl.p99_sim_ms
+                );
+                std::process::exit(1);
+            }
+            if sl.amortized_sim_ms >= sl.uncohorted_sim_ms {
+                eprintln!(
+                    "FAIL: amortized cohorted cost {:.4} ms is not below the \
+                     uncohorted control {:.4} ms — cohorting is not paying for itself",
+                    sl.amortized_sim_ms, sl.uncohorted_sim_ms
+                );
+                std::process::exit(1);
+            }
+        }
+        if let Some(min_rate) = min_cohort_rate {
+            if sl.cohort_rate < min_rate {
+                eprintln!(
+                    "FAIL: cohort rate {:.4} below required {min_rate}",
+                    sl.cohort_rate
+                );
+                std::process::exit(1);
+            }
         }
     }
 

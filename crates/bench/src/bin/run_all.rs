@@ -162,6 +162,13 @@ fn main() {
         text
     });
     report.hot_path = hot_path_metrics;
+    let mut serving_load_metrics = None;
+    exp!("ext_serving_load", {
+        let (text, m) = e::extensions::serving_load(&mut c, &dev);
+        serving_load_metrics = Some(m);
+        text
+    });
+    report.serving_load = serving_load_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).

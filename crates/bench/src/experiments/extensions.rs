@@ -17,7 +17,9 @@ use hc_core::{HcSpmm, KernelFamily, Loa, PlanSpec, ResiliencePolicy, SpmmKernel}
 use hc_serve::{BatchDriver, BatchSummary, Outcome, Request};
 
 use crate::harness::{f3, DatasetCache, Table};
-use crate::metrics::{FaultRecoveryMetrics, HotPathMetrics, PlanCacheMetrics};
+use crate::metrics::{
+    FaultRecoveryMetrics, HotPathMetrics, PlanCacheMetrics, ServingLoadMetrics, TenantSlo,
+};
 
 /// Dynamic-graph break-even: executions per mutation at which HC-SpMM
 /// (preprocess once, run fast) overtakes Sputnik (no preprocessing).
@@ -358,6 +360,166 @@ pub fn hot_path(cache: &mut DatasetCache, dev: &DeviceSpec) -> (String, HotPathM
         m.scratch_allocs,
         m.scratch_reuses,
         m.allocs_per_request,
+        bit_exact,
+        t.render()
+    );
+    (text, m)
+}
+
+/// Serving-load: a multi-tenant request mix through the cohorting
+/// [`Front`] vs. the same admitted mix through the uncohorted in-order
+/// [`BatchDriver`], both under a cache budget one byte short of the
+/// structure working set. The cyclic structure mix then thrashes the
+/// LRU — the victim is always the next structure needed — so the
+/// uncohorted control pays a full preparation per request, while the
+/// front pays one preparation per cohort and amortizes it across every
+/// member (the fleet-level version of Appendix F's ≈13× amortization
+/// argument). The printed body carries only deterministic counters and
+/// simulated times; host wall time goes to BENCH.json.
+pub fn serving_load(cache: &mut DatasetCache, dev: &DeviceSpec) -> (String, ServingLoadMetrics) {
+    use hc_core::Plan;
+    use hc_serve::{Front, FrontConfig, FrontRequest, TenantId};
+    const EPOCHS: usize = 6;
+    const EPOCH_LEN: usize = 16;
+    let ids = [DatasetId::CR, DatasetId::PM, DatasetId::PT, DatasetId::AZ];
+    let graphs: Vec<Arc<graph_sparse::Csr>> = ids
+        .iter()
+        .map(|&id| Arc::new(cache.get(id).adj.clone()))
+        .collect();
+
+    // One cold preparation per structure pins the budget and the SLO
+    // deterministically: budget = working set − 1 byte (cyclic-scan LRU
+    // thrash), SLO = 130 % of the costliest preparation (members queued
+    // deep behind a cold prepare blow it).
+    let plans: Vec<Plan> = graphs
+        .iter()
+        .map(|g| Plan::prepare(g, PlanSpec::hybrid(), dev))
+        .collect();
+    let budget: u64 = plans.iter().map(Plan::approx_bytes).sum::<u64>() - 1;
+    let slo_sim_ms = 1.3
+        * plans
+            .iter()
+            .map(Plan::sim_prepare_ms)
+            .fold(0.0f64, f64::max);
+
+    // 96 arrivals: 4 tenants over 4 structures, tenant 0 submitting at
+    // double rate so it overruns its quota; the queue bound clips each
+    // epoch's tail. Structure cycles per arrival, so every epoch carries
+    // all 4 structures ≈4× each — prime cohorting material.
+    let trace: Vec<FrontRequest> = (0..EPOCHS * EPOCH_LEN)
+        .map(|i| {
+            let g = &graphs[i % ids.len()];
+            FrontRequest {
+                tenant: TenantId([0, 1, 2, 3, 0][i % 5]),
+                request: Request {
+                    graph: Arc::clone(g),
+                    features: DenseMatrix::random_features(g.ncols, 32, i as u64),
+                },
+            }
+        })
+        .collect();
+
+    let front = Front::new(
+        budget,
+        PlanSpec::hybrid(),
+        1, // one lane: the budget math must match the control's single LRU
+        FrontConfig {
+            workers: 4, // fixed: the printed body must not depend on --threads
+            queue_depth: 14,
+            tenant_quota: 5,
+            arrivals_per_epoch: EPOCH_LEN,
+            max_cohort: 8,
+            slo_sim_ms,
+            ..Default::default()
+        },
+    );
+    let rep = front.run_trace(&trace, dev);
+
+    // Uncohorted control: the *admitted* mix, in trace order, through the
+    // in-order BatchDriver under the identical budget.
+    let admitted: Vec<&hc_serve::FrontResponse> =
+        rep.responses.iter().filter(|r| !r.is_rejected()).collect();
+    let control_reqs: Vec<Request> = admitted
+        .iter()
+        .map(|r| trace[r.trace_index].request.clone())
+        .collect();
+    let mut driver = BatchDriver::new(budget, PlanSpec::hybrid());
+    let control = driver.run(&control_reqs, dev);
+    let uncohorted_sim_ms = control
+        .iter()
+        .map(|r| r.prepare_sim_ms + r.exec_sim_ms + r.wasted_sim_ms)
+        .sum::<f64>()
+        / control.len() as f64;
+    let bit_exact = admitted
+        .iter()
+        .zip(&control)
+        .all(|(f, c)| f.z() == c.outcome.z());
+
+    let mut t = Table::new(&[
+        "tenant",
+        "submitted",
+        "admitted",
+        "rejected",
+        "served",
+        "SLO viol",
+        "p99 sim (ms)",
+    ]);
+    for ts in &rep.tenants {
+        t.row(vec![
+            ts.tenant.to_string(),
+            ts.submitted.to_string(),
+            ts.admitted.to_string(),
+            ts.rejected.to_string(),
+            ts.served.to_string(),
+            ts.slo_violations.to_string(),
+            f3(ts.p99_sim_ms),
+        ]);
+    }
+
+    let c = rep.counters;
+    let m = ServingLoadMetrics {
+        submitted: c.submitted,
+        admitted: c.admitted,
+        rejected_queue: c.rejected_queue,
+        rejected_quota: c.rejected_quota,
+        served: c.ok + c.degraded,
+        cohorts: c.cohorts,
+        cohort_rate: c.cohort_rate(),
+        p50_sim_ms: rep.latency.p50_sim_ms,
+        p99_sim_ms: rep.latency.p99_sim_ms,
+        amortized_sim_ms: rep.amortized_sim_ms(),
+        uncohorted_sim_ms,
+        tenants: rep
+            .tenants
+            .iter()
+            .map(|ts| TenantSlo {
+                tenant: u64::from(ts.tenant.0),
+                submitted: ts.submitted,
+                admitted: ts.admitted,
+                rejected: ts.rejected,
+                slo_violations: ts.slo_violations,
+                p99_sim_ms: ts.p99_sim_ms,
+            })
+            .collect(),
+    };
+    let text = format!(
+        "Serving load (extension): {} arrivals / {} admitted ({} quota-shed, \
+         {} queue-shed) over {} structures under a thrash-tight cache — \
+         {} cohorts, cohort rate {:.3}; amortized {} ms/req cohorted vs \
+         {} ms/req uncohorted; latency p50 {} / p99 {} ms (sim, SLO {} ms); \
+         outputs bit-exact to uncohorted control: {}\n{}",
+        m.submitted,
+        m.admitted,
+        m.rejected_quota,
+        m.rejected_queue,
+        ids.len(),
+        m.cohorts,
+        m.cohort_rate,
+        f3(m.amortized_sim_ms),
+        f3(m.uncohorted_sim_ms),
+        f3(m.p50_sim_ms),
+        f3(m.p99_sim_ms),
+        f3(slo_sim_ms),
         bit_exact,
         t.render()
     );
@@ -778,6 +940,49 @@ mod tests {
         assert_eq!((m.scratch_allocs, m.scratch_reuses), (4, 28), "{text}");
         assert!(m.allocs_per_request <= 0.25 + 1e-12, "{text}");
         assert!(m.warm_ms > 0.0 && m.cold_ms > 0.0);
+    }
+
+    #[test]
+    fn serving_load_cohorting_beats_the_uncohorted_control() {
+        let mut cache = DatasetCache::with_scale(512);
+        let dev = DeviceSpec::rtx3090();
+        let (text, m) = serving_load(&mut cache, &dev);
+        // Admission arithmetic is scale-independent: it depends only on
+        // the trace shape and the front config.
+        assert_eq!(m.submitted, 96, "{text}");
+        assert_eq!(
+            m.submitted,
+            m.admitted + m.rejected_queue + m.rejected_quota
+        );
+        assert!(
+            m.rejected_quota > 0,
+            "tenant 0 must overrun its quota:\n{text}"
+        );
+        assert_eq!(
+            m.served, m.admitted,
+            "clean mix: everything admitted serves"
+        );
+        assert_eq!(m.tenants.len(), 4);
+        let t0 = &m.tenants[0];
+        assert!(t0.rejected > 0 && t0.tenant == 0);
+        // The gate pair: structure-heavy mixes must cohort, and cohorting
+        // must strictly beat re-preparing per request on a thrashed cache.
+        assert!(
+            m.cohort_rate >= 0.5,
+            "cohort rate {}:\n{text}",
+            m.cohort_rate
+        );
+        assert!(
+            m.amortized_sim_ms < m.uncohorted_sim_ms,
+            "amortized {} !< uncohorted {}:\n{text}",
+            m.amortized_sim_ms,
+            m.uncohorted_sim_ms
+        );
+        assert!(m.p99_sim_ms >= m.p50_sim_ms && m.p50_sim_ms > 0.0);
+        assert!(
+            text.contains("bit-exact to uncohorted control: true"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -32,13 +32,22 @@
 //!   "hot_path": {"requests": 64, "cost_builds": 1, "cost_reuses": 63,
 //!                "scratch_allocs": 1, "scratch_reuses": 63,
 //!                "allocs_per_request": 0.031, "parallel_regions": 0,
-//!                "serial_fallbacks": 128, "warm_ms": 0.4, "cold_ms": 2.1}
+//!                "serial_fallbacks": 128, "warm_ms": 0.4, "cold_ms": 2.1},
+//!   "serving_load": {"submitted": 96, "admitted": 84, "rejected_queue": 8,
+//!                    "rejected_quota": 4, "served": 84, "cohorts": 24,
+//!                    "cohort_rate": 0.86, "p50_sim_ms": 1.2,
+//!                    "p99_sim_ms": 4.7, "amortized_sim_ms": 0.9,
+//!                    "uncohorted_sim_ms": 2.8, "tenants": [
+//!      {"tenant": 0, "submitted": 24, "admitted": 20, "rejected": 4,
+//!       "slo_violations": 1, "p99_sim_ms": 4.7}
+//!   ]}
 //! }
 //! ```
 //!
 //! `plan_cache` (the `ext_plan_cache_amortization` experiment's counters),
-//! `fault_recovery` (the `ext_fault_recovery` chaos-serving counters) and
-//! `hot_path` (the `ext_hot_path` workspace/pool counters) are all
+//! `fault_recovery` (the `ext_fault_recovery` chaos-serving counters),
+//! `hot_path` (the `ext_hot_path` workspace/pool counters) and
+//! `serving_load` (the `ext_serving_load` front-end counters) are all
 //! optional: reports written before those subsystems existed — including
 //! the committed baseline — parse unchanged. The same goes for the
 //! per-kernel `serial_fallback` flag.
@@ -174,6 +183,58 @@ pub struct HotPathMetrics {
     pub cold_ms: f64,
 }
 
+/// One tenant's admission/SLO row inside [`ServingLoadMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSlo {
+    /// Tenant identifier.
+    pub tenant: u64,
+    /// Trace entries this tenant submitted.
+    pub submitted: u64,
+    /// Entries that passed admission.
+    pub admitted: u64,
+    /// Entries shed at admission (queue or quota).
+    pub rejected: u64,
+    /// Served entries whose simulated latency exceeded the SLO.
+    pub slo_violations: u64,
+    /// 99th-percentile simulated latency over this tenant's served
+    /// entries, ms.
+    pub p99_sim_ms: f64,
+}
+
+/// Serving-load counters from the `ext_serving_load` experiment: what the
+/// cohorting front-end did to a multi-tenant request mix — admission
+/// shedding, cohort formation, latency percentiles, and the amortized
+/// per-request simulated cost vs. the uncohorted in-order driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingLoadMetrics {
+    /// Trace entries ingested.
+    pub submitted: u64,
+    /// Entries that passed admission.
+    pub admitted: u64,
+    /// Shed: ingestion queue full.
+    pub rejected_queue: u64,
+    /// Shed: tenant epoch quota exhausted.
+    pub rejected_quota: u64,
+    /// Entries served (ok or degraded).
+    pub served: u64,
+    /// Cohorts dispatched.
+    pub cohorts: u64,
+    /// Fraction of admitted entries that executed in a cohort of ≥ 2.
+    pub cohort_rate: f64,
+    /// Median simulated latency over served entries, ms.
+    pub p50_sim_ms: f64,
+    /// 99th-percentile simulated latency over served entries, ms.
+    pub p99_sim_ms: f64,
+    /// Mean simulated cost (prepare + exec + wasted) per admitted entry
+    /// through the cohorting front, ms.
+    pub amortized_sim_ms: f64,
+    /// The same mix through the uncohorted in-order `BatchDriver`, ms
+    /// per request — the control the front must beat.
+    pub uncohorted_sim_ms: f64,
+    /// Per-tenant admission and SLO accounting, ordered by tenant id.
+    pub tenants: Vec<TenantSlo>,
+}
+
 /// The full machine-readable report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -192,6 +253,9 @@ pub struct BenchReport {
     /// Workspace / adaptive-pool hot-path counters (absent in reports
     /// written before the workspace existed).
     pub hot_path: Option<HotPathMetrics>,
+    /// Multi-tenant serving-load counters (absent in reports written
+    /// before the front-end existed).
+    pub serving_load: Option<ServingLoadMetrics>,
 }
 
 impl BenchReport {
@@ -205,6 +269,7 @@ impl BenchReport {
             plan_cache: None,
             fault_recovery: None,
             hot_path: None,
+            serving_load: None,
         }
     }
 
@@ -306,6 +371,46 @@ impl BenchReport {
                 num(hp.warm_ms),
                 num(hp.cold_ms)
             );
+        }
+        if let Some(sl) = &self.serving_load {
+            let _ = write!(
+                s,
+                ",\n  \"serving_load\": {{\"submitted\": {}, \"admitted\": {}, \
+                 \"rejected_queue\": {}, \"rejected_quota\": {}, \"served\": {}, \
+                 \"cohorts\": {}, \"cohort_rate\": {}, \"p50_sim_ms\": {}, \
+                 \"p99_sim_ms\": {}, \"amortized_sim_ms\": {}, \
+                 \"uncohorted_sim_ms\": {}, \"tenants\": [",
+                sl.submitted,
+                sl.admitted,
+                sl.rejected_queue,
+                sl.rejected_quota,
+                sl.served,
+                sl.cohorts,
+                num(sl.cohort_rate),
+                num(sl.p50_sim_ms),
+                num(sl.p99_sim_ms),
+                num(sl.amortized_sim_ms),
+                num(sl.uncohorted_sim_ms)
+            );
+            for (i, t) in sl.tenants.iter().enumerate() {
+                let comma = if i + 1 < sl.tenants.len() { "," } else { "" };
+                let _ = write!(
+                    s,
+                    "\n    {{\"tenant\": {}, \"submitted\": {}, \"admitted\": {}, \
+                     \"rejected\": {}, \"slo_violations\": {}, \"p99_sim_ms\": {}}}{comma}",
+                    t.tenant,
+                    t.submitted,
+                    t.admitted,
+                    t.rejected,
+                    t.slo_violations,
+                    num(t.p99_sim_ms)
+                );
+            }
+            if sl.tenants.is_empty() {
+                s.push_str("]}");
+            } else {
+                s.push_str("\n  ]}");
+            }
         }
         s.push_str("\n}\n");
         s
@@ -424,6 +529,47 @@ impl BenchReport {
                 serial_fallbacks: f("serial_fallbacks")? as u64,
                 warm_ms: f("warm_ms")?,
                 cold_ms: f("cold_ms")?,
+            });
+        }
+        if let Some(sl) = v.get("serving_load") {
+            let f = |key: &str| {
+                sl.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("serving_load missing {key}"))
+            };
+            let mut tenants = Vec::new();
+            for t in sl
+                .get("tenants")
+                .and_then(Json::as_arr)
+                .ok_or("serving_load missing tenants array")?
+            {
+                let tf = |key: &str| {
+                    t.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("serving_load tenant missing {key}"))
+                };
+                tenants.push(TenantSlo {
+                    tenant: tf("tenant")? as u64,
+                    submitted: tf("submitted")? as u64,
+                    admitted: tf("admitted")? as u64,
+                    rejected: tf("rejected")? as u64,
+                    slo_violations: tf("slo_violations")? as u64,
+                    p99_sim_ms: tf("p99_sim_ms")?,
+                });
+            }
+            report.serving_load = Some(ServingLoadMetrics {
+                submitted: f("submitted")? as u64,
+                admitted: f("admitted")? as u64,
+                rejected_queue: f("rejected_queue")? as u64,
+                rejected_quota: f("rejected_quota")? as u64,
+                served: f("served")? as u64,
+                cohorts: f("cohorts")? as u64,
+                cohort_rate: f("cohort_rate")?,
+                p50_sim_ms: f("p50_sim_ms")?,
+                p99_sim_ms: f("p99_sim_ms")?,
+                amortized_sim_ms: f("amortized_sim_ms")?,
+                uncohorted_sim_ms: f("uncohorted_sim_ms")?,
+                tenants,
             });
         }
         Ok(report)
@@ -1001,6 +1147,66 @@ mod tests {
         });
         let parsed = BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn serving_load_block_roundtrips_and_stays_optional() {
+        let bare = sample();
+        assert!(!bare.to_json().contains("serving_load"));
+        assert_eq!(BenchReport::from_json(&bare.to_json()).unwrap(), bare);
+
+        let mut r = sample();
+        r.serving_load = Some(ServingLoadMetrics {
+            submitted: 96,
+            admitted: 84,
+            rejected_queue: 8,
+            rejected_quota: 4,
+            served: 84,
+            cohorts: 24,
+            cohort_rate: 0.86,
+            p50_sim_ms: 1.2,
+            p99_sim_ms: 4.7,
+            amortized_sim_ms: 0.9,
+            uncohorted_sim_ms: 2.8,
+            tenants: vec![
+                TenantSlo {
+                    tenant: 0,
+                    submitted: 24,
+                    admitted: 20,
+                    rejected: 4,
+                    slo_violations: 1,
+                    p99_sim_ms: 4.7,
+                },
+                TenantSlo {
+                    tenant: 3,
+                    submitted: 12,
+                    admitted: 12,
+                    rejected: 0,
+                    slo_violations: 0,
+                    p99_sim_ms: 2.2,
+                },
+            ],
+        });
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+
+        // An empty tenant list still roundtrips.
+        let mut r = sample();
+        r.serving_load = Some(ServingLoadMetrics {
+            submitted: 0,
+            admitted: 0,
+            rejected_queue: 0,
+            rejected_quota: 0,
+            served: 0,
+            cohorts: 0,
+            cohort_rate: 0.0,
+            p50_sim_ms: 0.0,
+            p99_sim_ms: 0.0,
+            amortized_sim_ms: 0.0,
+            uncohorted_sim_ms: 0.0,
+            tenants: Vec::new(),
+        });
+        assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use loa::{Loa, LoaBrute, LoaReport};
 pub use plan::{LoaLayout, Plan, PlanSpec};
 pub use preprocess::{preprocess_oracle, Preprocessed};
 pub use resilient::{
-    execute_resilient, fallback_chain, FallbackStep, HcError, ResiliencePolicy, ResilientRun,
-    Validation,
+    execute_resilient, fallback_chain, FallbackStep, HcError, OverloadReason, ResiliencePolicy,
+    ResilientRun, Validation,
 };
 pub use sanitize::{
     conformance_family, sanitize_family, sanitize_graph, FamilyReport, KernelFamily, SampleSpec,

@@ -84,6 +84,33 @@ pub enum HcError {
     /// A plan cannot be used where it was offered (e.g. the GNN aggregator
     /// requires a hybrid-family, non-LOA plan).
     IncompatiblePlan(&'static str),
+    /// The serving front-end refused the request at admission: load
+    /// shedding, never a panic or an unbounded buffer.
+    Overloaded {
+        /// Which admission limit rejected the request.
+        reason: OverloadReason,
+    },
+}
+
+/// Why the serving front-end shed a request (see
+/// [`HcError::Overloaded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The bounded ingestion queue was at capacity.
+    QueueFull,
+    /// The request's tenant exhausted its admission quota for the
+    /// current scheduling epoch.
+    TenantQuota,
+}
+
+impl OverloadReason {
+    /// Stable lower-case label (used in reports and BENCH.json).
+    pub fn name(self) -> &'static str {
+        match self {
+            OverloadReason::QueueFull => "queue-full",
+            OverloadReason::TenantQuota => "tenant-quota",
+        }
+    }
 }
 
 impl fmt::Display for HcError {
@@ -117,6 +144,14 @@ impl fmt::Display for HcError {
                 )
             }
             HcError::IncompatiblePlan(why) => write!(f, "incompatible plan: {why}"),
+            HcError::Overloaded { reason } => match reason {
+                OverloadReason::QueueFull => {
+                    write!(f, "overloaded: ingestion queue full")
+                }
+                OverloadReason::TenantQuota => {
+                    write!(f, "overloaded: tenant admission quota exhausted")
+                }
+            },
         }
     }
 }

@@ -1,0 +1,293 @@
+//! Bounded MPMC channel built on the facade [`Mutex`] + [`Condvar`].
+//!
+//! [`Bounded`] is the queue the serving front-end feeds its workers
+//! with: a fixed-capacity ring under one named mutex with two condition
+//! variables (`<name>-send` / `<name>-recv`). Because it is built
+//! entirely from facade primitives, every send/recv interleaving is
+//! visible to the `hc_check` model scheduler for free — the front-end
+//! model suite explores producer/consumer races without any extra
+//! instrumentation here.
+//!
+//! ## Semantics
+//!
+//! * **Bounded**: `send` blocks while the queue is full; `try_send`
+//!   returns [`TrySendError::Full`] instead. Capacity is fixed at
+//!   construction and never grows — the channel can never become the
+//!   unbounded buffer the admission layer exists to prevent.
+//! * **Closable**: after [`close`](Bounded::close), sends fail and
+//!   receivers drain the remaining items, then observe `None`. Closing
+//!   is idempotent.
+//! * **FIFO**: items are delivered in send order. With one producer and
+//!   N consumers that makes dispatch order deterministic; *completion*
+//!   order is up to the consumers.
+//!
+//! There is no `Sender`/`Receiver` split: the serving front-end shares
+//! one `&Bounded<T>` across a [`thread::scope`](super::thread::scope),
+//! so splitting would only add `Arc` traffic.
+
+use std::collections::VecDeque;
+
+use super::{Condvar, Mutex};
+
+/// Error from [`Bounded::try_send`]; returns the rejected value.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue was at capacity.
+    Full(T),
+    /// The channel was closed.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity MPMC queue on the facade primitives. See the module
+/// docs for semantics.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Channel holding at most `cap` items (minimum 1), with its mutex
+    /// under lock class `name` and condvars under `<name>` as well.
+    pub fn new(cap: usize, name: &'static str) -> Bounded<T> {
+        let cap = cap.max(1);
+        Bounded {
+            state: Mutex::named(
+                name,
+                State {
+                    queue: VecDeque::with_capacity(cap),
+                    closed: false,
+                },
+            ),
+            not_full: Condvar::named(name),
+            not_empty: Condvar::named(name),
+            cap,
+        }
+    }
+
+    /// Block until there is room, then enqueue `v`. Returns `Err(v)` if
+    /// the channel is (or becomes, while waiting) closed.
+    pub fn send(&self, v: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(v);
+            }
+            if st.queue.len() < self.cap {
+                st.queue.push_back(v);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st);
+        }
+    }
+
+    /// Enqueue `v` without blocking; a full queue or a closed channel
+    /// hands the value back as a typed error.
+    pub fn try_send(&self, v: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(TrySendError::Closed(v));
+        }
+        if st.queue.len() >= self.cap {
+            return Err(TrySendError::Full(v));
+        }
+        st.queue.push_back(v);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available (returning it) or the channel is
+    /// closed *and* drained (returning `None`).
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st);
+        }
+    }
+
+    /// Dequeue without blocking; `None` when the queue is momentarily
+    /// empty *or* closed-and-drained (use [`is_closed`](Bounded::is_closed)
+    /// to tell them apart).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            drop(st);
+            self.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Close the channel: pending items remain receivable, further sends
+    /// fail, and every blocked sender/receiver wakes. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`close`](Bounded::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Items currently queued (racy outside a quiescent point).
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True when nothing is queued (racy outside a quiescent point).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::thread;
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ch = Bounded::new(4, "test-chan");
+        for i in 0..4 {
+            ch.send(i).expect("open channel accepts sends");
+        }
+        assert_eq!(ch.len(), 4);
+        assert_eq!(ch.capacity(), 4);
+        for i in 0..4 {
+            assert_eq!(ch.recv(), Some(i));
+        }
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_closed() {
+        let ch = Bounded::new(1, "test-chan");
+        assert_eq!(ch.try_send(10), Ok(()));
+        assert_eq!(ch.try_send(11), Err(TrySendError::Full(11)));
+        ch.close();
+        assert_eq!(ch.try_send(12), Err(TrySendError::Closed(12)));
+        assert_eq!(TrySendError::Full(7).into_inner(), 7);
+        // The queued item survives the close.
+        assert_eq!(ch.recv(), Some(10));
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let ch = Bounded::new(8, "test-chan");
+        for i in 0..3 {
+            ch.send(i).expect("open channel accepts sends");
+        }
+        ch.close();
+        ch.close(); // idempotent
+        assert!(ch.is_closed());
+        assert!(ch.send(99).is_err());
+        assert_eq!(ch.try_recv(), Some(0));
+        assert_eq!(ch.recv(), Some(1));
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), None);
+        assert_eq!(ch.try_recv(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ch = Bounded::new(0, "test-chan");
+        assert_eq!(ch.capacity(), 1);
+        assert_eq!(ch.try_send(1), Ok(()));
+        assert_eq!(ch.try_send(2), Err(TrySendError::Full(2)));
+    }
+
+    #[test]
+    fn blocking_send_and_recv_hand_off_across_threads() {
+        const N: usize = 64;
+        let ch = Bounded::new(2, "test-chan");
+        let got = thread::scope(|s| {
+            let ch = &ch;
+            let consumer = s.spawn(move |_| {
+                let mut got = Vec::new();
+                while let Some(v) = ch.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            for i in 0..N {
+                ch.send(i).expect("consumer is draining");
+            }
+            ch.close();
+            consumer.join().expect("consumer must not panic")
+        })
+        .expect("scope must not panic");
+        let got = got.expect("consumer ran to completion");
+        assert_eq!(got, (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_producers_one_consumer_deliver_every_item_once() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 32;
+        let ch = Bounded::new(3, "test-chan");
+        let got = thread::scope(|s| {
+            let ch = &ch;
+            let consumer = s.spawn(move |_| {
+                let mut got = Vec::new();
+                while let Some(v) = ch.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    s.spawn(move |_| {
+                        for i in 0..PER {
+                            ch.send(p * PER + i).expect("channel is open");
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                h.join().expect("producer must not panic");
+            }
+            ch.close();
+            consumer.join().expect("consumer must not panic")
+        })
+        .expect("scope must not panic");
+        let mut got = got.expect("consumer ran to completion");
+        got.sort_unstable();
+        assert_eq!(got, (0..PRODUCERS * PER).collect::<Vec<_>>());
+    }
+}

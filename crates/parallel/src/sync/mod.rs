@@ -27,11 +27,15 @@
 //! `DeviceSpec::execute` — turns a violation into a debug-build panic
 //! instead of a convention.
 
+pub mod channel;
+
 #[cfg(hc_check)]
 pub mod model;
 
 #[cfg(hc_check)]
 pub use model::RaceCell;
+
+pub use channel::{Bounded, TrySendError};
 
 pub use std::sync::atomic::Ordering;
 

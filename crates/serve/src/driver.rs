@@ -22,7 +22,9 @@ use std::time::Instant;
 
 use gpu_sim::DeviceSpec;
 use graph_sparse::{Csr, DenseMatrix};
-use hc_core::{execute_resilient, FallbackStep, HcError, PlanSpec, ResiliencePolicy};
+use hc_core::{
+    execute_resilient, FallbackStep, HcError, KernelFamily, Plan, PlanSpec, ResiliencePolicy,
+};
 
 use crate::cache::{CacheStats, PlanCache};
 
@@ -167,6 +169,75 @@ impl BatchSummary {
     }
 }
 
+/// Screen a request before it can reach plan preparation (which indexes
+/// the graph's arrays and would panic on a malformed one). Shared by the
+/// in-order [`BatchDriver`] and the concurrent front-end.
+pub(crate) fn screen_request(req: &Request) -> Result<(), HcError> {
+    req.graph.validate()?;
+    if req.features.rows != req.graph.ncols {
+        return Err(HcError::ShapeMismatch {
+            expected_rows: req.graph.ncols,
+            got_rows: req.features.rows,
+        });
+    }
+    Ok(())
+}
+
+/// What [`execute_planned`] observed: the outcome plus the simulated-time
+/// and poisoning facts the caller needs to finish its accounting.
+pub(crate) struct Executed {
+    pub outcome: Outcome,
+    /// Simulated ms of the surviving execution (0 on failure / CPU ref).
+    pub exec_sim_ms: f64,
+    /// Simulated ms of discarded (faulted or invalid) attempts.
+    pub wasted_sim_ms: f64,
+    /// Whether the plan was implicated in a fault and must be
+    /// quarantined by the caller.
+    pub poisoned: bool,
+}
+
+/// The post-lookup half of serving: run one request through an
+/// already-resolved plan under `policy` (whose fault schedule the caller
+/// has re-seeded) and classify the result against `primary`. Pure with
+/// respect to the caller's caches — quarantine is the caller's job, via
+/// [`Executed::poisoned`].
+pub(crate) fn execute_planned(
+    plan: &Plan,
+    graph: &Csr,
+    features: &DenseMatrix,
+    dev: &DeviceSpec,
+    policy: &ResiliencePolicy,
+    primary: KernelFamily,
+) -> Executed {
+    let run = execute_resilient(plan, graph, features, dev, policy);
+    let poisoned = run.poisoned;
+    let wasted_sim_ms = run.wasted_sim_ms;
+    let (outcome, exec_sim_ms) = match run.result {
+        Ok(r) => {
+            let exec = r.run.time_ms;
+            if run.retries > 0 || run.executed != FallbackStep::Family(primary) {
+                (
+                    Outcome::Degraded {
+                        z: r.z,
+                        fallback: run.executed,
+                        retries: run.retries,
+                    },
+                    exec,
+                )
+            } else {
+                (Outcome::Ok(r.z), exec)
+            }
+        }
+        Err(e) => (Outcome::Failed(e), 0.0),
+    };
+    Executed {
+        outcome,
+        exec_sim_ms,
+        wasted_sim_ms,
+        poisoned,
+    }
+}
+
 /// Serves request streams through a [`PlanCache`] with per-request
 /// graceful degradation.
 pub struct BatchDriver {
@@ -203,24 +274,10 @@ impl BatchDriver {
         let index = self.served;
         self.served += 1;
 
-        // Reject hostile inputs before they reach plan preparation (which
-        // indexes the graph's arrays and would panic on a malformed one).
-        if let Err(e) = req.graph.validate() {
+        // Reject hostile inputs before they reach plan preparation.
+        if let Err(e) = screen_request(req) {
             return Response {
-                outcome: Outcome::Failed(HcError::BadInput(e)),
-                hit: false,
-                exec_sim_ms: 0.0,
-                prepare_sim_ms: 0.0,
-                wasted_sim_ms: 0.0,
-                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-            };
-        }
-        if req.features.rows != req.graph.ncols {
-            return Response {
-                outcome: Outcome::Failed(HcError::ShapeMismatch {
-                    expected_rows: req.graph.ncols,
-                    got_rows: req.features.rows,
-                }),
+                outcome: Outcome::Failed(e),
                 hit: false,
                 exec_sim_ms: 0.0,
                 prepare_sim_ms: 0.0,
@@ -232,35 +289,23 @@ impl BatchDriver {
         let (plan, hit) = self.cache.get_or_prepare(&req.graph, dev);
         let mut policy = self.policy;
         policy.faults = self.policy.faults.stream(index);
-        let run = execute_resilient(&plan, &req.graph, &req.features, dev, &policy);
-        if run.poisoned {
+        let ex = execute_planned(
+            &plan,
+            &req.graph,
+            &req.features,
+            dev,
+            &policy,
+            self.cache.spec().family,
+        );
+        if ex.poisoned {
             self.cache.quarantine(plan.fingerprint);
         }
-        let primary = self.cache.spec().family;
-        let (outcome, exec_sim_ms) = match run.result {
-            Ok(r) => {
-                let exec = r.run.time_ms;
-                if run.retries > 0 || run.executed != FallbackStep::Family(primary) {
-                    (
-                        Outcome::Degraded {
-                            z: r.z,
-                            fallback: run.executed,
-                            retries: run.retries,
-                        },
-                        exec,
-                    )
-                } else {
-                    (Outcome::Ok(r.z), exec)
-                }
-            }
-            Err(e) => (Outcome::Failed(e), 0.0),
-        };
         Response {
-            outcome,
+            outcome: ex.outcome,
             hit,
-            exec_sim_ms,
+            exec_sim_ms: ex.exec_sim_ms,
             prepare_sim_ms: if hit { 0.0 } else { plan.sim_prepare_ms() },
-            wasted_sim_ms: run.wasted_sim_ms,
+            wasted_sim_ms: ex.wasted_sim_ms,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         }
     }

@@ -1,0 +1,906 @@
+//! Concurrent multi-tenant serving front-end with structure-aware
+//! dynamic batching.
+//!
+//! [`Front`] is the fleet-facing door in front of [`SharedPlanCache`]:
+//! it ingests a multi-tenant request trace in fixed-size scheduling
+//! epochs, sheds load at admission (typed [`HcError::Overloaded`], never
+//! a panic or an unbounded buffer), groups the admitted requests of an
+//! epoch into *cohorts* by [`StructureFingerprint`] so one
+//! `Plan::prepare` + one workspace serves a whole cohort, and executes
+//! cohorts across worker threads fed by the facade's bounded channel
+//! ([`hc_parallel::sync::channel::Bounded`]).
+//!
+//! HC-SpMM's premise is that plan preparation (condense + classify +
+//! LOA, ≈13× one SpMM) amortizes across executions. The cache already
+//! amortizes it across *time* (repeat clients); cohorting amortizes it
+//! across *tenants in flight*: ten concurrent requests on one structure
+//! pay for one preparation even on a cold cache.
+//!
+//! ## Pipeline (per epoch)
+//!
+//! 1. **Admission** — arrival order, pure function of the trace: a full
+//!    ingestion queue rejects with [`OverloadReason::QueueFull`], an
+//!    exhausted per-tenant epoch quota with
+//!    [`OverloadReason::TenantQuota`]. Hostile inputs (malformed graph,
+//!    shape mismatch) are admitted but complete immediately as
+//!    [`Outcome::Failed`] with no cache traffic.
+//! 2. **Cohort formation** — admitted requests grouped by structure
+//!    fingerprint in first-arrival order, chunked at
+//!    [`FrontConfig::max_cohort`]; cohort ids are global and sequential.
+//! 3. **Plan resolution** — one `get_or_prepare` per cohort, issued
+//!    sequentially on the scheduler thread so cache counters and LRU
+//!    order are identical at any worker count.
+//! 4. **Execution** — cohorts stream through a bounded channel to
+//!    `workers` threads; each cohort runs on one worker, members in
+//!    arrival order through the shared plan, every member under its own
+//!    trace-indexed fault stream. A fault mid-cohort degrades only the
+//!    implicated member; poisoned plans are quarantined after the epoch
+//!    barrier (scheduler thread, cohort order — deterministic counters).
+//!
+//! ## Determinism
+//!
+//! Same trace + same seed ⇒ identical outcomes, cohort assignments,
+//! cache counters and simulated latencies at 1, 2 or 8 workers: the
+//! only concurrent phase is cohort execution, and each member's result
+//! is a pure function of (plan, graph, features, per-index fault
+//! stream, device). The simulated latency model is worker-independent
+//! by construction (below), so the whole [`FrontReport`] minus
+//! `wall_ms` is bit-identical across worker counts.
+//!
+//! ## Latency model (simulated)
+//!
+//! Member *j* of a cohort waits for the cohort's plan (full preparation
+//! on a miss — the price of structure-level batching) and for the
+//! members ahead of it on the shared workspace:
+//! `latency_j = prepare + Σ_{i≤j} (exec_i + wasted_i)`. Cross-cohort
+//! queueing is *not* modeled as latency; queue pressure is modeled as
+//! admission rejection instead, which keeps the metric independent of
+//! the worker count. Preparation cost is *charged* once per cohort (to
+//! its first member) for amortized-cost accounting, mirroring
+//! [`BatchDriver`]'s miss accounting.
+//!
+//! ## Lock order
+//!
+//! `front-queue` / `front-results` → `plan-shard` → `quarantine-registry`.
+//! In practice the front never holds its own locks across a cache call:
+//! resolution and quarantine run lock-free on the scheduler thread, and
+//! workers take `front-results` only *after* device execution returns
+//! (the hazard-guard discipline). The model suite in
+//! `crates/check/tests/front_model.rs` checks the combined lock graph
+//! stays acyclic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{DenseMatrix, StructureFingerprint};
+use hc_core::{HcError, OverloadReason, PlanSpec, ResiliencePolicy};
+use hc_parallel::sync::channel::Bounded;
+use hc_parallel::sync::{thread, Mutex};
+
+use crate::cache::CacheStats;
+use crate::driver::{execute_planned, screen_request, Outcome, Request};
+use crate::shared::SharedPlanCache;
+
+/// Opaque tenant identifier. Quotas and SLO accounting key on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One front-end arrival: a tenant and its serving request.
+#[derive(Clone)]
+pub struct FrontRequest {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The (graph, features) request itself.
+    pub request: Request,
+}
+
+/// Front-end tuning knobs. All counts are clamped to ≥ 1 at run time.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontConfig {
+    /// Worker threads executing cohorts (0 ⇒ available parallelism).
+    /// Outcomes and simulated metrics do not depend on this.
+    pub workers: usize,
+    /// Ingestion-queue bound: admitted requests per epoch, all tenants.
+    pub queue_depth: usize,
+    /// Admission quota per tenant per epoch.
+    pub tenant_quota: usize,
+    /// Arrivals grouped into one scheduling epoch.
+    pub arrivals_per_epoch: usize,
+    /// Largest cohort one worker executes in one dispatch.
+    pub max_cohort: usize,
+    /// Per-request SLO threshold on simulated latency, in ms.
+    pub slo_sim_ms: f64,
+    /// Retry/fallback/validation policy; its fault schedule is re-seeded
+    /// per trace index, exactly like [`BatchDriver`].
+    pub policy: ResiliencePolicy,
+}
+
+impl Default for FrontConfig {
+    fn default() -> FrontConfig {
+        FrontConfig {
+            workers: 0,
+            queue_depth: 64,
+            tenant_quota: 16,
+            arrivals_per_epoch: 32,
+            max_cohort: 16,
+            slo_sim_ms: 50.0,
+            policy: ResiliencePolicy::default(),
+        }
+    }
+}
+
+/// One completed (or shed) front-end request, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontResponse {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Position in the input trace.
+    pub trace_index: usize,
+    /// Scheduling epoch the arrival fell into.
+    pub epoch: usize,
+    /// How the request ended. Admission rejections surface as
+    /// [`Outcome::Failed`]\([`HcError::Overloaded`]\).
+    pub outcome: Outcome,
+    /// Whether the cohort's plan came from the cache.
+    pub hit: bool,
+    /// Global cohort id, when the request reached execution.
+    pub cohort: Option<u64>,
+    /// Members in that cohort (≥ 1 when executed, 0 otherwise).
+    pub cohort_size: usize,
+    /// Simulated ms of this member's surviving execution.
+    pub exec_sim_ms: f64,
+    /// Simulated preparation ms *charged* to this member (full cost to a
+    /// miss-cohort's first member, 0 to everyone else).
+    pub prepare_sim_ms: f64,
+    /// Simulated ms of discarded (faulted/invalid) attempts.
+    pub wasted_sim_ms: f64,
+    /// Simulated admission-to-completion latency (see module docs).
+    pub latency_sim_ms: f64,
+}
+
+impl FrontResponse {
+    /// The result matrix, when the request was served.
+    pub fn z(&self) -> Option<&DenseMatrix> {
+        self.outcome.z()
+    }
+
+    /// True when admission shed this request.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self.outcome, Outcome::Failed(HcError::Overloaded { .. }))
+    }
+}
+
+/// Deterministic front-end traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontCounters {
+    /// Trace entries ingested.
+    pub submitted: u64,
+    /// Entries that passed admission.
+    pub admitted: u64,
+    /// Shed: ingestion queue full.
+    pub rejected_queue: u64,
+    /// Shed: tenant epoch quota exhausted.
+    pub rejected_quota: u64,
+    /// Admitted entries that ran to an outcome (== `admitted`; the front
+    /// never drops work after admission).
+    pub completed: u64,
+    /// Clean primary-family successes.
+    pub ok: u64,
+    /// Served after retry/fallback.
+    pub degraded: u64,
+    /// Typed failures (hostile inputs, exhausted fallbacks).
+    pub failed: u64,
+    /// Cohorts dispatched.
+    pub cohorts: u64,
+    /// Admitted requests that shared a cohort with at least one other.
+    pub cohorted_requests: u64,
+    /// Scheduling epochs processed.
+    pub epochs: u64,
+    /// Cohorts whose plan was quarantined after a poisoning fault.
+    pub quarantined_cohorts: u64,
+}
+
+impl FrontCounters {
+    /// Total shed requests.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue + self.rejected_quota
+    }
+
+    /// Fraction of admitted requests that executed in a cohort of ≥ 2 —
+    /// the structure-level batching yield.
+    pub fn cohort_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.cohorted_requests as f64 / self.admitted as f64
+        }
+    }
+}
+
+/// Simulated-latency distribution over served requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Served requests the distribution covers.
+    pub served: u64,
+    /// Median simulated latency, ms (nearest-rank).
+    pub p50_sim_ms: f64,
+    /// 99th-percentile simulated latency, ms (nearest-rank).
+    pub p99_sim_ms: f64,
+    /// Mean simulated latency, ms.
+    pub mean_sim_ms: f64,
+    /// Worst simulated latency, ms.
+    pub max_sim_ms: f64,
+}
+
+/// Per-tenant admission and SLO accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Trace entries this tenant submitted.
+    pub submitted: u64,
+    /// Entries that passed admission.
+    pub admitted: u64,
+    /// Entries shed at admission (queue or quota).
+    pub rejected: u64,
+    /// Entries served (ok or degraded).
+    pub served: u64,
+    /// Entries that failed after admission.
+    pub failed: u64,
+    /// Served entries whose simulated latency exceeded the SLO.
+    pub slo_violations: u64,
+    /// 99th-percentile simulated latency over this tenant's served
+    /// entries, ms.
+    pub p99_sim_ms: f64,
+}
+
+/// Everything one [`Front::run_trace`] produced.
+#[derive(Debug, Clone)]
+pub struct FrontReport {
+    /// One response per trace entry, in trace order.
+    pub responses: Vec<FrontResponse>,
+    /// Deterministic traffic counters.
+    pub counters: FrontCounters,
+    /// Latency distribution over served requests.
+    pub latency: LatencyStats,
+    /// Per-tenant accounting, ordered by tenant id.
+    pub tenants: Vec<TenantStats>,
+    /// Plan-cache counters after the run.
+    pub cache: CacheStats,
+    /// Host wall-clock ms for the whole trace (the one
+    /// non-deterministic field).
+    pub wall_ms: f64,
+}
+
+impl FrontReport {
+    /// Total simulated cost (prepare + exec + wasted) per admitted
+    /// request — the amortization headline the benchmark gates.
+    pub fn amortized_sim_ms(&self) -> f64 {
+        if self.counters.admitted == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .responses
+            .iter()
+            .map(|r| r.prepare_sim_ms + r.exec_sim_ms + r.wasted_sim_ms)
+            .sum();
+        total / self.counters.admitted as f64
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A resolved cohort queued for execution: one plan, the member
+/// requests in arrival order.
+struct CohortJob<'t> {
+    id: u64,
+    hit: bool,
+    plan: Arc<hc_core::Plan>,
+    fp: StructureFingerprint,
+    /// Full preparation cost when this cohort missed, else 0.
+    prepare_ms: f64,
+    members: Vec<(usize, &'t FrontRequest)>,
+}
+
+/// One member's execution record, produced on a worker.
+struct MemberOut {
+    trace_index: usize,
+    outcome: Outcome,
+    exec_sim_ms: f64,
+    prepare_sim_ms: f64,
+    wasted_sim_ms: f64,
+    latency_sim_ms: f64,
+}
+
+/// One executed cohort, pushed to the results sink.
+struct CohortDone {
+    id: u64,
+    hit: bool,
+    fp: StructureFingerprint,
+    size: usize,
+    poisoned: bool,
+    outs: Vec<MemberOut>,
+}
+
+/// The concurrent serving front-end. See the module docs for the
+/// pipeline and its determinism/lock-order contracts.
+pub struct Front {
+    cache: Arc<SharedPlanCache>,
+    cfg: FrontConfig,
+}
+
+impl Front {
+    /// Front over a fresh [`SharedPlanCache`] with `cache_bytes` split
+    /// across `shards` lanes for plans of `spec`.
+    pub fn new(cache_bytes: u64, spec: PlanSpec, shards: usize, cfg: FrontConfig) -> Front {
+        Front::with_cache(
+            Arc::new(SharedPlanCache::new(cache_bytes, spec, shards)),
+            cfg,
+        )
+    }
+
+    /// Front over an existing (possibly shared) cache.
+    pub fn with_cache(cache: Arc<SharedPlanCache>, cfg: FrontConfig) -> Front {
+        Front { cache, cfg }
+    }
+
+    /// The underlying plan cache.
+    pub fn cache(&self) -> &SharedPlanCache {
+        &self.cache
+    }
+
+    /// The configuration this front runs with.
+    pub fn config(&self) -> &FrontConfig {
+        &self.cfg
+    }
+
+    /// Serve a complete request trace: epochs of admission → cohorting →
+    /// resolution → parallel execution. Never panics on request content;
+    /// every trace entry comes back with a typed outcome, in trace
+    /// order. Deterministic at any worker count (module docs).
+    pub fn run_trace(&self, trace: &[FrontRequest], dev: &DeviceSpec) -> FrontReport {
+        let t0 = Instant::now();
+        let cfg = self.cfg;
+        let queue_depth = cfg.queue_depth.max(1);
+        let tenant_quota = cfg.tenant_quota.max(1);
+        let epoch_len = cfg.arrivals_per_epoch.max(1);
+        let max_cohort = cfg.max_cohort.max(1);
+
+        let mut counters = FrontCounters::default();
+        let mut slots: Vec<Option<FrontResponse>> = trace.iter().map(|_| None).collect();
+
+        for (epoch, arrivals) in trace.chunks(epoch_len).enumerate() {
+            counters.epochs += 1;
+            let base = epoch * epoch_len;
+
+            // --- Admission: arrival order, pure function of the trace.
+            let mut admitted: Vec<(usize, &FrontRequest)> = Vec::new();
+            let mut per_tenant: HashMap<TenantId, usize> = HashMap::new();
+            for (off, fr) in arrivals.iter().enumerate() {
+                let ti = base + off;
+                counters.submitted += 1;
+                let reason = if admitted.len() >= queue_depth {
+                    Some(OverloadReason::QueueFull)
+                } else if per_tenant.get(&fr.tenant).copied().unwrap_or(0) >= tenant_quota {
+                    Some(OverloadReason::TenantQuota)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    match reason {
+                        OverloadReason::QueueFull => counters.rejected_queue += 1,
+                        OverloadReason::TenantQuota => counters.rejected_quota += 1,
+                    }
+                    slots[ti] = Some(FrontResponse {
+                        tenant: fr.tenant,
+                        trace_index: ti,
+                        epoch,
+                        outcome: Outcome::Failed(HcError::Overloaded { reason }),
+                        hit: false,
+                        cohort: None,
+                        cohort_size: 0,
+                        exec_sim_ms: 0.0,
+                        prepare_sim_ms: 0.0,
+                        wasted_sim_ms: 0.0,
+                        latency_sim_ms: 0.0,
+                    });
+                    continue;
+                }
+                counters.admitted += 1;
+                *per_tenant.entry(fr.tenant).or_insert(0) += 1;
+                // Screen hostile inputs now: they complete immediately,
+                // with no cohort and no cache traffic.
+                if let Err(e) = screen_request(&fr.request) {
+                    counters.completed += 1;
+                    slots[ti] = Some(FrontResponse {
+                        tenant: fr.tenant,
+                        trace_index: ti,
+                        epoch,
+                        outcome: Outcome::Failed(e),
+                        hit: false,
+                        cohort: None,
+                        cohort_size: 0,
+                        exec_sim_ms: 0.0,
+                        prepare_sim_ms: 0.0,
+                        wasted_sim_ms: 0.0,
+                        latency_sim_ms: 0.0,
+                    });
+                    continue;
+                }
+                admitted.push((ti, fr));
+            }
+
+            // --- Cohort formation: by fingerprint, first-arrival order.
+            let mut group_of: HashMap<StructureFingerprint, usize> = HashMap::new();
+            let mut groups: Vec<(StructureFingerprint, Vec<(usize, &FrontRequest)>)> = Vec::new();
+            for (ti, fr) in admitted {
+                let fp = StructureFingerprint::of(&fr.request.graph);
+                let gi = *group_of.entry(fp).or_insert_with(|| {
+                    groups.push((fp, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[gi].1.push((ti, fr));
+            }
+
+            // --- Plan resolution: sequential, scheduler thread only, so
+            // cache counters and LRU order are worker-count-independent.
+            let mut jobs: Vec<CohortJob<'_>> = Vec::new();
+            for (fp, members) in groups {
+                for chunk in members.chunks(max_cohort) {
+                    let (_, first) = chunk[0];
+                    let (plan, hit) = self.cache.get_or_prepare(&first.request.graph, dev);
+                    let prepare_ms = if hit { 0.0 } else { plan.sim_prepare_ms() };
+                    let id = counters.cohorts;
+                    counters.cohorts += 1;
+                    if chunk.len() >= 2 {
+                        counters.cohorted_requests += chunk.len() as u64;
+                    }
+                    jobs.push(CohortJob {
+                        id,
+                        hit,
+                        plan,
+                        fp,
+                        prepare_ms,
+                        members: chunk.to_vec(),
+                    });
+                }
+            }
+
+            // --- Execution: cohorts stream through a bounded channel to
+            // the workers; the epoch barrier is the scope join.
+            let primary = self.cache.spec().family;
+            let n_workers = if cfg.workers == 0 {
+                thread::available_parallelism()
+            } else {
+                cfg.workers
+            }
+            .min(jobs.len())
+            .max(1);
+            let done: Mutex<Vec<CohortDone>> = Mutex::named("front-results", Vec::new());
+            if !jobs.is_empty() {
+                let chan: Bounded<CohortJob<'_>> = Bounded::new(n_workers, "front-queue");
+                thread::scope(|s| {
+                    let (chan, done, dev) = (&chan, &done, &dev);
+                    for _ in 0..n_workers {
+                        s.spawn(move |_| {
+                            while let Some(job) = chan.recv() {
+                                let mut outs = Vec::with_capacity(job.members.len());
+                                let mut poisoned = false;
+                                // Members wait for the plan and for the
+                                // members ahead of them on the shared
+                                // workspace (module docs).
+                                let mut queued = job.prepare_ms;
+                                for (k, &(ti, fr)) in job.members.iter().enumerate() {
+                                    let mut policy = cfg.policy;
+                                    policy.faults = cfg.policy.faults.stream(ti as u64);
+                                    let ex = execute_planned(
+                                        &job.plan,
+                                        &fr.request.graph,
+                                        &fr.request.features,
+                                        dev,
+                                        &policy,
+                                        primary,
+                                    );
+                                    poisoned |= ex.poisoned;
+                                    queued += ex.exec_sim_ms + ex.wasted_sim_ms;
+                                    outs.push(MemberOut {
+                                        trace_index: ti,
+                                        outcome: ex.outcome,
+                                        exec_sim_ms: ex.exec_sim_ms,
+                                        prepare_sim_ms: if k == 0 { job.prepare_ms } else { 0.0 },
+                                        wasted_sim_ms: ex.wasted_sim_ms,
+                                        latency_sim_ms: queued,
+                                    });
+                                }
+                                // Results lock is taken only after device
+                                // execution returned (hazard discipline).
+                                done.lock().push(CohortDone {
+                                    id: job.id,
+                                    hit: job.hit,
+                                    fp: job.fp,
+                                    size: job.members.len(),
+                                    poisoned,
+                                    outs,
+                                });
+                            }
+                        });
+                    }
+                    for job in jobs {
+                        // Blocking bounded send = backpressure on the
+                        // scheduler; never an unbounded buffer.
+                        if chan.send(job).is_err() {
+                            break;
+                        }
+                    }
+                    chan.close();
+                })
+                .expect("front workers must not panic");
+            }
+
+            // --- Collection: cohort order, scheduler thread. Quarantine
+            // poisoned plans here so registry counters are deterministic.
+            let mut finished = done.into_inner();
+            finished.sort_by_key(|c| c.id);
+            for c in finished {
+                if c.poisoned {
+                    counters.quarantined_cohorts += 1;
+                    self.cache.quarantine(c.fp);
+                }
+                for out in c.outs {
+                    counters.completed += 1;
+                    slots[out.trace_index] = Some(FrontResponse {
+                        tenant: trace[out.trace_index].tenant,
+                        trace_index: out.trace_index,
+                        epoch,
+                        outcome: out.outcome,
+                        hit: c.hit,
+                        cohort: Some(c.id),
+                        cohort_size: c.size,
+                        exec_sim_ms: out.exec_sim_ms,
+                        prepare_sim_ms: out.prepare_sim_ms,
+                        wasted_sim_ms: out.wasted_sim_ms,
+                        latency_sim_ms: out.latency_sim_ms,
+                    });
+                }
+            }
+        }
+
+        let responses: Vec<FrontResponse> = slots
+            .into_iter()
+            .map(|s| s.expect("every trace entry produces a response"))
+            .collect();
+
+        // --- Aggregation.
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut tenants: std::collections::BTreeMap<TenantId, (TenantStats, Vec<f64>)> =
+            std::collections::BTreeMap::new();
+        for r in &responses {
+            let (ts, lats) = tenants.entry(r.tenant).or_insert_with(|| {
+                (
+                    TenantStats {
+                        tenant: r.tenant,
+                        submitted: 0,
+                        admitted: 0,
+                        rejected: 0,
+                        served: 0,
+                        failed: 0,
+                        slo_violations: 0,
+                        p99_sim_ms: 0.0,
+                    },
+                    Vec::new(),
+                )
+            });
+            ts.submitted += 1;
+            if r.is_rejected() {
+                ts.rejected += 1;
+                continue;
+            }
+            ts.admitted += 1;
+            match &r.outcome {
+                Outcome::Ok(_) => counters.ok += 1,
+                Outcome::Degraded { .. } => counters.degraded += 1,
+                Outcome::Failed(_) => {
+                    counters.failed += 1;
+                    ts.failed += 1;
+                    continue;
+                }
+            }
+            ts.served += 1;
+            if r.latency_sim_ms > cfg.slo_sim_ms {
+                ts.slo_violations += 1;
+            }
+            latencies.push(r.latency_sim_ms);
+            lats.push(r.latency_sim_ms);
+        }
+        latencies.sort_by(f64::total_cmp);
+        let latency = LatencyStats {
+            served: latencies.len() as u64,
+            p50_sim_ms: percentile(&latencies, 50.0),
+            p99_sim_ms: percentile(&latencies, 99.0),
+            mean_sim_ms: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            max_sim_ms: latencies.last().copied().unwrap_or(0.0),
+        };
+        let tenants: Vec<TenantStats> = tenants
+            .into_values()
+            .map(|(mut ts, mut lats)| {
+                lats.sort_by(f64::total_cmp);
+                ts.p99_sim_ms = percentile(&lats, 99.0);
+                ts
+            })
+            .collect();
+
+        FrontReport {
+            responses,
+            counters,
+            latency,
+            tenants,
+            cache: self.cache.stats(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sparse::{gen, Csr};
+    use std::sync::Arc;
+
+    fn trace_of(mix: &[(u32, &Arc<Csr>)], dim: usize) -> Vec<FrontRequest> {
+        mix.iter()
+            .enumerate()
+            .map(|(i, &(tenant, g))| FrontRequest {
+                tenant: TenantId(tenant),
+                request: Request {
+                    graph: Arc::clone(g),
+                    features: DenseMatrix::random_features(g.ncols, dim, i as u64),
+                },
+            })
+            .collect()
+    }
+
+    fn small_graphs(n: usize) -> Vec<Arc<Csr>> {
+        (0..n)
+            .map(|i| Arc::new(gen::erdos_renyi(96, 420, 300 + i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn cohorts_amortize_one_prepare_across_members() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = small_graphs(2);
+        // One epoch: 3 requests on g0, 2 on g1, interleaved.
+        let trace = trace_of(
+            &[
+                (0, &gs[0]),
+                (1, &gs[1]),
+                (2, &gs[0]),
+                (3, &gs[1]),
+                (4, &gs[0]),
+            ],
+            8,
+        );
+        let front = Front::new(
+            u64::MAX / 16,
+            PlanSpec::hybrid(),
+            4,
+            FrontConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let rep = front.run_trace(&trace, &dev);
+        let c = rep.counters;
+        assert_eq!(c.submitted, 5);
+        assert_eq!(c.admitted, 5);
+        assert_eq!(c.rejected(), 0);
+        assert_eq!(c.completed, 5);
+        assert_eq!((c.ok, c.degraded, c.failed), (5, 0, 0));
+        assert_eq!(c.cohorts, 2, "one cohort per structure");
+        assert_eq!(c.cohorted_requests, 5);
+        assert!((c.cohort_rate() - 1.0).abs() < 1e-12);
+        // One preparation per structure, charged to the first member.
+        assert_eq!(rep.cache.misses, 2);
+        let charged: Vec<usize> = rep
+            .responses
+            .iter()
+            .filter(|r| r.prepare_sim_ms > 0.0)
+            .map(|r| r.trace_index)
+            .collect();
+        assert_eq!(charged, vec![0, 1]);
+        // Members of one cohort share id, size and hit flag; outputs are
+        // bit-identical to the reference pipeline.
+        for (i, r) in rep.responses.iter().enumerate() {
+            assert_eq!(r.cohort_size, if i % 2 == 0 { 3 } else { 2 });
+            assert!(!r.hit, "cold cache");
+            assert!(r.latency_sim_ms > 0.0);
+            let req = &trace[i].request;
+            let z = r.z().expect("faults off: everything serves");
+            assert!(req.graph.spmm_reference(&req.features).max_abs_diff(z) < 0.05);
+        }
+    }
+
+    #[test]
+    fn admission_sheds_with_typed_overload_errors() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = small_graphs(1);
+        // 6 arrivals in one epoch: tenant 7 submits 4 (quota 2), queue
+        // holds 3 total.
+        let trace = trace_of(
+            &[
+                (7, &gs[0]),
+                (7, &gs[0]),
+                (7, &gs[0]),
+                (8, &gs[0]),
+                (7, &gs[0]),
+                (8, &gs[0]),
+            ],
+            8,
+        );
+        let front = Front::new(
+            u64::MAX / 16,
+            PlanSpec::hybrid(),
+            2,
+            FrontConfig {
+                workers: 1,
+                queue_depth: 3,
+                tenant_quota: 2,
+                ..Default::default()
+            },
+        );
+        let rep = front.run_trace(&trace, &dev);
+        let kinds: Vec<Option<OverloadReason>> = rep
+            .responses
+            .iter()
+            .map(|r| match &r.outcome {
+                Outcome::Failed(HcError::Overloaded { reason }) => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                None,
+                None,
+                Some(OverloadReason::TenantQuota),
+                None,
+                Some(OverloadReason::QueueFull),
+                Some(OverloadReason::QueueFull),
+            ]
+        );
+        let c = rep.counters;
+        assert_eq!(c.submitted, 6);
+        assert_eq!(c.admitted, 3);
+        assert_eq!((c.rejected_queue, c.rejected_quota), (2, 1));
+        assert_eq!(c.admitted + c.rejected(), c.submitted);
+        assert_eq!(c.completed, c.admitted);
+        // Per-tenant view agrees.
+        assert_eq!(rep.tenants.len(), 2);
+        let t7 = &rep.tenants[0];
+        assert_eq!(
+            (t7.tenant, t7.submitted, t7.admitted, t7.rejected),
+            (TenantId(7), 4, 2, 2)
+        );
+        let t8 = &rep.tenants[1];
+        assert_eq!(
+            (t8.tenant, t8.submitted, t8.admitted, t8.rejected),
+            (TenantId(8), 2, 1, 1)
+        );
+        // Rejections produced typed errors, not panics, and the error
+        // formats mention the limit that fired.
+        let msg = rep.responses[2]
+            .outcome
+            .error()
+            .expect("rejected")
+            .to_string();
+        assert!(msg.contains("quota"), "{msg}");
+    }
+
+    #[test]
+    fn hostile_inputs_fail_without_cache_traffic_or_cohorts() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = small_graphs(1);
+        let mut broken = (*gs[0]).clone();
+        broken.col_idx[0] = 10_000;
+        let broken = Arc::new(broken);
+        let mut trace = trace_of(&[(0, &gs[0]), (1, &broken), (0, &gs[0])], 8);
+        // Shape mismatch on the last entry.
+        trace.push(FrontRequest {
+            tenant: TenantId(2),
+            request: Request {
+                graph: Arc::clone(&gs[0]),
+                features: DenseMatrix::random_features(17, 8, 9),
+            },
+        });
+        let front = Front::new(u64::MAX / 16, PlanSpec::hybrid(), 2, FrontConfig::default());
+        let rep = front.run_trace(&trace, &dev);
+        assert!(matches!(
+            rep.responses[1].outcome,
+            Outcome::Failed(HcError::BadInput(_))
+        ));
+        assert!(matches!(
+            rep.responses[3].outcome,
+            Outcome::Failed(HcError::ShapeMismatch { .. })
+        ));
+        for bad in [&rep.responses[1], &rep.responses[3]] {
+            assert_eq!(bad.cohort, None);
+            assert_eq!(bad.cohort_size, 0);
+        }
+        // Only the two healthy requests touched the cache: one cohort.
+        assert_eq!(rep.cache.requests, 1);
+        assert_eq!(rep.counters.cohorts, 1);
+        assert_eq!(rep.counters.failed, 2);
+        assert_eq!(rep.counters.ok, 2);
+    }
+
+    #[test]
+    fn reports_are_identical_at_1_2_and_8_workers() {
+        let dev = DeviceSpec::rtx3090();
+        let gs = small_graphs(3);
+        let mix: Vec<(u32, &Arc<Csr>)> =
+            (0..24u32).map(|i| (i % 4, &gs[(i as usize) % 3])).collect();
+        let trace = trace_of(&mix, 8);
+        let run = |workers: usize| {
+            let front = Front::new(
+                1 << 30,
+                PlanSpec::hybrid(),
+                4,
+                FrontConfig {
+                    workers,
+                    arrivals_per_epoch: 8,
+                    max_cohort: 4,
+                    ..Default::default()
+                },
+            );
+            front.run_trace(&trace, &dev)
+        };
+        let base = run(1);
+        for workers in [2usize, 8] {
+            let rep = run(workers);
+            assert_eq!(rep.responses, base.responses, "workers={workers}");
+            assert_eq!(rep.counters, base.counters);
+            assert_eq!(rep.latency, base.latency);
+            assert_eq!(rep.tenants, base.tenants);
+            assert_eq!(
+                (rep.cache.requests, rep.cache.hits, rep.cache.misses),
+                (base.cache.requests, base.cache.hits, base.cache.misses),
+            );
+        }
+        // Sanity on the shape of the shared run: epochs of 8 with cohort
+        // cap 4 — per epoch g_i appears ≤3 times, so cohorts form and
+        // later epochs hit the warm cache.
+        assert_eq!(base.counters.epochs, 3);
+        assert!(base.cache.hits > 0);
+        assert!(base.latency.p99_sim_ms >= base.latency.p50_sim_ms);
+        assert!(base.latency.max_sim_ms >= base.latency.p99_sim_ms);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+}

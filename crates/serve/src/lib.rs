@@ -12,18 +12,32 @@
 //!   [`Request`]s through cached plans on the `hc-parallel` pool, each
 //!   request executed resiliently: retry, kernel-family fallback and typed
 //!   per-request [`Outcome`]s instead of panics, with fault-implicated
-//!   plans quarantined in the cache.
+//!   plans quarantined in the cache;
+//! * [`SharedPlanCache`] — the concurrent, sharded version of the cache
+//!   (fingerprint-addressed lanes + global quarantine registry) that many
+//!   threads hit at once;
+//! * [`Front`] — the multi-tenant serving front-end over the shared
+//!   cache: epoch-batched admission with per-tenant quotas and a bounded
+//!   queue (typed `Overloaded` shedding), structure-fingerprint *cohorts*
+//!   that amortize one preparation across every in-flight request on the
+//!   same graph, parallel cohort execution over worker threads, and
+//!   p50/p99 + per-tenant SLO accounting.
 //!
-//! Requests are served in order, each SpMM internally parallel, so a batch
-//! run is deterministic and thread-count-independent: outputs and cache
-//! counters are bit-identical at 1, 2 or 64 workers.
+//! Requests are served in deterministic order at every layer: outputs,
+//! cache counters, cohort assignments and simulated latencies are
+//! bit-identical at 1, 2 or 64 workers.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod driver;
+pub mod front;
 pub mod shared;
 
 pub use cache::{CacheStats, PlanCache};
 pub use driver::{BatchDriver, BatchSummary, Outcome, Request, Response};
+pub use front::{
+    Front, FrontConfig, FrontCounters, FrontReport, FrontRequest, FrontResponse, LatencyStats,
+    TenantId, TenantStats,
+};
 pub use shared::SharedPlanCache;

@@ -1,0 +1,213 @@
+//! Multithreaded hammer for the serving front-end: a multi-tenant
+//! request mix pushed through [`Front::run_trace`] at 1, 2 and 8
+//! workers, asserting
+//!
+//! * the counter invariants hold exactly — `submitted == admitted +
+//!   rejected`, `completed == admitted`, `completed == ok + degraded +
+//!   failed`, every executed request sits in a cohort of size ≥ 1, and
+//!   no tenant ever exceeds its per-epoch admission quota;
+//! * every served output is bit-exact against a cold single-stream
+//!   execution (fresh plan per request, no cache, no cohorts);
+//! * the full deterministic report is identical at every worker count.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, Csr, DenseMatrix};
+use hc_core::{Plan, PlanSpec};
+use hc_serve::{Front, FrontConfig, FrontReport, FrontRequest, Outcome, Request, TenantId};
+
+const EPOCH: usize = 12;
+const QUOTA: usize = 4;
+const QUEUE: usize = 10;
+
+fn mix() -> Vec<FrontRequest> {
+    let gs: Vec<Arc<Csr>> = (0..4)
+        .map(|i| Arc::new(gen::erdos_renyi(144, 640, 500 + i as u64)))
+        .collect();
+    // 48 arrivals: 5 tenants with skewed submission rates over 4
+    // structures, arranged so tenant 0 overruns its quota and the tail
+    // of each epoch overruns the queue.
+    (0..48usize)
+        .map(|i| {
+            let tenant = TenantId([0, 0, 1, 0, 2, 3, 0, 4][i % 8]);
+            let g = &gs[(i * 7) % 4];
+            FrontRequest {
+                tenant,
+                request: Request {
+                    graph: Arc::clone(g),
+                    features: DenseMatrix::random_features(g.ncols, 16, i as u64),
+                },
+            }
+        })
+        .collect()
+}
+
+fn run(workers: usize, trace: &[FrontRequest], dev: &DeviceSpec) -> FrontReport {
+    let front = Front::new(
+        1 << 30,
+        PlanSpec::hybrid(),
+        4,
+        FrontConfig {
+            workers,
+            queue_depth: QUEUE,
+            tenant_quota: QUOTA,
+            arrivals_per_epoch: EPOCH,
+            max_cohort: 3,
+            ..Default::default()
+        },
+    );
+    front.run_trace(trace, dev)
+}
+
+#[test]
+fn counters_quota_and_bit_exactness_at_1_2_and_8_workers() {
+    let dev = DeviceSpec::rtx3090();
+    let trace = mix();
+
+    // Cold single-stream control: a fresh plan per request, no sharing
+    // of any kind. Every served front output must match it bit-for-bit.
+    let cold: Vec<DenseMatrix> = trace
+        .iter()
+        .map(|fr| {
+            Plan::prepare(&fr.request.graph, PlanSpec::hybrid(), &dev)
+                .execute(&fr.request.graph, &fr.request.features, &dev)
+                .z
+        })
+        .collect();
+
+    let base = run(1, &trace, &dev);
+    for workers in [1usize, 2, 8] {
+        let rep = run(workers, &trace, &dev);
+        let c = rep.counters;
+
+        // Counter invariants, exact.
+        assert_eq!(c.submitted, trace.len() as u64, "workers={workers}");
+        assert_eq!(c.submitted, c.admitted + c.rejected());
+        assert_eq!(c.completed, c.admitted, "nothing dropped after admission");
+        assert_eq!(c.completed, c.ok + c.degraded + c.failed);
+        assert_eq!(c.failed, 0, "clean mix: no failures");
+        assert!(c.rejected_quota > 0, "tenant 0 must overrun its quota");
+        assert!(c.rejected_queue > 0, "epoch tails must overrun the queue");
+        assert!(c.cohorts >= 4, "at least one cohort per structure");
+        assert!(
+            c.cohort_rate() >= 0.5,
+            "structure-heavy mix must cohort: {}",
+            c.cohort_rate()
+        );
+
+        // Per-epoch, per-tenant quota is never exceeded; executed
+        // requests always carry a cohort of size >= 1.
+        let mut admitted_per: HashMap<(usize, TenantId), usize> = HashMap::new();
+        for r in &rep.responses {
+            if r.is_rejected() {
+                assert_eq!(r.cohort, None);
+                continue;
+            }
+            *admitted_per.entry((r.epoch, r.tenant)).or_insert(0) += 1;
+            if !matches!(r.outcome, Outcome::Failed(_)) {
+                assert!(r.cohort.is_some(), "served requests belong to a cohort");
+                assert!(r.cohort_size >= 1);
+                assert!(r.cohort_size <= 3, "cohort cap respected");
+            }
+        }
+        for ((epoch, tenant), n) in &admitted_per {
+            assert!(
+                *n <= QUOTA,
+                "tenant {tenant} admitted {n} > quota {QUOTA} in epoch {epoch}"
+            );
+        }
+        let per_epoch_total: HashMap<usize, usize> =
+            admitted_per
+                .iter()
+                .fold(HashMap::new(), |mut acc, ((e, _), n)| {
+                    *acc.entry(*e).or_insert(0) += n;
+                    acc
+                });
+        for (epoch, n) in per_epoch_total {
+            assert!(n <= QUEUE, "epoch {epoch} admitted {n} > queue {QUEUE}");
+        }
+
+        // Bit-exactness of every served output vs. the cold control.
+        let mut served = 0usize;
+        for (r, control) in rep.responses.iter().zip(&cold) {
+            if let Some(z) = r.z() {
+                assert_eq!(
+                    z, control,
+                    "trace index {}: cohorted output != cold single-stream",
+                    r.trace_index
+                );
+                served += 1;
+            }
+        }
+        assert_eq!(served as u64, c.ok + c.degraded);
+
+        // The whole deterministic report matches the 1-worker baseline.
+        assert_eq!(rep.responses, base.responses, "workers={workers}");
+        assert_eq!(rep.counters, base.counters);
+        assert_eq!(rep.latency, base.latency);
+        assert_eq!(rep.tenants, base.tenants);
+        assert_eq!(
+            (rep.cache.requests, rep.cache.hits, rep.cache.misses),
+            (base.cache.requests, base.cache.hits, base.cache.misses)
+        );
+    }
+}
+
+#[test]
+fn faulty_mix_degrades_only_implicated_members_and_stays_deterministic() {
+    use gpu_sim::FaultConfig;
+    let dev = DeviceSpec::rtx3090();
+    let trace = mix();
+    let run_faulty = |workers: usize| {
+        let front = Front::new(
+            1 << 30,
+            PlanSpec::hybrid(),
+            4,
+            FrontConfig {
+                workers,
+                queue_depth: QUEUE,
+                tenant_quota: QUOTA,
+                arrivals_per_epoch: EPOCH,
+                max_cohort: 3,
+                policy: hc_core::ResiliencePolicy {
+                    faults: FaultConfig::uniform(11, 0.35),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        front.run_trace(&trace, &dev)
+    };
+    let base = run_faulty(1);
+    assert!(
+        base.counters.degraded > 0,
+        "fault rate 0.35 must degrade something"
+    );
+    // Faults hit individual members, not whole cohorts: some cohort with
+    // a degraded member also served a clean `Ok` member.
+    let mixed_cohort = base.responses.iter().any(|r| {
+        r.outcome.is_degraded()
+            && base.responses.iter().any(|o| {
+                o.cohort == r.cohort
+                    && o.trace_index != r.trace_index
+                    && matches!(o.outcome, Outcome::Ok(_))
+            })
+    });
+    assert!(
+        mixed_cohort,
+        "a fault mid-cohort must degrade only the implicated members"
+    );
+    // Every served member (clean or degraded) still returns a result,
+    // and rejected counters are unchanged by faults.
+    assert_eq!(
+        base.counters.admitted + base.counters.rejected(),
+        base.counters.submitted
+    );
+    for workers in [2usize, 8] {
+        let rep = run_faulty(workers);
+        assert_eq!(rep.responses, base.responses, "workers={workers}");
+        assert_eq!(rep.counters, base.counters);
+    }
+}

@@ -40,6 +40,7 @@ pub fn run(args: Vec<String>) -> i32 {
         "metrics" => cmd_metrics(&flags),
         "spmm" => cmd_spmm(&flags),
         "batch" => cmd_batch(&flags),
+        "serve-load" => cmd_serve_load(&flags),
         "loa" => cmd_loa(&flags),
         "train" => cmd_train(&flags),
         "selector" => cmd_selector(),
@@ -77,6 +78,20 @@ USAGE:
                    requests retry, fall back (tensor → cuda →
                    straightforward → CPU) or fail with a typed error.
                    Exits 1 if any request failed.
+  hc-spmm serve-load [--requests N] [--graphs N] [--tenants N] [--nodes N]
+                   [--dim N] [--cache-bytes B] [--workers N]
+                   [--queue-depth N] [--tenant-quota N] [--epoch N]
+                   [--max-cohort N] [--slo-ms MS] [--gpu 3090|4090|a100]
+                   [--fault-rate P] [--fault-seed S] [--max-retries N]
+                   push a multi-tenant request mix through the concurrent
+                   serving front-end: epoch-batched admission with
+                   per-tenant quotas and a bounded queue (overload sheds
+                   with a typed error), structure-keyed cohorts that
+                   amortize one plan preparation across every in-flight
+                   request on the same graph, and p50/p99 simulated
+                   latency plus per-tenant SLO accounting. Deterministic
+                   at any --workers count. Exits 1 if any admitted
+                   request failed.
   hc-spmm metrics  [--dataset CODE | --edge-list FILE] [--scale N]
                    structural report: degrees, clustering, locality, windows
   hc-spmm loa      [--dataset CODE | --edge-list FILE] [--scale N] [--vw N]
@@ -391,6 +406,186 @@ fn cmd_batch(flags: &HashMap<String, String>) -> i32 {
     // inputs were fine; the device wasn't).
     if sum.failed > 0 {
         eprintln!("batch: {} request(s) failed", sum.failed);
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_serve_load(flags: &HashMap<String, String>) -> i32 {
+    use hc_serve::{Front, FrontConfig, FrontRequest, TenantId};
+    let dev = device_for(flags);
+    let requests = flag_usize(flags, "requests", 48);
+    let distinct = flag_usize(flags, "graphs", 4).max(1);
+    let tenants = flag_usize(flags, "tenants", 4).max(1);
+    let nodes = flag_usize(flags, "nodes", 1024);
+    let dim = flag_usize(flags, "dim", 32);
+    let cache_bytes = match flags.get("cache-bytes") {
+        None => 64 << 20,
+        Some(v) => match v.parse::<u64>() {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!("--cache-bytes requires a byte count, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let slo_sim_ms = match flags.get("slo-ms") {
+        None => 50.0,
+        Some(v) => match v.parse::<f64>() {
+            Ok(ms) if ms > 0.0 => ms,
+            _ => {
+                eprintln!("--slo-ms requires a positive number of ms, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let fault_rate = match flags.get("fault-rate") {
+        None => 0.0,
+        Some(v) => match v.parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => r,
+            _ => {
+                eprintln!("--fault-rate requires a probability in [0, 1], got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let fault_seed = match flags.get("fault-seed") {
+        None => 42,
+        Some(v) => match v.parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("--fault-seed requires an integer, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let cfg = FrontConfig {
+        workers: flag_usize(flags, "workers", 0),
+        queue_depth: flag_usize(flags, "queue-depth", 16),
+        tenant_quota: flag_usize(flags, "tenant-quota", 8),
+        arrivals_per_epoch: flag_usize(flags, "epoch", 16),
+        max_cohort: flag_usize(flags, "max-cohort", 8),
+        slo_sim_ms,
+        policy: ResiliencePolicy {
+            max_retries: flag_usize(flags, "max-retries", 2) as u32,
+            faults: gpu_sim::FaultConfig::uniform(fault_seed, fault_rate),
+            ..Default::default()
+        },
+    };
+
+    // The serving mix: `distinct` structures round-robin (cohort
+    // material), tenants round-robin on a different stride so structure
+    // and tenant decorrelate.
+    let graphs: Vec<Arc<Csr>> = (0..distinct)
+        .map(|s| Arc::new(gen::community(nodes, nodes * 8, 16, 0.9, s as u64 + 1)))
+        .collect();
+    let trace: Vec<FrontRequest> = (0..requests)
+        .map(|i| FrontRequest {
+            tenant: TenantId((i % tenants) as u32),
+            request: Request {
+                graph: Arc::clone(&graphs[i % distinct]),
+                features: DenseMatrix::random_features(nodes, dim, i as u64),
+            },
+        })
+        .collect();
+
+    println!(
+        "serve-load: {requests} arrivals from {tenants} tenants over {distinct} graphs \
+         ({nodes} vertices, dim {dim}), epochs of {}, queue {}, quota {}/tenant, \
+         cohorts ≤ {}, SLO {slo_sim_ms} ms (sim), cache budget {cache_bytes} B, {:?}",
+        cfg.arrivals_per_epoch, cfg.queue_depth, cfg.tenant_quota, cfg.max_cohort, dev.kind
+    );
+    if fault_rate > 0.0 {
+        println!("fault injection: rate {fault_rate}, seed {fault_seed}");
+    }
+    let front = Front::new(cache_bytes, PlanSpec::hybrid(), 4, cfg);
+    let rep = front.run_trace(&trace, &dev);
+    for r in &rep.responses {
+        let outcome = match &r.outcome {
+            Outcome::Ok(_) => "ok".to_string(),
+            Outcome::Degraded {
+                fallback, retries, ..
+            } => format!("degraded via {} ({retries} retries)", fallback.name()),
+            Outcome::Failed(e) => {
+                format!("{}: {e}", if r.is_rejected() { "shed" } else { "failed" })
+            }
+        };
+        match r.cohort {
+            Some(c) => println!(
+                "  request {:>3} {} epoch {} cohort {c:>3} ({}/{}) {}  \
+                 latency {:>8.4} ms  {outcome}",
+                r.trace_index,
+                r.tenant,
+                r.epoch,
+                r.cohort_size,
+                if r.hit { "hit " } else { "miss" },
+                if r.prepare_sim_ms > 0.0 {
+                    "charged prepare"
+                } else {
+                    "shared plan   "
+                },
+                r.latency_sim_ms
+            ),
+            None => println!(
+                "  request {:>3} {} epoch {}              {outcome}",
+                r.trace_index, r.tenant, r.epoch
+            ),
+        }
+    }
+    let c = rep.counters;
+    println!(
+        "admission: {} submitted, {} admitted, {} shed ({} queue-full, {} over-quota) \
+         across {} epochs",
+        c.submitted,
+        c.admitted,
+        c.rejected(),
+        c.rejected_queue,
+        c.rejected_quota,
+        c.epochs
+    );
+    println!(
+        "cohorts: {} dispatched, {} requests rode a shared plan (rate {:.1}%), \
+         {} quarantined; cache {} hits / {} misses",
+        c.cohorts,
+        c.cohorted_requests,
+        c.cohort_rate() * 100.0,
+        c.quarantined_cohorts,
+        rep.cache.hits,
+        rep.cache.misses
+    );
+    println!(
+        "latency (sim): p50 {:.4} / p99 {:.4} / mean {:.4} / max {:.4} ms over {} served; \
+         amortized {:.4} ms/request",
+        rep.latency.p50_sim_ms,
+        rep.latency.p99_sim_ms,
+        rep.latency.mean_sim_ms,
+        rep.latency.max_sim_ms,
+        rep.latency.served,
+        rep.amortized_sim_ms()
+    );
+    for t in &rep.tenants {
+        println!(
+            "  tenant {}: {} submitted, {} admitted, {} shed, {} served, {} failed, \
+             {} SLO violations, p99 {:.4} ms",
+            t.tenant,
+            t.submitted,
+            t.admitted,
+            t.rejected,
+            t.served,
+            t.failed,
+            t.slo_violations,
+            t.p99_sim_ms
+        );
+    }
+    println!(
+        "outcomes: {} ok / {} degraded / {} failed",
+        c.ok, c.degraded, c.failed
+    );
+    // Like `batch`: post-admission failures are an internal-fault
+    // outcome (exit 1); shed requests are the front doing its job.
+    if c.failed > 0 {
+        eprintln!("serve-load: {} admitted request(s) failed", c.failed);
         1
     } else {
         0
@@ -748,6 +943,65 @@ mod tests {
         );
         assert_eq!(run(vec!["help".into()]), 0);
         assert_eq!(run(vec!["bogus".into()]), 2);
+    }
+
+    #[test]
+    fn serve_load_runs_sheds_and_rejects_garbage() {
+        // Tight quota + queue: the front sheds (typed, exit stays 0 —
+        // shedding is the front doing its job, not a failure).
+        assert_eq!(
+            run(vec![
+                "serve-load".into(),
+                "--requests".into(),
+                "18".into(),
+                "--graphs".into(),
+                "3".into(),
+                "--tenants".into(),
+                "2".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+                "--epoch".into(),
+                "6".into(),
+                "--tenant-quota".into(),
+                "2".into(),
+                "--queue-depth".into(),
+                "4".into(),
+                "--max-cohort".into(),
+                "2".into(),
+                "--workers".into(),
+                "2".into(),
+            ]),
+            0
+        );
+        // Full fault rate degrades to the CPU reference; still served.
+        assert_eq!(
+            run(vec![
+                "serve-load".into(),
+                "--requests".into(),
+                "6".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+                "--fault-rate".into(),
+                "1.0".into(),
+            ]),
+            0
+        );
+        for (flag, bad) in [
+            ("--cache-bytes", "много"),
+            ("--slo-ms", "-3"),
+            ("--fault-rate", "1.5"),
+            ("--fault-seed", "nope"),
+        ] {
+            assert_eq!(
+                run(vec!["serve-load".into(), flag.into(), bad.into()]),
+                2,
+                "{flag} {bad} should be rejected"
+            );
+        }
     }
 
     #[test]
