@@ -39,6 +39,14 @@
 //! least `R`. Simulated time is deterministic, so both are exact and
 //! have no override.
 //!
+//! `--max-patch-cost-ratio R` requires the current report's
+//! `dynamic_graphs` block to show, at every churn sweep size, an
+//! incremental re-plan (patch) cost of at most `R` times the
+//! from-scratch preprocessing cost — and the ratio must shrink
+//! monotonically with graph size (`sublinear`): a one-edge delta dirties
+//! a bounded window set, so its relative cost must fall as the window
+//! count grows. Simulated-time, deterministic, no override.
+//!
 //! `--min-kernel-speedup-floor F` fails when any kernel family in the
 //! current report times slower multithreaded than serial (`speedup < F`)
 //! without its `serial_fallback` flag set — i.e. the pool actually fanned
@@ -60,7 +68,7 @@ fn usage() -> ! {
         "usage: bench_gate --baseline <path> --current <path> \
          [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R] \
          [--max-degraded-rate R] [--max-p99-ms MS] [--min-cohort-rate R] \
-         [--min-kernel-speedup-floor F]"
+         [--max-patch-cost-ratio R] [--min-kernel-speedup-floor F]"
     );
     std::process::exit(2);
 }
@@ -102,6 +110,7 @@ fn main() {
     let mut max_degraded_rate: Option<f64> = None;
     let mut max_p99_ms: Option<f64> = None;
     let mut min_cohort_rate: Option<f64> = None;
+    let mut max_patch_ratio: Option<f64> = None;
     let mut speedup_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -120,6 +129,9 @@ fn main() {
             "--max-p99-ms" => max_p99_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--min-cohort-rate" => {
                 min_cohort_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-patch-cost-ratio" => {
+                max_patch_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--min-kernel-speedup-floor" => {
                 speedup_floor = Some(value().parse().unwrap_or_else(|_| usage()))
@@ -263,6 +275,53 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+    }
+
+    if let Some(max_ratio) = max_patch_ratio {
+        let Some(dg) = &cur.dynamic_graphs else {
+            eprintln!(
+                "FAIL: --max-patch-cost-ratio given but the current report \
+                 has no \"dynamic_graphs\" block (did ext_churn run?)"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "dynamic graphs: {} mutations, {} patched plans, {} swaps, \
+             {} stale-served, max patch/full ratio {:.4} (max {:.4}), \
+             sublinear {}, amortized churn {:.4} vs steady {:.4} ms/request",
+            dg.mutations,
+            dg.patched_plans,
+            dg.swaps,
+            dg.stale_served,
+            dg.max_patch_ratio,
+            max_ratio,
+            dg.sublinear,
+            dg.amortized_churn_sim_ms,
+            dg.amortized_steady_sim_ms
+        );
+        for p in &dg.scale_points {
+            println!(
+                "  churn sweep: {:>6} rows / {:>7} nnz / {:>4} windows: \
+                 full {:.4} ms, patch {:.4} ms (ratio {:.4})",
+                p.nrows, p.nnz, p.windows, p.full_prepare_sim_ms, p.patch_sim_ms, p.patch_ratio
+            );
+        }
+        if dg.max_patch_ratio > max_ratio {
+            eprintln!(
+                "FAIL: incremental re-plan cost ratio {:.4} above allowed \
+                 {max_ratio} — patching is not meaningfully cheaper than \
+                 preprocessing from scratch",
+                dg.max_patch_ratio
+            );
+            std::process::exit(1);
+        }
+        if !dg.sublinear {
+            eprintln!(
+                "FAIL: patch/full cost ratio did not shrink with graph size — \
+                 the dirty-window re-plan is scaling with the whole graph"
+            );
+            std::process::exit(1);
         }
     }
 

@@ -1,0 +1,7 @@
+//! Extension: dynamic-graph churn — incremental re-plan scaling and
+//! serving under mutation vs a churn-free control.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let (text, _) = bench::experiments::extensions::churn(&mut c, &gpu_sim::DeviceSpec::rtx3090());
+    println!("{text}");
+}

@@ -169,6 +169,13 @@ fn main() {
         text
     });
     report.serving_load = serving_load_metrics;
+    let mut dynamic_graphs_metrics = None;
+    exp!("ext_churn", {
+        let (text, m) = e::extensions::churn(&mut c, &dev);
+        dynamic_graphs_metrics = Some(m);
+        text
+    });
+    report.dynamic_graphs = dynamic_graphs_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).

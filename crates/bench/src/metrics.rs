@@ -40,17 +40,28 @@
 //!                    "uncohorted_sim_ms": 2.8, "tenants": [
 //!      {"tenant": 0, "submitted": 24, "admitted": 20, "rejected": 4,
 //!       "slo_violations": 1, "p99_sim_ms": 4.7}
+//!   ]},
+//!   "dynamic_graphs": {"max_patch_ratio": 0.11, "sublinear": true,
+//!                      "mutations": 4, "patched_plans": 4,
+//!                      "stale_served": 6, "swaps": 4,
+//!                      "amortized_churn_sim_ms": 0.52,
+//!                      "amortized_steady_sim_ms": 0.49,
+//!                      "churn_overhead_ratio": 1.06, "scale_points": [
+//!      {"nrows": 4096, "nnz": 32768, "windows": 256,
+//!       "full_prepare_sim_ms": 0.8, "patch_sim_ms": 0.09,
+//!       "patch_ratio": 0.11}
 //!   ]}
 //! }
 //! ```
 //!
 //! `plan_cache` (the `ext_plan_cache_amortization` experiment's counters),
 //! `fault_recovery` (the `ext_fault_recovery` chaos-serving counters),
-//! `hot_path` (the `ext_hot_path` workspace/pool counters) and
-//! `serving_load` (the `ext_serving_load` front-end counters) are all
-//! optional: reports written before those subsystems existed — including
-//! the committed baseline — parse unchanged. The same goes for the
-//! per-kernel `serial_fallback` flag.
+//! `hot_path` (the `ext_hot_path` workspace/pool counters),
+//! `serving_load` (the `ext_serving_load` front-end counters) and
+//! `dynamic_graphs` (the `ext_churn` incremental re-planning counters) are
+//! all optional: reports written before those subsystems existed —
+//! including the committed baseline — parse unchanged. The same goes for
+//! the per-kernel `serial_fallback` flag.
 //!
 //! `experiments` records wall-clock and process CPU time per experiment;
 //! `kernels` records per-kernel-family SpMM timings against a forced
@@ -235,6 +246,60 @@ pub struct ServingLoadMetrics {
     pub tenants: Vec<TenantSlo>,
 }
 
+/// One graph size in the patch-cost scaling sweep inside
+/// [`DynamicGraphsMetrics`]. All times are simulated (deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnScalePoint {
+    /// Graph rows.
+    pub nrows: u64,
+    /// Graph non-zeros.
+    pub nnz: u64,
+    /// 16-row windows (what full preprocessing scales with).
+    pub windows: u64,
+    /// Simulated cost of preparing a plan from scratch, ms.
+    pub full_prepare_sim_ms: f64,
+    /// Simulated cost of patching the plan for a small delta (dirty
+    /// windows only), ms.
+    pub patch_sim_ms: f64,
+    /// `patch_sim_ms / full_prepare_sim_ms` — the gated ratio.
+    pub patch_ratio: f64,
+}
+
+/// Dynamic-graph churn counters from the `ext_churn` experiment: the
+/// patch-cost scaling sweep (incremental re-planning must stay sublinear
+/// in graph size for small deltas) and the serving-under-churn comparison
+/// (amortized per-request cost must stay flat when mutations interleave
+/// with requests). All times are simulated, so every field is
+/// deterministic and exactly gateable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicGraphsMetrics {
+    /// Patch-vs-full cost at increasing graph sizes, smallest first.
+    pub scale_points: Vec<ChurnScalePoint>,
+    /// Largest `patch_ratio` across the sweep (gated by
+    /// `bench_gate --max-patch-cost-ratio`).
+    pub max_patch_ratio: f64,
+    /// Whether the patch ratio *shrinks* as the graph grows — the
+    /// sublinearity evidence (a fixed small delta dirties a fixed number
+    /// of windows while full preprocessing scales with all of them).
+    pub sublinear: bool,
+    /// Mutations ingested by the churn serving trace.
+    pub mutations: u64,
+    /// Mutations resolved by incremental patching (vs. re-prepare).
+    pub patched_plans: u64,
+    /// Requests served by the stale plan while its patch was in flight.
+    pub stale_served: u64,
+    /// Patched plans swapped into the cache.
+    pub swaps: u64,
+    /// Mean simulated cost per admitted request, churn trace, ms.
+    pub amortized_churn_sim_ms: f64,
+    /// Mean simulated cost per admitted request, identical trace with the
+    /// mutations removed, ms.
+    pub amortized_steady_sim_ms: f64,
+    /// `amortized_churn_sim_ms / amortized_steady_sim_ms` — how much
+    /// churn inflates the serving cost (flat ⇒ close to 1).
+    pub churn_overhead_ratio: f64,
+}
+
 /// The full machine-readable report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -256,6 +321,9 @@ pub struct BenchReport {
     /// Multi-tenant serving-load counters (absent in reports written
     /// before the front-end existed).
     pub serving_load: Option<ServingLoadMetrics>,
+    /// Dynamic-graph churn counters (absent in reports written before
+    /// incremental re-planning existed).
+    pub dynamic_graphs: Option<DynamicGraphsMetrics>,
 }
 
 impl BenchReport {
@@ -270,6 +338,7 @@ impl BenchReport {
             fault_recovery: None,
             hot_path: None,
             serving_load: None,
+            dynamic_graphs: None,
         }
     }
 
@@ -407,6 +476,49 @@ impl BenchReport {
                 );
             }
             if sl.tenants.is_empty() {
+                s.push_str("]}");
+            } else {
+                s.push_str("\n  ]}");
+            }
+        }
+        if let Some(dg) = &self.dynamic_graphs {
+            let _ = write!(
+                s,
+                ",\n  \"dynamic_graphs\": {{\"max_patch_ratio\": {}, \"sublinear\": {}, \
+                 \"mutations\": {}, \"patched_plans\": {}, \"stale_served\": {}, \
+                 \"swaps\": {}, \"amortized_churn_sim_ms\": {}, \
+                 \"amortized_steady_sim_ms\": {}, \"churn_overhead_ratio\": {}, \
+                 \"scale_points\": [",
+                num(dg.max_patch_ratio),
+                dg.sublinear,
+                dg.mutations,
+                dg.patched_plans,
+                dg.stale_served,
+                dg.swaps,
+                num(dg.amortized_churn_sim_ms),
+                num(dg.amortized_steady_sim_ms),
+                num(dg.churn_overhead_ratio)
+            );
+            for (i, p) in dg.scale_points.iter().enumerate() {
+                let comma = if i + 1 < dg.scale_points.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = write!(
+                    s,
+                    "\n    {{\"nrows\": {}, \"nnz\": {}, \"windows\": {}, \
+                     \"full_prepare_sim_ms\": {}, \"patch_sim_ms\": {}, \
+                     \"patch_ratio\": {}}}{comma}",
+                    p.nrows,
+                    p.nnz,
+                    p.windows,
+                    num(p.full_prepare_sim_ms),
+                    num(p.patch_sim_ms),
+                    num(p.patch_ratio)
+                );
+            }
+            if dg.scale_points.is_empty() {
                 s.push_str("]}");
             } else {
                 s.push_str("\n  ]}");
@@ -570,6 +682,48 @@ impl BenchReport {
                 amortized_sim_ms: f("amortized_sim_ms")?,
                 uncohorted_sim_ms: f("uncohorted_sim_ms")?,
                 tenants,
+            });
+        }
+        if let Some(dg) = v.get("dynamic_graphs") {
+            let f = |key: &str| {
+                dg.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("dynamic_graphs missing {key}"))
+            };
+            let mut scale_points = Vec::new();
+            for p in dg
+                .get("scale_points")
+                .and_then(Json::as_arr)
+                .ok_or("dynamic_graphs missing scale_points array")?
+            {
+                let pf = |key: &str| {
+                    p.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("dynamic_graphs scale point missing {key}"))
+                };
+                scale_points.push(ChurnScalePoint {
+                    nrows: pf("nrows")? as u64,
+                    nnz: pf("nnz")? as u64,
+                    windows: pf("windows")? as u64,
+                    full_prepare_sim_ms: pf("full_prepare_sim_ms")?,
+                    patch_sim_ms: pf("patch_sim_ms")?,
+                    patch_ratio: pf("patch_ratio")?,
+                });
+            }
+            report.dynamic_graphs = Some(DynamicGraphsMetrics {
+                scale_points,
+                max_patch_ratio: f("max_patch_ratio")?,
+                sublinear: dg
+                    .get("sublinear")
+                    .and_then(Json::as_bool)
+                    .ok_or("dynamic_graphs missing sublinear")?,
+                mutations: f("mutations")? as u64,
+                patched_plans: f("patched_plans")? as u64,
+                stale_served: f("stale_served")? as u64,
+                swaps: f("swaps")? as u64,
+                amortized_churn_sim_ms: f("amortized_churn_sim_ms")?,
+                amortized_steady_sim_ms: f("amortized_steady_sim_ms")?,
+                churn_overhead_ratio: f("churn_overhead_ratio")?,
             });
         }
         Ok(report)
@@ -1205,6 +1359,62 @@ mod tests {
             amortized_sim_ms: 0.0,
             uncohorted_sim_ms: 0.0,
             tenants: Vec::new(),
+        });
+        assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn dynamic_graphs_block_roundtrips_and_stays_optional() {
+        let bare = sample();
+        assert!(!bare.to_json().contains("dynamic_graphs"));
+        assert_eq!(BenchReport::from_json(&bare.to_json()).unwrap(), bare);
+
+        let mut r = sample();
+        r.dynamic_graphs = Some(DynamicGraphsMetrics {
+            scale_points: vec![
+                ChurnScalePoint {
+                    nrows: 4096,
+                    nnz: 32768,
+                    windows: 256,
+                    full_prepare_sim_ms: 0.8,
+                    patch_sim_ms: 0.09,
+                    patch_ratio: 0.1125,
+                },
+                ChurnScalePoint {
+                    nrows: 16384,
+                    nnz: 131072,
+                    windows: 1024,
+                    full_prepare_sim_ms: 3.1,
+                    patch_sim_ms: 0.1,
+                    patch_ratio: 0.0323,
+                },
+            ],
+            max_patch_ratio: 0.1125,
+            sublinear: true,
+            mutations: 4,
+            patched_plans: 4,
+            stale_served: 6,
+            swaps: 4,
+            amortized_churn_sim_ms: 0.52,
+            amortized_steady_sim_ms: 0.49,
+            churn_overhead_ratio: 1.0612,
+        });
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+
+        // An empty sweep still roundtrips.
+        let mut r = sample();
+        r.dynamic_graphs = Some(DynamicGraphsMetrics {
+            scale_points: Vec::new(),
+            max_patch_ratio: 0.0,
+            sublinear: false,
+            mutations: 0,
+            patched_plans: 0,
+            stale_served: 0,
+            swaps: 0,
+            amortized_churn_sim_ms: 0.0,
+            amortized_steady_sim_ms: 0.0,
+            churn_overhead_ratio: 0.0,
         });
         assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
     }

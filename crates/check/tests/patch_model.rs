@@ -1,0 +1,229 @@
+//! Model-checking the stale-swap protocol: [`SharedPlanCache::swap_patched`]
+//! racing concurrent lookups and quarantines. The bounded scheduler
+//! explores the interleavings and asserts no race, no deadlock, no lost
+//! update — after a swap completes, the patched structure is resident
+//! exactly once (or barred, never both) and the superseded plan is
+//! retired under every schedule — and that both paths keep the lock-order
+//! graph consistent (`plan-shard → quarantine-registry`, acyclic).
+//!
+//! Runs only under `RUSTFLAGS="--cfg hc_check"` with
+//! `--test-threads=1` (the model scheduler is process-global). Graphs
+//! are tiny and the worker pool is pinned to one thread so the explored
+//! state space stays small: the concurrency under test is the cache's,
+//! not the kernels'.
+#![cfg(hc_check)]
+
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, Csr, DeltaCsr, StructureFingerprint};
+use hc_check::{check_with, Options};
+use hc_core::PlanSpec;
+use hc_parallel::sync::thread;
+use hc_serve::{SharedPlanCache, SwapOutcome};
+
+fn opts() -> Options {
+    Options {
+        preemption_bound: 2,
+        max_schedules: 2048,
+        max_steps: 20_000,
+        // Racing lookups legitimately vary hit/stale counts between
+        // schedules; the final-state invariants asserted per-test hold
+        // under every interleaving.
+        expect_deterministic: false,
+        ..Options::default()
+    }
+}
+
+/// A tiny graph plus a one-edge churn delta against it.
+fn churn_pair() -> (Csr, DeltaCsr) {
+    let g = gen::erdos_renyi(24, 60, 7);
+    let (dr, dc) = (0..g.nrows)
+        .find_map(|r| g.row_cols(r).first().map(|&c| (r as u32, c)))
+        .expect("generated graph has edges");
+    let delta = DeltaCsr::new(g.nrows, g.ncols, vec![], vec![(dr, dc)])
+        .expect("deleting an existing edge is valid");
+    (g, delta)
+}
+
+/// `swap_patched` racing a lookup on the *mutated* structure: both sides
+/// may insert for the new fingerprint, first insert wins, and under no
+/// interleaving is the update lost — after both threads complete the
+/// patched structure is resident exactly once and the superseded plan is
+/// gone.
+#[test]
+fn swap_racing_lookup_never_loses_the_update() {
+    hc_parallel::set_threads(1);
+    let dev = DeviceSpec::rtx3090();
+    let (g, delta) = churn_pair();
+    let mutated = delta.apply(&g).expect("valid delta");
+    let old_fp = StructureFingerprint::of(&g);
+    let new_fp = StructureFingerprint::of(&mutated);
+    let report = check_with("patch-swap-racing-lookup", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let (resident, _) = cache.get_or_prepare(&g, &dev);
+        cache.mark_stale(old_fp);
+        let patched = Arc::new(
+            resident
+                .patch(&g, &delta, &dev)
+                .expect("valid delta patches"),
+        );
+        let swapper = {
+            let cache = Arc::clone(&cache);
+            let patched = Arc::clone(&patched);
+            thread::spawn(move || cache.swap_patched(old_fp, patched))
+        };
+        let looker = {
+            let cache = Arc::clone(&cache);
+            let mutated = mutated.clone();
+            let dev = dev.clone();
+            thread::spawn(move || {
+                let l = cache.lookup(&mutated, &dev);
+                assert_eq!(l.plan.fingerprint, new_fp);
+                u64::from(l.hit)
+            })
+        };
+        let outcome = swapper.join().expect("swapper thread");
+        let hit = looker.join().expect("looker thread");
+        assert_eq!(outcome, SwapOutcome::Swapped, "nothing was quarantined");
+        // No lost update: the mutated structure is resident exactly once
+        // and the stale plan is retired, whoever inserted first.
+        assert!(cache.peek(new_fp).is_some(), "patched structure resident");
+        assert!(cache.peek(old_fp).is_none(), "superseded plan retired");
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!(s.swaps, 1);
+        // Encode the (legitimately schedule-dependent) lookup result so
+        // the explorer proves both orders exist: the lookup either hit
+        // the freshly swapped plan or missed-and-prepared ahead of it.
+        hit
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "{}", report.summary());
+    assert!(
+        report.lock_cycles.is_empty(),
+        "lock-order graph must be acyclic: {}",
+        report.summary()
+    );
+}
+
+/// `swap_patched` racing a quarantine of the *patched* fingerprint. In
+/// either order the bar wins: after both complete the patched structure
+/// is quarantined and not resident — a quarantined fingerprint is never
+/// re-served across a swap.
+#[test]
+fn quarantine_racing_swap_keeps_the_lineage_barred() {
+    hc_parallel::set_threads(1);
+    let dev = DeviceSpec::rtx3090();
+    let (g, delta) = churn_pair();
+    let mutated = delta.apply(&g).expect("valid delta");
+    let old_fp = StructureFingerprint::of(&g);
+    let new_fp = StructureFingerprint::of(&mutated);
+    let report = check_with("patch-swap-racing-quarantine", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let (resident, _) = cache.get_or_prepare(&g, &dev);
+        cache.mark_stale(old_fp);
+        let patched = Arc::new(
+            resident
+                .patch(&g, &delta, &dev)
+                .expect("valid delta patches"),
+        );
+        let swapper = {
+            let cache = Arc::clone(&cache);
+            let patched = Arc::clone(&patched);
+            thread::spawn(move || cache.swap_patched(old_fp, patched))
+        };
+        let reaper = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.quarantine(new_fp))
+        };
+        let outcome = swapper.join().expect("swapper thread");
+        let _evicted = reaper.join().expect("reaper thread");
+        // Deterministic final state under every schedule: barred, not
+        // resident, old plan retired.
+        assert!(cache.is_quarantined(new_fp));
+        assert!(cache.peek(new_fp).is_none(), "barred fp never resident");
+        assert!(cache.peek(old_fp).is_none(), "superseded plan retired");
+        assert_eq!(cache.len(), 0);
+        // Which side won is schedule-dependent (quarantine-first refuses
+        // the swap, swap-first is evicted by the reaper); encoding it
+        // proves both orders are explored.
+        u64::from(outcome == SwapOutcome::Quarantined)
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "{}", report.summary());
+    assert!(
+        report
+            .lock_edges
+            .iter()
+            .any(|e| e.from == "plan-shard" && e.to == "quarantine-registry"),
+        "expected shard→registry acquisition edge: {}",
+        report.summary()
+    );
+    assert!(
+        report.lock_cycles.is_empty(),
+        "lock-order graph must be acyclic: {}",
+        report.summary()
+    );
+}
+
+/// `swap_patched` racing a stale lookup on the *old* structure: the
+/// request is served under every interleaving — by the stale resident
+/// plan if it wins the race, by a fresh prepare if the swap already
+/// retired it — and the final cache state is the same either way.
+#[test]
+fn stale_lookup_racing_swap_is_always_served() {
+    hc_parallel::set_threads(1);
+    let dev = DeviceSpec::rtx3090();
+    let (g, delta) = churn_pair();
+    let mutated = delta.apply(&g).expect("valid delta");
+    let old_fp = StructureFingerprint::of(&g);
+    let new_fp = StructureFingerprint::of(&mutated);
+    let report = check_with("patch-swap-racing-stale-lookup", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let (resident, _) = cache.get_or_prepare(&g, &dev);
+        cache.mark_stale(old_fp);
+        let patched = Arc::new(
+            resident
+                .patch(&g, &delta, &dev)
+                .expect("valid delta patches"),
+        );
+        let swapper = {
+            let cache = Arc::clone(&cache);
+            let patched = Arc::clone(&patched);
+            thread::spawn(move || cache.swap_patched(old_fp, patched))
+        };
+        let looker = {
+            let cache = Arc::clone(&cache);
+            let g = g.clone();
+            let dev = dev.clone();
+            thread::spawn(move || {
+                let l = cache.lookup(&g, &dev);
+                assert_eq!(l.plan.fingerprint, old_fp, "served the requested structure");
+                assert_eq!(l.hit, l.stale, "a hit on the old structure is a stale hit");
+                u64::from(l.stale)
+            })
+        };
+        let outcome = swapper.join().expect("swapper thread");
+        let stale = looker.join().expect("looker thread");
+        assert_eq!(outcome, SwapOutcome::Swapped);
+        assert!(cache.peek(new_fp).is_some());
+        // The late lookup may have re-admitted a fresh plan for the old
+        // structure after the swap retired it — legal (the structure is
+        // not barred, a straggler request may still carry it) — or the
+        // swap retired it for good. Either way the patched plan stands.
+        let s = cache.stats();
+        assert_eq!(s.swaps, 1);
+        assert!(s.stale_hits <= 1);
+        // Schedule-dependent: served stale by the old resident, or
+        // missed after retirement.
+        stale
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "{}", report.summary());
+    assert!(
+        report.lock_cycles.is_empty(),
+        "lock-order graph must be acyclic: {}",
+        report.summary()
+    );
+}

@@ -48,8 +48,8 @@ pub use kernels::straightforward::StraightforwardHybrid;
 pub use kernels::tensor::TensorSpmm;
 pub use kernels::{SpmmKernel, SpmmResult};
 pub use loa::{Loa, LoaBrute, LoaReport};
-pub use plan::{LoaLayout, Plan, PlanSpec};
-pub use preprocess::{preprocess_oracle, Preprocessed};
+pub use plan::{LoaLayout, PatchError, Plan, PlanSpec};
+pub use preprocess::{preprocess_oracle, window_preprocess_cost, Preprocessed};
 pub use resilient::{
     execute_resilient, fallback_chain, FallbackStep, HcError, OverloadReason, ResiliencePolicy,
     ResilientRun, Validation,

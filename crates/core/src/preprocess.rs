@@ -9,7 +9,7 @@
 //! training run performs.
 
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, KernelRun};
-use graph_sparse::{Csr, RowWindowPartition};
+use graph_sparse::{Csr, RowWindow, RowWindowPartition};
 
 use crate::features::WindowFeatures;
 use crate::selector::{CoreChoice, Selector};
@@ -53,32 +53,10 @@ pub fn preprocess(a: &Csr, selector: &Selector, dev: &DeviceSpec) -> Preprocesse
     // keep window order).
     let work = a.nnz() as u64 + partition.len() as u64 * 16;
     let per_window = hc_parallel::par_map(&partition.windows, work, |w| {
-        let choice = selector.choose(&WindowFeatures::of(w));
-        if w.is_empty() {
-            return (choice, None);
-        }
-        let nnz = w.nnz as u64;
-        let mut b = BlockCost {
-            warps: 8,
-            ..Default::default()
-        };
-        // Device-wide radix sort over (window, column) keys — 8 passes of
-        // 4-bit digits, each reading and re-scattering every key/value pair
-        // (8 bytes) with histogram atomics; scatters hit 32-byte sectors.
-        const SORT_PASSES: u64 = 8;
-        b.dram.transactions += nnz * 2 * SORT_PASSES;
-        b.dram.bytes_loaded += nnz * 8 * SORT_PASSES;
-        b.dram.bytes_stored += nnz * 8 * SORT_PASSES;
-        b.cuda_fma_issues += nnz.div_ceil(32) * SORT_PASSES * 4; // digit extract + rank
-        b.shared.loads += nnz.div_ceil(32) * SORT_PASSES;
-        b.shared.stores += nnz.div_ceil(32) * SORT_PASSES;
-        // Compaction pass: detect unique columns, write the condensed id
-        // array and per-entry tile offsets; then classify (two FMAs).
-        b.dram.transactions +=
-            coalesced_transactions(nnz * 8 + w.nnz_cols() as u64 * 4, dev.transaction_bytes);
-        b.dram.bytes_stored += nnz * 8 + w.nnz_cols() as u64 * 4;
-        b.cuda_fma_issues += 2;
-        (choice, Some(b))
+        (
+            selector.choose(&WindowFeatures::of(w)),
+            window_preprocess_cost(w, dev),
+        )
     });
     let mut blocks = Vec::with_capacity(partition.len());
     let mut choices = Vec::with_capacity(partition.len());
@@ -94,6 +72,39 @@ pub fn preprocess(a: &Csr, selector: &Selector, dev: &DeviceSpec) -> Preprocesse
         choices,
         run,
     }
+}
+
+/// Preprocessing cost of one window under the DTC-SpMM-derived kernel
+/// model, or `None` for an empty window (it launches no block). Factored
+/// out of [`preprocess`] so the dynamic-graph patch path
+/// ([`crate::Plan::patch`]) can bill exactly this model for the dirty
+/// windows it re-condenses — and nothing for the windows it reuses.
+pub fn window_preprocess_cost(w: &RowWindow, dev: &DeviceSpec) -> Option<BlockCost> {
+    if w.is_empty() {
+        return None;
+    }
+    let nnz = w.nnz as u64;
+    let mut b = BlockCost {
+        warps: 8,
+        ..Default::default()
+    };
+    // Device-wide radix sort over (window, column) keys — 8 passes of
+    // 4-bit digits, each reading and re-scattering every key/value pair
+    // (8 bytes) with histogram atomics; scatters hit 32-byte sectors.
+    const SORT_PASSES: u64 = 8;
+    b.dram.transactions += nnz * 2 * SORT_PASSES;
+    b.dram.bytes_loaded += nnz * 8 * SORT_PASSES;
+    b.dram.bytes_stored += nnz * 8 * SORT_PASSES;
+    b.cuda_fma_issues += nnz.div_ceil(32) * SORT_PASSES * 4; // digit extract + rank
+    b.shared.loads += nnz.div_ceil(32) * SORT_PASSES;
+    b.shared.stores += nnz.div_ceil(32) * SORT_PASSES;
+    // Compaction pass: detect unique columns, write the condensed id
+    // array and per-entry tile offsets; then classify (two FMAs).
+    b.dram.transactions +=
+        coalesced_transactions(nnz * 8 + w.nnz_cols() as u64 * 4, dev.transaction_bytes);
+    b.dram.bytes_stored += nnz * 8 + w.nnz_cols() as u64 * 4;
+    b.cuda_fma_issues += 2;
+    Some(b)
 }
 
 /// Classify every window with the *oracle*: run both cost models and pick

@@ -45,6 +45,9 @@ pub struct WorkspaceStats {
     pub cost_builds: u64,
     /// Executions served from a cached block-cost vector.
     pub cost_reuses: u64,
+    /// Block-cost vectors seeded by the plan-patch path: an old plan's
+    /// cached vector with only the dirty windows' entries recomputed.
+    pub cost_splices: u64,
     /// LOA scratch checkouts that had to allocate fresh buffers.
     pub scratch_allocs: u64,
     /// LOA scratch checkouts satisfied by recycled buffers.
@@ -57,6 +60,7 @@ impl WorkspaceStats {
     pub fn add(&mut self, other: &WorkspaceStats) {
         self.cost_builds += other.cost_builds;
         self.cost_reuses += other.cost_reuses;
+        self.cost_splices += other.cost_splices;
         self.scratch_allocs += other.scratch_allocs;
         self.scratch_reuses += other.scratch_reuses;
     }
@@ -90,10 +94,10 @@ pub struct Scratch {
 /// executing family, the feature width, and the device model; the plan's
 /// structure artifacts are fixed, so nothing else can vary them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CostKey {
-    family: KernelFamily,
-    dim: usize,
-    dev: DeviceKind,
+pub(crate) struct CostKey {
+    pub(crate) family: KernelFamily,
+    pub(crate) dim: usize,
+    pub(crate) dev: DeviceKind,
 }
 
 #[derive(Debug, Default)]
@@ -189,6 +193,27 @@ impl Workspace {
     /// Traffic counters so far.
     pub fn stats(&self) -> WorkspaceStats {
         self.lock().stats
+    }
+
+    /// The cached block-cost vectors, oldest first — what the plan-patch
+    /// path splices dirty-window entries into. Shares the `Arc`s; the
+    /// vectors themselves are immutable.
+    pub(crate) fn snapshot_costs(&self) -> Vec<(CostKey, Arc<Vec<BlockCost>>)> {
+        self.lock().costs.clone()
+    }
+
+    /// Seed a (fresh) workspace with pre-computed cost vectors, preserving
+    /// the deterministic oldest-first eviction order of the entries as
+    /// given. Entries beyond the retention cap are dropped from the front
+    /// (oldest first), exactly as [`block_costs`](Workspace::block_costs)
+    /// eviction would.
+    pub(crate) fn seed_costs(&self, entries: Vec<(CostKey, Arc<Vec<BlockCost>>)>) {
+        let mut g = self.lock();
+        let skip = entries.len().saturating_sub(MAX_COST_ENTRIES);
+        for e in entries.into_iter().skip(skip) {
+            g.stats.cost_splices += 1;
+            g.costs.push(e);
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {

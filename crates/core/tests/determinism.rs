@@ -124,6 +124,56 @@ fn kernel_outputs_bit_identical_across_thread_counts() {
         let hits: Vec<bool> = responses.iter().map(|r| r.hit).collect();
         (outcomes, wasted, hits, driver.stats())
     };
+    // Churn: the incremental re-plan path is thread-count-deterministic
+    // too. Patching a plan and executing it must produce the same bit
+    // pattern — outputs, fingerprints and simulated times — at 1, 2 and
+    // 8 threads, and always match a from-scratch prepare on the mutated
+    // graph.
+    let churn_base = &serve_graphs[0];
+    let (dr, dc) = (0..churn_base.nrows)
+        .find_map(|r| churn_base.row_cols(r).first().map(|&c| (r as u32, c)))
+        .expect("generated graph has edges");
+    let delta = graph_sparse::DeltaCsr::new(
+        churn_base.nrows,
+        churn_base.ncols,
+        vec![((dr + 1) % churn_base.nrows as u32, dc, 1.25)],
+        vec![(dr, dc)],
+    )
+    .expect("one insert, one delete: valid churn delta");
+    let mutated = match delta.apply(churn_base) {
+        Ok(m) => m,
+        Err(e) => panic!("delta applies to its base: {e}"),
+    };
+    let xm = DenseMatrix::random_features(mutated.ncols, 16, 77);
+    let churn_at = |threads: usize| {
+        hc_parallel::set_threads(threads);
+        let base = hc_core::Plan::prepare(churn_base, PlanSpec::hybrid(), &dev);
+        let patched = match base.patch(churn_base, &delta, &dev) {
+            Ok(p) => p,
+            Err(e) => panic!("valid delta patches: {e}"),
+        };
+        let out = patched.execute(&mutated, &xm, &dev);
+        (
+            patched.fingerprint,
+            out.z,
+            out.run.time_ms.to_bits(),
+            patched.sim_prepare_ms().to_bits(),
+        )
+    };
+    let serial_churn = churn_at(1);
+    assert_eq!(
+        serial_churn.0,
+        graph_sparse::StructureFingerprint::of(&mutated),
+        "patched fingerprint must key the mutated structure"
+    );
+    for threads in [2, 8] {
+        assert_eq!(
+            serial_churn,
+            churn_at(threads),
+            "patched plan at {threads} threads differs from single-thread"
+        );
+    }
+
     for (seed, rate) in [(17u64, 0.3f64), (99, 0.8)] {
         let (o1, w1, h1, s1) = chaos_batch(1, seed, rate);
         assert!(

@@ -1,0 +1,103 @@
+//! Differential equivalence: a patched plan must be indistinguishable
+//! from a plan prepared from scratch on the mutated graph.
+//!
+//! [`Plan::patch`] re-condenses only the windows a delta dirties and
+//! splices cached block costs for the untouched ones, so the property
+//! worth money is that none of that thrift is observable: for random
+//! graphs and random valid deltas, across all four kernel families, the
+//! patched plan has the identical fingerprint, checkpoint state, window
+//! partition and selector choices as `Plan::prepare` on the mutated
+//! graph — and executes to the bit-identical output with the
+//! bit-identical simulated time (which prices every block cost, so a
+//! single mis-spliced cost entry would show up here).
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{Coo, Csr, DeltaCsr, DenseMatrix};
+use hc_core::{KernelFamily, Plan, PlanSpec};
+use proptest::prelude::*;
+
+fn arb_entries() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
+    (8usize..80, 8usize..80).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r as u32, 0..c as u32, -5.0f32..5.0), 1..400)
+            .prop_map(move |es| (r, c, es))
+    })
+}
+
+/// A graph plus a valid delta against it, same recipe as the sparse-side
+/// property tests: a mask picks edges to delete, candidate cells not
+/// already present become inserts.
+fn arb_case() -> impl Strategy<Value = (Csr, DeltaCsr)> {
+    arb_entries().prop_flat_map(|(r, c, es)| {
+        let a = Coo::from_triples(r, c, es).to_csr();
+        let nnz = a.nnz().max(1);
+        (
+            Just(a),
+            proptest::collection::vec(0u32..2, nnz),
+            proptest::collection::vec((0..r as u32, 0..c as u32, 0.5f32..2.0), 0..10),
+        )
+            .prop_map(|(a, mask, candidates)| {
+                let mut deletes = Vec::new();
+                let mut k = 0;
+                for row in 0..a.nrows {
+                    for &col in a.row_cols(row) {
+                        if mask.get(k).copied().unwrap_or(0) == 1 {
+                            deletes.push((row as u32, col));
+                        }
+                        k += 1;
+                    }
+                }
+                let mut seen = std::collections::HashSet::new();
+                let mut inserts = Vec::new();
+                for (ri, ci, v) in candidates {
+                    if !a.row_cols(ri as usize).contains(&ci) && seen.insert((ri, ci)) {
+                        inserts.push((ri, ci, v));
+                    }
+                }
+                let delta = DeltaCsr::new(a.nrows, a.ncols, inserts, deletes)
+                    .expect("constructed valid against the base");
+                (a, delta)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn patched_plan_is_indistinguishable_from_fresh_prepare(
+        (a, delta) in arb_case(),
+    ) {
+        let dev = DeviceSpec::rtx3090();
+        let b = delta.apply(&a).expect("valid against its base");
+        let x = DenseMatrix::random_features(a.ncols, 8, 5);
+        for family in [
+            KernelFamily::Straightforward,
+            KernelFamily::Cuda,
+            KernelFamily::Tensor,
+            KernelFamily::Hybrid,
+        ] {
+            let spec = PlanSpec { family, use_loa: false };
+            let base = Plan::prepare(&a, spec, &dev);
+            // Warm the workspace so the patch exercises cost splicing,
+            // not just the rebuild path.
+            base.execute(&a, &x, &dev);
+            let patched = base.patch(&a, &delta, &dev).expect("valid delta patches");
+            let fresh = Plan::prepare(&b, spec, &dev);
+
+            prop_assert_eq!(patched.fingerprint, fresh.fingerprint);
+            prop_assert_eq!(&patched.fingerprint_state, &fresh.fingerprint_state);
+            prop_assert_eq!(&patched.pre.partition, &fresh.pre.partition);
+            prop_assert_eq!(&patched.pre.choices, &fresh.pre.choices);
+
+            let got = patched.execute(&b, &x, &dev);
+            let want = fresh.execute(&b, &x, &dev);
+            prop_assert_eq!(&got.z, &want.z, "family {:?}: outputs differ", family);
+            prop_assert_eq!(
+                got.run.time_ms.to_bits(),
+                want.run.time_ms.to_bits(),
+                "family {:?}: simulated time differs — a block cost was mis-spliced",
+                family
+            );
+        }
+    }
+}

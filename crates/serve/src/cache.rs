@@ -37,6 +37,13 @@ pub struct CacheStats {
     /// Misses forced by quarantine: the structure was (or would have been)
     /// cached, but its plans are barred from residency.
     pub quarantine_misses: u64,
+    /// Hits served from a plan flagged stale (a mutation superseded its
+    /// structure and the patched replacement has not been swapped in yet).
+    /// A subset of `hits`.
+    pub stale_hits: u64,
+    /// Patched plans swapped in over their predecessor (the old entry is
+    /// removed, the new one admitted first-insert-wins).
+    pub swaps: u64,
 }
 
 impl CacheStats {
@@ -54,6 +61,9 @@ struct Entry {
     plan: Arc<Plan>,
     bytes: u64,
     last_used: u64,
+    /// A mutation superseded this plan's structure; it keeps serving
+    /// (flagged) until the patched replacement is swapped in.
+    stale: bool,
 }
 
 /// Structure-keyed LRU plan cache. One cache serves one [`PlanSpec`] —
@@ -90,7 +100,7 @@ impl PlanCache {
     /// same hits, evictions and counters at any thread count.
     pub fn get_or_prepare(&mut self, a: &Csr, dev: &DeviceSpec) -> (Arc<Plan>, bool) {
         let fp = StructureFingerprint::of(a);
-        if let Some(plan) = self.touch(fp) {
+        if let Some((plan, _stale)) = self.touch(fp) {
             return (plan, true);
         }
         let plan = Arc::new(Plan::prepare(a, self.spec, dev));
@@ -105,22 +115,64 @@ impl PlanCache {
     }
 
     /// Record a lookup: on a hit, refresh the LRU stamp and return the
-    /// resident plan; on a miss, count it and return `None` — the caller
-    /// prepares the plan (outside any lock, in the sharded cache) and
-    /// offers it back via [`admit`](PlanCache::admit). Split out of
+    /// resident plan plus its staleness flag; on a miss, count it and
+    /// return `None` — the caller prepares the plan (outside any lock, in
+    /// the sharded cache) and offers it back via
+    /// [`admit`](PlanCache::admit). Split out of
     /// [`get_or_prepare`](PlanCache::get_or_prepare) so
     /// [`SharedPlanCache`](crate::SharedPlanCache) never holds a shard
     /// lock across `Plan::prepare`.
-    pub fn touch(&mut self, fp: StructureFingerprint) -> Option<Arc<Plan>> {
+    pub fn touch(&mut self, fp: StructureFingerprint) -> Option<(Arc<Plan>, bool)> {
         self.stats.requests += 1;
         self.clock += 1;
         if let Some(e) = self.entries.get_mut(&fp) {
             e.last_used = self.clock;
             self.stats.hits += 1;
-            return Some(Arc::clone(&e.plan));
+            if e.stale {
+                self.stats.stale_hits += 1;
+            }
+            return Some((Arc::clone(&e.plan), e.stale));
         }
         self.stats.misses += 1;
         None
+    }
+
+    /// The resident plan for `fp`, without counting a request or bumping
+    /// the LRU stamp. The patch path uses this to fetch the superseded
+    /// plan as patch base without perturbing eviction order.
+    pub fn peek(&self, fp: StructureFingerprint) -> Option<Arc<Plan>> {
+        self.entries.get(&fp).map(|e| Arc::clone(&e.plan))
+    }
+
+    /// Flag the resident plan for `fp` stale: a mutation superseded its
+    /// structure, and until the patched plan is swapped in it keeps
+    /// serving with every hit counted in `stale_hits`. Returns whether a
+    /// plan was resident to flag.
+    pub fn mark_stale(&mut self, fp: StructureFingerprint) -> bool {
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.stale = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove the entry for `fp` (the swap path retires the superseded
+    /// plan this way; not counted as an eviction). Returns whether a plan
+    /// was resident.
+    pub fn remove(&mut self, fp: StructureFingerprint) -> bool {
+        if let Some(e) = self.entries.remove(&fp) {
+            self.bytes -= e.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Count a patched-plan swap (the new structure's shard owns the
+    /// counter).
+    pub fn note_swap(&mut self) {
+        self.stats.swaps += 1;
     }
 
     /// Count a miss that quarantine barred from admission (pairs with a
@@ -156,6 +208,7 @@ impl PlanCache {
                 plan: Arc::clone(&plan),
                 bytes,
                 last_used: self.clock,
+                stale: false,
             },
         );
         plan
@@ -388,6 +441,32 @@ mod tests {
         assert!(!hit);
         let (_, hit) = cache.get_or_prepare(&gs[1], &dev);
         assert!(hit);
+    }
+
+    #[test]
+    fn stale_flag_sticks_until_removal_and_counts_hits() {
+        let dev = DeviceSpec::rtx3090();
+        let a = &graphs()[0];
+        let fp = StructureFingerprint::of(a);
+        let mut cache = PlanCache::new(u64::MAX, PlanSpec::hybrid());
+        assert!(!cache.mark_stale(fp), "nothing resident yet");
+        let (plan, _) = cache.get_or_prepare(a, &dev);
+        assert!(cache.peek(fp).is_some());
+        assert!(cache.mark_stale(fp));
+        // Stale plans keep serving, flagged and counted.
+        let (p, stale) = cache.touch(fp).expect("resident");
+        assert!(stale);
+        assert!(Arc::ptr_eq(&p, &plan));
+        assert_eq!(cache.stats().stale_hits, 1);
+        // peek does not count anything.
+        assert!(cache.peek(fp).is_some());
+        let s = cache.stats();
+        assert_eq!((s.requests, s.hits), (2, 1));
+        // Removal retires the entry without an eviction tick.
+        assert!(cache.remove(fp));
+        assert!(!cache.remove(fp));
+        assert_eq!(cache.bytes_used(), 0);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

@@ -74,14 +74,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gpu_sim::DeviceSpec;
-use graph_sparse::{DenseMatrix, StructureFingerprint};
+use graph_sparse::{Csr, DeltaCsr, DenseMatrix, StructureFingerprint};
 use hc_core::{HcError, OverloadReason, PlanSpec, ResiliencePolicy};
 use hc_parallel::sync::channel::Bounded;
 use hc_parallel::sync::{thread, Mutex};
 
 use crate::cache::CacheStats;
 use crate::driver::{execute_planned, screen_request, Outcome, Request};
-use crate::shared::SharedPlanCache;
+use crate::shared::{SharedPlanCache, SwapOutcome};
 
 /// Opaque tenant identifier. Quotas and SLO accounting key on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -100,6 +100,52 @@ pub struct FrontRequest {
     pub tenant: TenantId,
     /// The (graph, features) request itself.
     pub request: Request,
+}
+
+/// A structure mutation arriving on the control plane: an edge-churn
+/// delta against a known base graph. Admitted outside the data-plane
+/// queue and quotas; see [`Front::run_events`].
+#[derive(Clone)]
+pub struct Mutation {
+    /// The graph the delta applies to (must match a structure the front
+    /// has seen for the patch path to engage).
+    pub base: Arc<Csr>,
+    /// The edge insert/delete batch.
+    pub delta: DeltaCsr,
+}
+
+/// One front-end trace event: a data-plane serving request or a
+/// control-plane structure mutation.
+#[derive(Clone)]
+pub enum FrontEvent {
+    /// Serve a tenant request (admission-controlled).
+    Serve(FrontRequest),
+    /// Apply a structure mutation (bypasses queue and quotas).
+    Mutate(Mutation),
+}
+
+/// What the front did with one [`Mutation`], in trace order. The old
+/// plan keeps serving — flagged stale — from the moment the mutation is
+/// admitted until the patched plan is swapped in at the epoch barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationOutcome {
+    /// Position in the event trace.
+    pub trace_index: usize,
+    /// Scheduling epoch the mutation fell into.
+    pub epoch: usize,
+    /// Fingerprint of the base (pre-mutation) structure.
+    pub old_fp: StructureFingerprint,
+    /// Fingerprint of the mutated structure, when the delta applied
+    /// cleanly.
+    pub new_fp: Option<StructureFingerprint>,
+    /// Whether a resident plan was found and patched (vs. nothing
+    /// resident, or the patch refused — LOA plan, delta/base mismatch).
+    pub patched: bool,
+    /// What the cache did with the patched plan, when one was built.
+    pub swap: Option<SwapOutcome>,
+    /// Simulated cost of the incremental re-plan (dirty windows only);
+    /// 0 when no patch was built.
+    pub patch_sim_ms: f64,
 }
 
 /// Front-end tuning knobs. All counts are clamped to ≥ 1 at run time.
@@ -151,6 +197,10 @@ pub struct FrontResponse {
     pub outcome: Outcome,
     /// Whether the cohort's plan came from the cache.
     pub hit: bool,
+    /// Whether the cohort's plan was stale: a mutation superseded its
+    /// structure and the request was served by the old plan while the
+    /// patched replacement was still being built (stale-plan tolerance).
+    pub stale: bool,
     /// Global cohort id, when the request reached execution.
     pub cohort: Option<u64>,
     /// Members in that cohort (≥ 1 when executed, 0 otherwise).
@@ -206,6 +256,13 @@ pub struct FrontCounters {
     pub epochs: u64,
     /// Cohorts whose plan was quarantined after a poisoning fault.
     pub quarantined_cohorts: u64,
+    /// Control-plane mutations ingested (not counted in `submitted`).
+    pub mutations: u64,
+    /// Mutations resolved by patching the resident plan incrementally.
+    pub patched_plans: u64,
+    /// Requests served by a stale plan (mutation admitted, patched plan
+    /// not yet swapped in).
+    pub stale_served: u64,
 }
 
 impl FrontCounters {
@@ -273,6 +330,9 @@ pub struct FrontReport {
     pub latency: LatencyStats,
     /// Per-tenant accounting, ordered by tenant id.
     pub tenants: Vec<TenantStats>,
+    /// One outcome per [`FrontEvent::Mutate`] in the trace, in trace
+    /// order (empty for pure serving traces).
+    pub mutations: Vec<MutationOutcome>,
     /// Plan-cache counters after the run.
     pub cache: CacheStats,
     /// Host wall-clock ms for the whole trace (the one
@@ -310,6 +370,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 struct CohortJob<'t> {
     id: u64,
     hit: bool,
+    stale: bool,
     plan: Arc<hc_core::Plan>,
     fp: StructureFingerprint,
     /// Full preparation cost when this cohort missed, else 0.
@@ -331,6 +392,7 @@ struct MemberOut {
 struct CohortDone {
     id: u64,
     hit: bool,
+    stale: bool,
     fp: StructureFingerprint,
     size: usize,
     poisoned: bool,
@@ -373,7 +435,30 @@ impl Front {
     /// resolution → parallel execution. Never panics on request content;
     /// every trace entry comes back with a typed outcome, in trace
     /// order. Deterministic at any worker count (module docs).
+    /// Equivalent to [`run_events`](Front::run_events) over a trace with
+    /// no mutations.
     pub fn run_trace(&self, trace: &[FrontRequest], dev: &DeviceSpec) -> FrontReport {
+        let events: Vec<FrontEvent> = trace.iter().cloned().map(FrontEvent::Serve).collect();
+        self.run_events(&events, dev)
+    }
+
+    /// Serve a mixed trace of data-plane requests and control-plane
+    /// structure mutations.
+    ///
+    /// Mutations bypass the ingestion queue and tenant quotas (they are
+    /// operator actions, not tenant traffic). At admission the mutation
+    /// marks the base structure's resident plan *stale*; the plan keeps
+    /// serving — every such response is flagged
+    /// [`stale`](FrontResponse::stale) and counted in
+    /// [`stale_served`](FrontCounters::stale_served) — for the rest of
+    /// the epoch. At the epoch barrier the scheduler thread patches the
+    /// resident plan incrementally ([`hc_core::Plan::patch`], dirty
+    /// windows only) and swaps it in first-insert-wins, with quarantine
+    /// preserved across the swap; from the next epoch on, requests on the
+    /// mutated structure hit the patched plan. Epoch batching means a
+    /// mutation affects every request of its own epoch regardless of
+    /// relative position within the epoch.
+    pub fn run_events(&self, events: &[FrontEvent], dev: &DeviceSpec) -> FrontReport {
         let t0 = Instant::now();
         let cfg = self.cfg;
         let queue_depth = cfg.queue_depth.max(1);
@@ -382,17 +467,31 @@ impl Front {
         let max_cohort = cfg.max_cohort.max(1);
 
         let mut counters = FrontCounters::default();
-        let mut slots: Vec<Option<FrontResponse>> = trace.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<FrontResponse>> = events.iter().map(|_| None).collect();
+        let mut mutation_outs: Vec<MutationOutcome> = Vec::new();
 
-        for (epoch, arrivals) in trace.chunks(epoch_len).enumerate() {
+        for (epoch, arrivals) in events.chunks(epoch_len).enumerate() {
             counters.epochs += 1;
             let base = epoch * epoch_len;
 
             // --- Admission: arrival order, pure function of the trace.
+            // Mutations are admitted unconditionally (control plane) and
+            // immediately flag the superseded plan stale; patching waits
+            // for the epoch barrier.
             let mut admitted: Vec<(usize, &FrontRequest)> = Vec::new();
+            let mut epoch_mutations: Vec<(usize, &Mutation)> = Vec::new();
             let mut per_tenant: HashMap<TenantId, usize> = HashMap::new();
-            for (off, fr) in arrivals.iter().enumerate() {
+            for (off, ev) in arrivals.iter().enumerate() {
                 let ti = base + off;
+                let fr = match ev {
+                    FrontEvent::Serve(fr) => fr,
+                    FrontEvent::Mutate(m) => {
+                        counters.mutations += 1;
+                        self.cache.mark_stale(StructureFingerprint::of(&m.base));
+                        epoch_mutations.push((ti, m));
+                        continue;
+                    }
+                };
                 counters.submitted += 1;
                 let reason = if admitted.len() >= queue_depth {
                     Some(OverloadReason::QueueFull)
@@ -412,6 +511,7 @@ impl Front {
                         epoch,
                         outcome: Outcome::Failed(HcError::Overloaded { reason }),
                         hit: false,
+                        stale: false,
                         cohort: None,
                         cohort_size: 0,
                         exec_sim_ms: 0.0,
@@ -433,6 +533,7 @@ impl Front {
                         epoch,
                         outcome: Outcome::Failed(e),
                         hit: false,
+                        stale: false,
                         cohort: None,
                         cohort_size: 0,
                         exec_sim_ms: 0.0,
@@ -463,8 +564,8 @@ impl Front {
             for (fp, members) in groups {
                 for chunk in members.chunks(max_cohort) {
                     let (_, first) = chunk[0];
-                    let (plan, hit) = self.cache.get_or_prepare(&first.request.graph, dev);
-                    let prepare_ms = if hit { 0.0 } else { plan.sim_prepare_ms() };
+                    let l = self.cache.lookup(&first.request.graph, dev);
+                    let prepare_ms = if l.hit { 0.0 } else { l.plan.sim_prepare_ms() };
                     let id = counters.cohorts;
                     counters.cohorts += 1;
                     if chunk.len() >= 2 {
@@ -472,8 +573,9 @@ impl Front {
                     }
                     jobs.push(CohortJob {
                         id,
-                        hit,
-                        plan,
+                        hit: l.hit,
+                        stale: l.stale,
+                        plan: l.plan,
                         fp,
                         prepare_ms,
                         members: chunk.to_vec(),
@@ -532,6 +634,7 @@ impl Front {
                                 done.lock().push(CohortDone {
                                     id: job.id,
                                     hit: job.hit,
+                                    stale: job.stale,
                                     fp: job.fp,
                                     size: job.members.len(),
                                     poisoned,
@@ -563,12 +666,20 @@ impl Front {
                 }
                 for out in c.outs {
                     counters.completed += 1;
+                    if c.stale {
+                        counters.stale_served += 1;
+                    }
+                    let tenant = match &events[out.trace_index] {
+                        FrontEvent::Serve(fr) => fr.tenant,
+                        FrontEvent::Mutate(_) => unreachable!("mutations never join cohorts"),
+                    };
                     slots[out.trace_index] = Some(FrontResponse {
-                        tenant: trace[out.trace_index].tenant,
+                        tenant,
                         trace_index: out.trace_index,
                         epoch,
                         outcome: out.outcome,
                         hit: c.hit,
+                        stale: c.stale,
                         cohort: Some(c.id),
                         cohort_size: c.size,
                         exec_sim_ms: out.exec_sim_ms,
@@ -578,11 +689,65 @@ impl Front {
                     });
                 }
             }
+
+            // --- Mutation barrier: patch + swap on the scheduler thread,
+            // in arrival order, after the epoch's cohorts drained — the
+            // stale plan served this epoch; the patched plan serves the
+            // next.
+            for (ti, m) in epoch_mutations {
+                let old_fp = StructureFingerprint::of(&m.base);
+                let mut out = MutationOutcome {
+                    trace_index: ti,
+                    epoch,
+                    old_fp,
+                    new_fp: None,
+                    patched: false,
+                    swap: None,
+                    patch_sim_ms: 0.0,
+                };
+                match self.cache.peek(old_fp) {
+                    Some(resident) => match resident.patch(&m.base, &m.delta, dev) {
+                        Ok(patched) => {
+                            out.patched = true;
+                            out.patch_sim_ms = patched.sim_prepare_ms();
+                            out.new_fp = Some(patched.fingerprint);
+                            counters.patched_plans += 1;
+                            out.swap = Some(self.cache.swap_patched(old_fp, Arc::new(patched)));
+                        }
+                        Err(_) => {
+                            // Unpatchable (LOA plan, or the delta
+                            // disagrees with the base): retire the stale
+                            // entry; the mutated structure prepares from
+                            // scratch on its next request.
+                            self.cache.remove(old_fp);
+                            out.new_fp = m
+                                .delta
+                                .apply(&m.base)
+                                .ok()
+                                .map(|g| StructureFingerprint::of(&g));
+                        }
+                    },
+                    None => {
+                        // Nothing resident to patch, so nothing stale is
+                        // serving either.
+                        out.new_fp = m
+                            .delta
+                            .apply(&m.base)
+                            .ok()
+                            .map(|g| StructureFingerprint::of(&g));
+                    }
+                }
+                mutation_outs.push(out);
+            }
         }
 
         let responses: Vec<FrontResponse> = slots
             .into_iter()
-            .map(|s| s.expect("every trace entry produces a response"))
+            .zip(events)
+            .filter_map(|(s, ev)| match ev {
+                FrontEvent::Serve(_) => Some(s.expect("every serve event produces a response")),
+                FrontEvent::Mutate(_) => None,
+            })
             .collect();
 
         // --- Aggregation.
@@ -653,6 +818,7 @@ impl Front {
             counters,
             latency,
             tenants,
+            mutations: mutation_outs,
             cache: self.cache.stats(),
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         }
@@ -892,6 +1058,96 @@ mod tests {
         assert!(base.cache.hits > 0);
         assert!(base.latency.p99_sim_ms >= base.latency.p50_sim_ms);
         assert!(base.latency.max_sim_ms >= base.latency.p99_sim_ms);
+    }
+
+    #[test]
+    fn mutation_serves_stale_then_swaps_the_patched_plan() {
+        use graph_sparse::DeltaCsr;
+        let dev = DeviceSpec::rtx3090();
+        let g0 = Arc::new(gen::erdos_renyi(96, 420, 700));
+        let (r, &c) = (0..g0.nrows)
+            .find_map(|r| g0.row_cols(r).first().map(|col| (r, col)))
+            .expect("graph has edges");
+        let delta = DeltaCsr::new(g0.nrows, g0.ncols, vec![], vec![(r as u32, c)]).expect("valid");
+        let g1 = Arc::new(delta.apply(&g0).expect("applies"));
+
+        // Epochs of 4: [serve g0 ×4] [serve g0 ×2, mutate, serve g0]
+        // [serve g1 ×4]. The mutation epoch serves g0 stale (epoch
+        // batching: the whole epoch, not just arrivals after the event);
+        // the next epoch hits the swapped patched plan.
+        let req = |g: &Arc<Csr>, i: u64| {
+            FrontEvent::Serve(FrontRequest {
+                tenant: TenantId((i % 3) as u32),
+                request: Request {
+                    graph: Arc::clone(g),
+                    features: DenseMatrix::random_features(g.ncols, 8, i),
+                },
+            })
+        };
+        let mut events: Vec<FrontEvent> = (0..6).map(|i| req(&g0, i)).collect();
+        events.push(FrontEvent::Mutate(Mutation {
+            base: Arc::clone(&g0),
+            delta,
+        }));
+        events.push(req(&g0, 6));
+        events.extend((7..11).map(|i| req(&g1, i)));
+
+        let front = Front::new(
+            u64::MAX / 16,
+            PlanSpec::hybrid(),
+            4,
+            FrontConfig {
+                workers: 2,
+                arrivals_per_epoch: 4,
+                ..Default::default()
+            },
+        );
+        let rep = front.run_events(&events, &dev);
+
+        let c = rep.counters;
+        assert_eq!(c.submitted, 11, "mutations are not submissions");
+        assert_eq!(c.admitted, 11);
+        assert_eq!(c.completed, 11);
+        assert_eq!((c.mutations, c.patched_plans), (1, 1));
+        // Epoch 0 fresh, epoch 1 (3 requests, all stale), epoch 2 on g1.
+        assert_eq!(c.stale_served, 3);
+        let stale_idx: Vec<usize> = rep
+            .responses
+            .iter()
+            .filter(|r| r.stale)
+            .map(|r| r.trace_index)
+            .collect();
+        assert_eq!(stale_idx, vec![4, 5, 7]);
+
+        // The mutation outcome records the incremental re-plan.
+        assert_eq!(rep.mutations.len(), 1);
+        let m = &rep.mutations[0];
+        assert_eq!((m.trace_index, m.epoch), (6, 1));
+        assert!(m.patched);
+        assert_eq!(m.swap, Some(SwapOutcome::Swapped));
+        assert_eq!(m.new_fp, Some(StructureFingerprint::of(&g1)));
+        assert!(m.patch_sim_ms > 0.0);
+
+        // Epoch 2: g1 requests hit the swapped plan (no fresh prepare)
+        // and are bit-identical to an untouched front serving g1 cold.
+        let g1_responses: Vec<&FrontResponse> = rep
+            .responses
+            .iter()
+            .filter(|r| r.trace_index >= 8)
+            .collect();
+        assert!(g1_responses.iter().all(|r| r.hit && !r.stale));
+        assert_eq!(rep.cache.swaps, 1);
+        let control = Front::new(u64::MAX / 16, PlanSpec::hybrid(), 4, FrontConfig::default());
+        let control_trace: Vec<FrontRequest> = (7..11)
+            .map(|i| match req(&g1, i) {
+                FrontEvent::Serve(fr) => fr,
+                FrontEvent::Mutate(_) => unreachable!(),
+            })
+            .collect();
+        let control_rep = control.run_trace(&control_trace, &dev);
+        for (got, want) in g1_responses.iter().zip(&control_rep.responses) {
+            assert_eq!(got.z(), want.z(), "patched plan must serve bit-identically");
+        }
     }
 
     #[test]

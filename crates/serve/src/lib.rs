@@ -37,7 +37,7 @@ pub mod shared;
 pub use cache::{CacheStats, PlanCache};
 pub use driver::{BatchDriver, BatchSummary, Outcome, Request, Response};
 pub use front::{
-    Front, FrontConfig, FrontCounters, FrontReport, FrontRequest, FrontResponse, LatencyStats,
-    TenantId, TenantStats,
+    Front, FrontConfig, FrontCounters, FrontEvent, FrontReport, FrontRequest, FrontResponse,
+    LatencyStats, Mutation, MutationOutcome, TenantId, TenantStats,
 };
-pub use shared::SharedPlanCache;
+pub use shared::{Lookup, SharedPlanCache, SwapOutcome};

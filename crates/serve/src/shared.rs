@@ -52,6 +52,32 @@ use hc_parallel::sync::Mutex;
 
 use crate::cache::{CacheStats, PlanCache};
 
+/// One lookup's result: the plan, whether it came from the cache, and
+/// whether the served plan is stale (superseded by a mutation whose
+/// patched plan has not been swapped in yet).
+#[derive(Debug, Clone)]
+pub struct Lookup {
+    /// The plan serving this request.
+    pub plan: Arc<Plan>,
+    /// Whether the plan came from the cache.
+    pub hit: bool,
+    /// Whether the served plan is flagged stale.
+    pub stale: bool,
+}
+
+/// What [`SharedPlanCache::swap_patched`] did with the patched plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// The patched plan (or a first-insert-wins racer's identical copy)
+    /// is resident under the new fingerprint; the superseded entry is
+    /// retired.
+    Swapped,
+    /// The old or new fingerprint was quarantined, so the patched plan —
+    /// derived from a poisoned lineage — was barred and the new
+    /// fingerprint quarantined as well.
+    Quarantined,
+}
+
 /// Sharded, internally synchronized [`PlanCache`]: fingerprint-addressed
 /// lanes under independent locks, one shared quarantine registry. See
 /// the module docs for the concurrency contract.
@@ -78,8 +104,12 @@ impl SharedPlanCache {
         }
     }
 
+    fn shard_index(&self, fp: StructureFingerprint) -> usize {
+        fp.lo as usize & self.mask
+    }
+
     fn shard(&self, fp: StructureFingerprint) -> &Mutex<PlanCache> {
-        &self.shards[fp.lo as usize & self.mask]
+        &self.shards[self.shard_index(fp)]
     }
 
     /// Look up the plan for `a`'s structure, preparing (and, budget and
@@ -88,9 +118,22 @@ impl SharedPlanCache {
     /// concurrent racers on the same fingerprint converge on one resident
     /// plan (first insert wins).
     pub fn get_or_prepare(&self, a: &Csr, dev: &DeviceSpec) -> (Arc<Plan>, bool) {
+        let l = self.lookup(a, dev);
+        (l.plan, l.hit)
+    }
+
+    /// [`get_or_prepare`](SharedPlanCache::get_or_prepare) with the served
+    /// plan's staleness exposed: `stale` is true when a mutation has
+    /// superseded the plan's structure and the patched replacement has not
+    /// been swapped in yet. Freshly prepared plans are never stale.
+    pub fn lookup(&self, a: &Csr, dev: &DeviceSpec) -> Lookup {
         let fp = StructureFingerprint::of(a);
-        if let Some(plan) = self.shard(fp).lock().touch(fp) {
-            return (plan, true);
+        if let Some((plan, stale)) = self.shard(fp).lock().touch(fp) {
+            return Lookup {
+                plan,
+                hit: true,
+                stale,
+            };
         }
         // Miss counted; prepare outside the lock.
         let plan = Arc::new(Plan::prepare(a, self.spec, dev));
@@ -100,9 +143,79 @@ impl SharedPlanCache {
         let barred = self.quarantine.lock().contains(&fp);
         if barred {
             shard.note_quarantine_miss();
-            return (plan, false);
+            return Lookup {
+                plan,
+                hit: false,
+                stale: false,
+            };
         }
-        (shard.admit(fp, plan), false)
+        Lookup {
+            plan: shard.admit(fp, plan),
+            hit: false,
+            stale: false,
+        }
+    }
+
+    /// The resident plan for `fp` without counting a request or bumping
+    /// the LRU stamp — the patch path fetches the superseded plan as patch
+    /// base this way.
+    pub fn peek(&self, fp: StructureFingerprint) -> Option<Arc<Plan>> {
+        self.shard(fp).lock().peek(fp)
+    }
+
+    /// Flag the resident plan for `fp` stale (a mutation superseded its
+    /// structure). It keeps serving — every subsequent hit is flagged and
+    /// counted in `stale_hits` — until [`swap_patched`]
+    /// (SharedPlanCache::swap_patched) retires it. Returns whether a plan
+    /// was resident to flag.
+    pub fn mark_stale(&self, fp: StructureFingerprint) -> bool {
+        self.shard(fp).lock().mark_stale(fp)
+    }
+
+    /// Retire the resident plan for `fp` without quarantining it (the
+    /// unpatchable-mutation path: the structure changed but no patched
+    /// plan could be derived, so the next request prepares from scratch).
+    /// Returns whether a plan was resident.
+    pub fn remove(&self, fp: StructureFingerprint) -> bool {
+        self.shard(fp).lock().remove(fp)
+    }
+
+    /// Install a patched plan over the plan it supersedes: admit `plan`
+    /// under its own fingerprint (first insert wins — a racing prepare for
+    /// the same structure and this swap converge on one resident plan),
+    /// then retire the superseded entry. Quarantine is preserved across
+    /// the swap: if *either* fingerprint is quarantined the patched plan
+    /// is barred from residency and its fingerprint is quarantined too —
+    /// it derives from a poisoned plan.
+    ///
+    /// Locking: the new structure's shard, then the registry (the global
+    /// shard → registry order), released before the old structure's shard
+    /// is taken. No path ever holds two shards at once.
+    pub fn swap_patched(&self, old_fp: StructureFingerprint, plan: Arc<Plan>) -> SwapOutcome {
+        let new_fp = plan.fingerprint;
+        let outcome = {
+            let mut shard = self.shard(new_fp).lock();
+            // Lock order: shard → quarantine registry.
+            let mut reg = self.quarantine.lock();
+            if reg.contains(&old_fp) || reg.contains(&new_fp) {
+                reg.insert(new_fp);
+                drop(reg);
+                shard.quarantine(new_fp);
+                SwapOutcome::Quarantined
+            } else {
+                drop(reg);
+                shard.note_swap();
+                shard.admit(new_fp, plan);
+                SwapOutcome::Swapped
+            }
+        };
+        // Retire the superseded entry (its shard locked on its own; an
+        // empty delta patches in place, in which case there is nothing to
+        // retire — the admit above already refreshed the entry).
+        if old_fp != new_fp {
+            self.shard(old_fp).lock().remove(old_fp);
+        }
+        outcome
     }
 
     /// Quarantine a structure after its plan produced a fault: register
@@ -136,6 +249,8 @@ impl SharedPlanCache {
             total.rejected += st.rejected;
             total.quarantined += st.quarantined;
             total.quarantine_misses += st.quarantine_misses;
+            total.stale_hits += st.stale_hits;
+            total.swaps += st.swaps;
         }
         total
     }
@@ -236,6 +351,79 @@ mod tests {
             assert!(Arc::ptr_eq(&p1, &p2));
             assert_eq!(p1.execute(g, &x, &dev).z, fresh);
         }
+    }
+
+    #[test]
+    fn swap_patched_replaces_the_stale_plan() {
+        use graph_sparse::DeltaCsr;
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::erdos_renyi(192, 800, 41);
+        let cache = SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 4);
+        let l = cache.lookup(&a, &dev);
+        assert!(!l.hit && !l.stale);
+        let old_fp = l.plan.fingerprint;
+
+        // Mutation admitted: the old plan serves on, flagged stale.
+        assert!(cache.mark_stale(old_fp));
+        let l = cache.lookup(&a, &dev);
+        assert!(l.hit && l.stale);
+        assert_eq!(cache.stats().stale_hits, 1);
+
+        // Patch off the resident plan and swap.
+        let (r, &c) = (0..a.nrows)
+            .find_map(|r| a.row_cols(r).first().map(|c| (r, c)))
+            .expect("graph has edges");
+        let delta = DeltaCsr::new(a.nrows, a.ncols, vec![], vec![(r as u32, c)]).expect("valid");
+        let b = delta.apply(&a).expect("applies");
+        let base = cache.peek(old_fp).expect("resident");
+        let patched = Arc::new(base.patch(&a, &delta, &dev).expect("patches"));
+        assert_eq!(
+            cache.swap_patched(old_fp, Arc::clone(&patched)),
+            SwapOutcome::Swapped
+        );
+
+        // New structure hits the swapped-in plan, not stale; the old
+        // structure is retired (misses and re-prepares).
+        let lb = cache.lookup(&b, &dev);
+        assert!(lb.hit && !lb.stale);
+        assert!(Arc::ptr_eq(&lb.plan, &patched));
+        let la = cache.lookup(&a, &dev);
+        assert!(!la.hit);
+        let s = cache.stats();
+        assert_eq!(s.swaps, 1);
+        assert_eq!(s.stale_hits, 1);
+    }
+
+    #[test]
+    fn swap_patched_preserves_quarantine_across_the_swap() {
+        use graph_sparse::DeltaCsr;
+        let dev = DeviceSpec::rtx3090();
+        let a = gen::erdos_renyi(192, 800, 43);
+        let cache = SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 4);
+        let (plan, _) = cache.get_or_prepare(&a, &dev);
+        let old_fp = plan.fingerprint;
+        let (r, &c) = (0..a.nrows)
+            .find_map(|r| a.row_cols(r).first().map(|c| (r, c)))
+            .expect("graph has edges");
+        let delta = DeltaCsr::new(a.nrows, a.ncols, vec![], vec![(r as u32, c)]).expect("valid");
+        let b = delta.apply(&a).expect("applies");
+        let patched = Arc::new(plan.patch(&a, &delta, &dev).expect("patches"));
+        let new_fp = patched.fingerprint;
+
+        // Fault reported between patch build and swap: the old lineage is
+        // poisoned, so the patched plan must never gain residency.
+        cache.quarantine(old_fp);
+        assert_eq!(
+            cache.swap_patched(old_fp, patched),
+            SwapOutcome::Quarantined
+        );
+        assert!(cache.is_quarantined(new_fp));
+        let lb = cache.lookup(&b, &dev);
+        assert!(!lb.hit, "quarantined lineage must not be resident");
+        let lb = cache.lookup(&b, &dev);
+        assert!(!lb.hit, "and never regains residency");
+        assert!(cache.stats().quarantine_misses >= 2);
+        assert_eq!(cache.stats().swaps, 0);
     }
 
     #[test]

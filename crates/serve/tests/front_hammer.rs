@@ -16,7 +16,9 @@ use std::sync::Arc;
 use gpu_sim::DeviceSpec;
 use graph_sparse::{gen, Csr, DenseMatrix};
 use hc_core::{Plan, PlanSpec};
-use hc_serve::{Front, FrontConfig, FrontReport, FrontRequest, Outcome, Request, TenantId};
+use hc_serve::{
+    Front, FrontConfig, FrontEvent, FrontReport, FrontRequest, Outcome, Request, TenantId,
+};
 
 const EPOCH: usize = 12;
 const QUOTA: usize = 4;
@@ -209,5 +211,292 @@ fn faulty_mix_degrades_only_implicated_members_and_stays_deterministic() {
         let rep = run_faulty(workers);
         assert_eq!(rep.responses, base.responses, "workers={workers}");
         assert_eq!(rep.counters, base.counters);
+    }
+}
+
+/// One edge deleted, one absent edge inserted — a minimal valid churn
+/// delta against `g`.
+fn one_edge_churn(g: &Csr) -> graph_sparse::DeltaCsr {
+    let (dr, dc) = (0..g.nrows)
+        .find_map(|r| g.row_cols(r).first().map(|&c| (r as u32, c)))
+        .expect("generated graph has edges");
+    let insert = (0..g.nrows as u32)
+        .flat_map(|r| (0..g.ncols as u32).map(move |c| (r, c)))
+        .find(|&(r, c)| (r, c) != (dr, dc) && !g.row_cols(r as usize).contains(&c))
+        .expect("graph is sparse: an absent cell exists");
+    graph_sparse::DeltaCsr::new(
+        g.nrows,
+        g.ncols,
+        vec![(insert.0, insert.1, 1.5)],
+        vec![(dr, dc)],
+    )
+    .expect("one insert, one delete: valid")
+}
+
+fn serve(g: &Arc<Csr>, i: usize) -> FrontEvent {
+    FrontEvent::Serve(FrontRequest {
+        tenant: TenantId([0, 1, 2, 3][i % 4]),
+        request: Request {
+            graph: Arc::clone(g),
+            features: DenseMatrix::random_features(g.ncols, 16, i as u64),
+        },
+    })
+}
+
+/// Churn workload: two structures mutated mid-trace. Pins down the exact
+/// stale-serve accounting — every same-epoch request on a mutated
+/// structure is served stale by the old plan, the patched plan swaps in
+/// at the epoch barrier and serves everything after — and that the whole
+/// report is bit-identical at 1, 2 and 8 workers.
+#[test]
+fn churn_mix_counts_stale_serves_exactly_and_stays_deterministic() {
+    let dev = DeviceSpec::rtx3090();
+    let g0 = Arc::new(gen::erdos_renyi(144, 640, 700));
+    let g1 = Arc::new(gen::erdos_renyi(144, 640, 701));
+    let (d0, d1) = (one_edge_churn(&g0), one_edge_churn(&g1));
+    let g0p = Arc::new(d0.apply(&g0).expect("valid delta"));
+    let g1p = Arc::new(d1.apply(&g1).expect("valid delta"));
+
+    // 6 arrivals per epoch; mutation epochs interleave serves on the
+    // mutated structure (stale) and the untouched one (fresh).
+    let graphs_by_index: Vec<&Arc<Csr>> = vec![
+        &g0, &g1, &g0, &g1, &g0, &g1, // epoch 0: warm both plans
+        &g0, /* mutate g0 */ &g0, &g1, &g0, &g1, // epoch 1
+        &g0p, &g0p, &g1, /* mutate g1 */ &g1, &g0p, // epoch 2
+        &g0p, &g1p, &g0p, &g1p, &g0p, &g1p, // epoch 3: all patched
+    ];
+    let mut events = Vec::new();
+    for (i, g) in graphs_by_index.iter().enumerate() {
+        if i == 7 {
+            events.push(FrontEvent::Mutate(hc_serve::Mutation {
+                base: Arc::clone(&g0),
+                delta: d0.clone(),
+            }));
+        }
+        if i == 14 {
+            events.push(FrontEvent::Mutate(hc_serve::Mutation {
+                base: Arc::clone(&g1),
+                delta: d1.clone(),
+            }));
+        }
+        events.push(serve(g, i));
+    }
+    assert_eq!(events.len(), 24);
+
+    // Cold single-stream control for bit-exactness of served outputs.
+    let cold: Vec<Option<DenseMatrix>> = events
+        .iter()
+        .map(|ev| match ev {
+            FrontEvent::Serve(fr) => Some(
+                Plan::prepare(&fr.request.graph, PlanSpec::hybrid(), &dev)
+                    .execute(&fr.request.graph, &fr.request.features, &dev)
+                    .z,
+            ),
+            FrontEvent::Mutate(_) => None,
+        })
+        .collect();
+
+    let run_churn = |workers: usize| {
+        let front = Front::new(
+            1 << 30,
+            PlanSpec::hybrid(),
+            4,
+            FrontConfig {
+                workers,
+                queue_depth: 12,
+                tenant_quota: 6,
+                arrivals_per_epoch: 6,
+                max_cohort: 3,
+                ..Default::default()
+            },
+        );
+        front.run_events(&events, &dev)
+    };
+
+    let base = run_churn(1);
+    let c = base.counters;
+    assert_eq!(c.submitted, 22, "mutations are control-plane, not requests");
+    assert_eq!(c.admitted, 22, "generous quota/queue: nothing shed");
+    assert_eq!((c.mutations, c.patched_plans), (2, 2));
+    // Epoch 1 serves three g0 requests (indices 6, 8, 10 — including the
+    // one admitted *before* the mutation: admission batches the epoch),
+    // epoch 2 serves two g1 requests (14, 16, straddling the second
+    // mutation event at 15). All five ride the old plan, flagged stale.
+    assert_eq!(c.stale_served, 5);
+    let stale_idx: Vec<usize> = base
+        .responses
+        .iter()
+        .filter(|r| r.stale)
+        .map(|r| r.trace_index)
+        .collect();
+    assert_eq!(stale_idx, vec![6, 8, 10, 14, 16]);
+    assert_eq!(base.cache.swaps, 2, "both patched plans swapped in");
+    assert!(base.cache.stale_hits >= 2, "stale cohorts hit the old plan");
+
+    // Both mutations patched the resident plan and swapped cleanly.
+    assert_eq!(base.mutations.len(), 2);
+    for (m, (g, gp)) in base.mutations.iter().zip([(&g0, &g0p), (&g1, &g1p)]) {
+        assert!(m.patched, "resident plan must be patched, not re-prepared");
+        assert_eq!(m.swap, Some(hc_serve::SwapOutcome::Swapped));
+        assert_eq!(m.old_fp, graph_sparse::StructureFingerprint::of(g));
+        assert_eq!(m.new_fp, Some(graph_sparse::StructureFingerprint::of(gp)));
+        assert!(m.patch_sim_ms > 0.0, "dirty-window re-plan bills sim time");
+    }
+    assert_eq!(
+        (base.mutations[0].trace_index, base.mutations[0].epoch),
+        (7, 1)
+    );
+    assert_eq!(
+        (base.mutations[1].trace_index, base.mutations[1].epoch),
+        (15, 2)
+    );
+
+    // Post-swap serves on the mutated structures are cache hits on the
+    // patched plan, never stale.
+    for r in &base.responses {
+        if r.trace_index >= 18 {
+            assert!(
+                r.hit,
+                "index {}: patched plan must be resident",
+                r.trace_index
+            );
+            assert!(
+                !r.stale,
+                "index {}: swap retired the stale plan",
+                r.trace_index
+            );
+        }
+    }
+
+    // Every served output — stale-served and patched-served alike — is
+    // bit-exact against the cold control.
+    for r in &base.responses {
+        let z = r.z().expect("clean mix: every request serves");
+        let control = cold[r.trace_index].as_ref().expect("serve index");
+        assert_eq!(z, control, "trace index {} diverged", r.trace_index);
+    }
+
+    // Bit-identical reports at 2 and 8 workers.
+    for workers in [2usize, 8] {
+        let rep = run_churn(workers);
+        assert_eq!(rep.responses, base.responses, "workers={workers}");
+        assert_eq!(rep.counters, base.counters);
+        assert_eq!(rep.mutations, base.mutations);
+        assert_eq!(rep.latency, base.latency);
+        assert_eq!(rep.tenants, base.tenants);
+        assert_eq!(rep.cache, base.cache);
+    }
+}
+
+/// A quarantined fingerprint stays quarantined across a patch swap: the
+/// patched plan inherits the bar, is never admitted to the cache, and
+/// every subsequent request on the mutated structure is served by a
+/// fresh uncached prepare (correct outputs, `hit == false`).
+#[test]
+fn quarantine_survives_the_swap_and_is_never_re_served() {
+    let dev = DeviceSpec::rtx3090();
+    let g0 = Arc::new(gen::erdos_renyi(144, 640, 702));
+    let delta = one_edge_churn(&g0);
+    let g0p = Arc::new(delta.apply(&g0).expect("valid delta"));
+    let old_fp = graph_sparse::StructureFingerprint::of(&g0);
+    let new_fp = graph_sparse::StructureFingerprint::of(&g0p);
+
+    let graphs_by_index: Vec<&Arc<Csr>> = vec![
+        &g0, &g0, &g0, // epoch 0: warm the resident plan
+        &g0, /* mutate */ &g0, // epoch 1: stale serves
+        &g0p, &g0p, &g0p, // epoch 2: quarantined structure
+    ];
+    let mut events = Vec::new();
+    for (i, g) in graphs_by_index.iter().enumerate() {
+        if i == 4 {
+            events.push(FrontEvent::Mutate(hc_serve::Mutation {
+                base: Arc::clone(&g0),
+                delta: delta.clone(),
+            }));
+        }
+        events.push(serve(g, i));
+    }
+    assert_eq!(events.len(), 9);
+
+    let cold: Vec<Option<DenseMatrix>> = events
+        .iter()
+        .map(|ev| match ev {
+            FrontEvent::Serve(fr) => Some(
+                Plan::prepare(&fr.request.graph, PlanSpec::hybrid(), &dev)
+                    .execute(&fr.request.graph, &fr.request.features, &dev)
+                    .z,
+            ),
+            FrontEvent::Mutate(_) => None,
+        })
+        .collect();
+
+    let run_quarantined = |workers: usize| {
+        let front = Front::new(
+            1 << 30,
+            PlanSpec::hybrid(),
+            4,
+            FrontConfig {
+                workers,
+                queue_depth: 8,
+                tenant_quota: 4,
+                arrivals_per_epoch: 3,
+                max_cohort: 2,
+                ..Default::default()
+            },
+        );
+        // The mutated structure was implicated before the churn arrived
+        // (say, by a poisoning fault in an earlier batch).
+        front.cache().quarantine(new_fp);
+        let rep = front.run_events(&events, &dev);
+        let resident_after = front.cache().peek(new_fp).is_some();
+        let still_quarantined = front.cache().is_quarantined(new_fp);
+        (rep, resident_after, still_quarantined)
+    };
+
+    let (base, resident_after, still_quarantined) = run_quarantined(1);
+    assert!(!resident_after, "quarantined fp must never become resident");
+    assert!(still_quarantined, "quarantine is permanent across the swap");
+
+    // The mutation still patched the resident old plan, but the cache
+    // refused the swap and kept the lineage barred.
+    assert_eq!(base.mutations.len(), 1);
+    let m = &base.mutations[0];
+    assert!(m.patched);
+    assert_eq!(m.old_fp, old_fp);
+    assert_eq!(m.new_fp, Some(new_fp));
+    assert_eq!(m.swap, Some(hc_serve::SwapOutcome::Quarantined));
+    assert_eq!(base.cache.swaps, 0, "a quarantined swap is not a swap");
+    assert!(
+        base.cache.quarantine_misses > 0,
+        "serves on the barred structure re-prepare outside the cache"
+    );
+
+    // Requests on the quarantined structure are still served correctly —
+    // just never from the cache.
+    for r in &base.responses {
+        if r.trace_index >= 6 {
+            assert!(
+                !r.hit,
+                "index {}: barred structure must miss",
+                r.trace_index
+            );
+            assert!(!r.stale);
+        }
+        let z = r.z().expect("clean mix: every request serves");
+        let control = cold[r.trace_index].as_ref().expect("serve index");
+        assert_eq!(z, control, "trace index {} diverged", r.trace_index);
+    }
+    assert_eq!(
+        base.counters.stale_served, 2,
+        "epoch-1 serves ride the old plan"
+    );
+
+    for workers in [2usize, 8] {
+        let (rep, resident, quarantined) = run_quarantined(workers);
+        assert!(!resident && quarantined, "workers={workers}");
+        assert_eq!(rep.responses, base.responses, "workers={workers}");
+        assert_eq!(rep.counters, base.counters);
+        assert_eq!(rep.mutations, base.mutations);
+        assert_eq!(rep.cache, base.cache);
     }
 }

@@ -14,6 +14,16 @@
 //! worker-thread count, so it never touches the `hc-parallel` pool (one
 //! pass over `nnz + nrows` words is far below the pool's dispatch
 //! threshold anyway).
+//!
+//! The absorption order is **row-major**: after the `(nrows, ncols)` header
+//! each row contributes its `row_ptr[r + 1]` terminator followed by its
+//! column indices. Row-major interleaving is what makes the digest
+//! *incrementally updatable*: [`FingerprintState`] persists both lane
+//! states after every row (a pair of `u64` checkpoints per row), so a
+//! structural edit whose first mutated row is `d` re-absorbs only rows
+//! `d..nrows` instead of the whole matrix. Rows before the first edit have
+//! identical `row_ptr` prefixes and column slices by construction, so the
+//! checkpoint at `d` is valid for the mutated matrix too.
 
 use crate::csr::Csr;
 
@@ -47,15 +57,54 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One hash lane: chained absorption `state = splitmix(state ^ word)`.
-/// Chaining makes the digest position-sensitive (moving a non-zero between
-/// rows changes both `row_ptr` and the absorbed sequence).
-#[derive(Clone, Copy)]
-struct Lane(u64);
+/// Both hash lanes as one chained state. The low lane absorbs each word
+/// raw, the high lane absorbs it pre-scrambled, so the lanes decorrelate
+/// even on adversarially structured inputs. Chaining makes the digest
+/// position-sensitive (moving a non-zero between rows changes both
+/// `row_ptr` and the absorbed sequence).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Lanes {
+    lo: u64,
+    hi: u64,
+}
 
-impl Lane {
+impl Lanes {
+    /// Independent lane seeds (hex digits of π).
+    const SEED: Lanes = Lanes {
+        lo: 0x2435_f6a8_885a_308d,
+        hi: 0x1319_8a2e_0370_7344,
+    };
+
     fn absorb(&mut self, word: u64) {
-        self.0 = splitmix(self.0 ^ word);
+        self.lo = splitmix(self.lo ^ word);
+        self.hi = splitmix(self.hi ^ splitmix(word));
+    }
+
+    /// Absorb the `(nrows, ncols)` header.
+    fn header(a: &Csr) -> Lanes {
+        let mut l = Lanes::SEED;
+        l.absorb(a.nrows as u64);
+        l.absorb(a.ncols as u64);
+        l
+    }
+
+    /// Absorb one row: its `row_ptr` terminator, then its columns. The
+    /// terminator doubles as a length prefix (the previous terminator is
+    /// already in the chain), keeping the stream self-delimiting.
+    fn row(&mut self, a: &Csr, r: usize) {
+        self.absorb(a.row_ptr[r + 1] as u64);
+        let lo = a.row_ptr[r] as usize;
+        let hi = a.row_ptr[r + 1] as usize;
+        for &c in &a.col_idx[lo..hi] {
+            self.absorb(c as u64);
+        }
+    }
+
+    fn digest(self) -> StructureFingerprint {
+        StructureFingerprint {
+            lo: self.lo,
+            hi: self.hi,
+        }
     }
 }
 
@@ -63,33 +112,111 @@ impl StructureFingerprint {
     /// Digest the structure of `a`. Runs serially in one O(nrows + nnz)
     /// pass; bit-identical at any thread count by construction.
     pub fn of(a: &Csr) -> StructureFingerprint {
-        // Independent lane seeds (hex digits of π); the second lane also
-        // absorbs each word pre-scrambled so the lanes decorrelate even on
-        // adversarially structured inputs.
-        let mut lo = Lane(0x2435_f6a8_885a_308d);
-        let mut hi = Lane(0x1319_8a2e_0370_7344);
-        let mut absorb = |word: u64| {
-            lo.absorb(word);
-            hi.absorb(splitmix(word));
-        };
-        absorb(a.nrows as u64);
-        absorb(a.ncols as u64);
-        for &p in &a.row_ptr {
-            absorb(p as u64);
+        let mut lanes = Lanes::header(a);
+        for r in 0..a.nrows {
+            lanes.row(a, r);
         }
-        // Domain separator between the two arrays (row_ptr's length is
-        // implied by nrows, but the separator keeps the encoding prefix-free
-        // if the format ever grows).
-        absorb(u64::MAX);
-        for &c in &a.col_idx {
-            absorb(c as u64);
-        }
-        StructureFingerprint { lo: lo.0, hi: hi.0 }
+        lanes.digest()
     }
 
     /// Fixed-width hex rendering for logs and cache listings.
     pub fn to_hex(self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// A [`StructureFingerprint`] together with the per-row lane checkpoints
+/// that make it incrementally recomputable.
+///
+/// `checkpoints[r]` holds both lane states after absorbing the header and
+/// rows `0..r`; `checkpoints[nrows]` is the finished digest. When an edit
+/// batch's first mutated row is `d`, [`FingerprintState::update`] resumes
+/// from `checkpoints[d]` and re-absorbs only the suffix — O(nrows − d +
+/// suffix nnz) instead of O(nrows + nnz). The checkpoints cost 16 bytes
+/// per row, the price of suffix recompute.
+///
+/// ```
+/// use graph_sparse::{gen, FingerprintState, StructureFingerprint};
+///
+/// let a = gen::erdos_renyi(64, 200, 1);
+/// let st = FingerprintState::of(&a);
+/// assert_eq!(st.fingerprint(), StructureFingerprint::of(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintState {
+    fingerprint: StructureFingerprint,
+    /// Lane states after the header and each completed row; length
+    /// `nrows + 1`.
+    checkpoints: Vec<(u64, u64)>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl FingerprintState {
+    /// Digest `a` and keep the per-row checkpoints for later suffix
+    /// updates. Same O(nrows + nnz) pass as [`StructureFingerprint::of`],
+    /// plus the checkpoint writes.
+    pub fn of(a: &Csr) -> FingerprintState {
+        let mut lanes = Lanes::header(a);
+        let mut checkpoints = Vec::with_capacity(a.nrows + 1);
+        checkpoints.push((lanes.lo, lanes.hi));
+        for r in 0..a.nrows {
+            lanes.row(a, r);
+            checkpoints.push((lanes.lo, lanes.hi));
+        }
+        FingerprintState {
+            fingerprint: lanes.digest(),
+            checkpoints,
+            nrows: a.nrows,
+            ncols: a.ncols,
+        }
+    }
+
+    /// The digest this state describes.
+    pub fn fingerprint(&self) -> StructureFingerprint {
+        self.fingerprint
+    }
+
+    /// Number of rows the checkpoints cover.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Heap bytes held by the checkpoint vector (cache accounting).
+    pub fn checkpoint_bytes(&self) -> u64 {
+        (self.checkpoints.len() * std::mem::size_of::<(u64, u64)>()) as u64
+    }
+
+    /// Recompute the digest for `updated`, which differs from the matrix
+    /// this state was built over only in rows `>= first_dirty_row` (shape
+    /// preserved). Resumes both lanes from the checkpoint before the first
+    /// dirty row and re-absorbs only the suffix; rows absorbed before that
+    /// checkpoint — including every `row_ptr` prefix value — are unchanged
+    /// by such an edit, so their lane states still hold.
+    ///
+    /// Total on any input: if the shape changed or `first_dirty_row` is
+    /// out of range, falls back to a full O(nrows + nnz) recompute.
+    pub fn update(&self, updated: &Csr, first_dirty_row: usize) -> FingerprintState {
+        if updated.nrows != self.nrows
+            || updated.ncols != self.ncols
+            || first_dirty_row > self.nrows
+        {
+            return FingerprintState::of(updated);
+        }
+        let (lo, hi) = self.checkpoints[first_dirty_row];
+        let mut lanes = Lanes { lo, hi };
+        let mut checkpoints = Vec::with_capacity(self.nrows + 1);
+        checkpoints.extend_from_slice(&self.checkpoints[..=first_dirty_row]);
+        for r in first_dirty_row..updated.nrows {
+            lanes.row(updated, r);
+            checkpoints.push((lanes.lo, lanes.hi));
+        }
+        FingerprintState {
+            fingerprint: lanes.digest(),
+            checkpoints,
+            nrows: updated.nrows,
+            ncols: updated.ncols,
+        }
     }
 }
 
@@ -145,5 +272,53 @@ mod tests {
         let hex = fp.to_hex();
         assert_eq!(hex.len(), 32);
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn state_matches_direct_digest_and_has_one_checkpoint_per_row() {
+        let a = gen::community(300, 2_000, 10, 0.9, 3);
+        let st = FingerprintState::of(&a);
+        assert_eq!(st.fingerprint(), StructureFingerprint::of(&a));
+        assert_eq!(st.checkpoints.len(), a.nrows + 1);
+        assert_eq!(st.checkpoint_bytes(), (a.nrows as u64 + 1) * 16);
+    }
+
+    #[test]
+    fn suffix_update_matches_full_recompute_at_every_resume_row() {
+        let a = Coo::from_triples(
+            48,
+            48,
+            [(2, 3, 1.0), (17, 1, 1.0), (17, 9, 1.0), (40, 40, 1.0)],
+        )
+        .to_csr();
+        let st = FingerprintState::of(&a);
+        // Edit row 17: move (17, 9) to (17, 30).
+        let b = Coo::from_triples(
+            48,
+            48,
+            [(2, 3, 1.0), (17, 1, 1.0), (17, 30, 1.0), (40, 40, 1.0)],
+        )
+        .to_csr();
+        let full = FingerprintState::of(&b);
+        // Any conservative (earlier) first-dirty-row must agree too.
+        for resume in [0, 5, 17] {
+            let inc = st.update(&b, resume);
+            assert_eq!(inc, full, "resume at row {resume}");
+        }
+        assert_eq!(inc_digest(&st, &b, 17), StructureFingerprint::of(&b));
+    }
+
+    fn inc_digest(st: &FingerprintState, b: &Csr, d: usize) -> StructureFingerprint {
+        st.update(b, d).fingerprint()
+    }
+
+    #[test]
+    fn shape_change_falls_back_to_full_recompute() {
+        let a = gen::erdos_renyi(32, 100, 4);
+        let b = gen::erdos_renyi(40, 100, 4);
+        let st = FingerprintState::of(&a);
+        assert_eq!(st.update(&b, 0), FingerprintState::of(&b));
+        // Out-of-range resume row is total as well.
+        assert_eq!(st.update(&a, a.nrows + 5), FingerprintState::of(&a));
     }
 }

@@ -14,6 +14,7 @@
 pub mod coo;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod dense;
 pub mod fingerprint;
 pub mod gen;
@@ -25,7 +26,8 @@ pub mod window;
 pub use coo::Coo;
 pub use csr::{Csr, CsrError};
 pub use datasets::{Dataset, DatasetId, DatasetSpec};
+pub use delta::{DeltaCsr, DeltaError};
 pub use dense::DenseMatrix;
-pub use fingerprint::StructureFingerprint;
+pub use fingerprint::{FingerprintState, StructureFingerprint};
 pub use metcf::MeTcf;
 pub use window::{RowWindow, RowWindowPartition, WINDOW_ROWS};

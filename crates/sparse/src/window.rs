@@ -67,6 +67,35 @@ impl RowWindow {
     pub fn is_empty(&self) -> bool {
         self.nnz == 0
     }
+
+    /// Condense the window covering rows `[start, start + rows)` of `a`.
+    /// This is the single source of truth for window construction: the
+    /// full partition build and the dynamic-graph patch path (which
+    /// re-condenses only windows whose rows a delta touched) both call it,
+    /// so a patched window is bit-identical to a freshly built one.
+    pub fn build(a: &Csr, start: usize, rows: usize) -> RowWindow {
+        let lo = a.row_ptr[start] as usize;
+        let hi = a.row_ptr[start + rows] as usize;
+
+        // Distinct sorted columns of the window.
+        let mut unique_cols = a.col_idx[lo..hi].to_vec();
+        unique_cols.sort_unstable();
+        unique_cols.dedup();
+
+        // Condensed index per entry via binary search into unique_cols.
+        let cond_idx = a.col_idx[lo..hi]
+            .iter()
+            .map(|c| unique_cols.binary_search(c).expect("col present") as u32)
+            .collect();
+
+        RowWindow {
+            start_row: start,
+            rows,
+            nnz: hi - lo,
+            unique_cols,
+            cond_idx,
+        }
+    }
 }
 
 /// A full partition of a CSR matrix into condensed row windows.
@@ -95,28 +124,7 @@ impl RowWindowPartition {
 
         let build_one = |w: usize| -> RowWindow {
             let start = w * window_rows;
-            let rows = window_rows.min(a.nrows - start);
-            let lo = a.row_ptr[start] as usize;
-            let hi = a.row_ptr[start + rows] as usize;
-
-            // Distinct sorted columns of the window.
-            let mut unique_cols = a.col_idx[lo..hi].to_vec();
-            unique_cols.sort_unstable();
-            unique_cols.dedup();
-
-            // Condensed index per entry via binary search into unique_cols.
-            let cond_idx = a.col_idx[lo..hi]
-                .iter()
-                .map(|c| unique_cols.binary_search(c).expect("col present") as u32)
-                .collect();
-
-            RowWindow {
-                start_row: start,
-                rows,
-                nnz: hi - lo,
-                unique_cols,
-                cond_idx,
-            }
+            RowWindow::build(a, start, window_rows.min(a.nrows - start))
         };
 
         // Work hint: each entry is sorted (~log factor folded into the

@@ -1,0 +1,193 @@
+//! Property tests for [`DeltaCsr`] edge-churn batches.
+//!
+//! The dynamic-graph contract rests on three properties: applying a delta
+//! and fingerprinting the result equals updating the incremental
+//! [`FingerprintState`] from the first dirty row (the plan-patch path
+//! never recomputes clean prefixes), a delta composed with its exact
+//! inverse is the identity (bit-exact, values included), and no input —
+//! however malformed — ever panics: every defect is a typed
+//! [`DeltaError`].
+
+use graph_sparse::{Coo, Csr, DeltaCsr, DeltaError, FingerprintState, StructureFingerprint};
+use proptest::prelude::*;
+
+/// A graph, the cells to insert, and the edges to delete.
+type ChurnCase = (Csr, Vec<(u32, u32, f32)>, Vec<(u32, u32)>);
+
+fn arb_entries() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
+    (2usize..60, 2usize..60).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r as u32, 0..c as u32, -5.0f32..5.0), 1..250)
+            .prop_map(move |es| (r, c, es))
+    })
+}
+
+/// A graph plus a valid delta against it: a subset of its edges to
+/// delete (chosen by mask) and a handful of absent cells to insert.
+fn arb_case() -> impl Strategy<Value = ChurnCase> {
+    arb_entries().prop_flat_map(|(r, c, es)| {
+        let a = Coo::from_triples(r, c, es).to_csr();
+        let nnz = a.nnz().max(1);
+        (
+            Just(a),
+            proptest::collection::vec(0u32..2, nnz),
+            proptest::collection::vec((0..r as u32, 0..c as u32, 0.5f32..2.0), 0..12),
+        )
+            .prop_map(|(a, mask, candidates)| {
+                let mut deletes = Vec::new();
+                let mut k = 0;
+                for row in 0..a.nrows {
+                    for &col in a.row_cols(row) {
+                        if mask.get(k).copied().unwrap_or(0) == 1 {
+                            deletes.push((row as u32, col));
+                        }
+                        k += 1;
+                    }
+                }
+                let mut seen = std::collections::HashSet::new();
+                let mut inserts = Vec::new();
+                for (ri, ci, v) in candidates {
+                    if a.row_cols(ri as usize).contains(&ci) {
+                        continue; // already present: would be EdgePresent
+                    }
+                    if seen.insert((ri, ci)) {
+                        inserts.push((ri, ci, v));
+                    }
+                }
+                (a, inserts, deletes)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// apply-then-fingerprint == incremental suffix update. The whole
+    /// point of the per-row checkpoints is that the plan-patch path can
+    /// resume hashing at the first dirty row and land on exactly the
+    /// state a full recompute would produce.
+    #[test]
+    fn apply_then_fingerprint_matches_incremental_update(
+        (a, inserts, deletes) in arb_case(),
+    ) {
+        let delta = DeltaCsr::new(a.nrows, a.ncols, inserts, deletes)
+            .expect("constructed valid by arb_case");
+        let b = delta.apply(&a).expect("valid against its base");
+        let st = FingerprintState::of(&a);
+        let incremental = match delta.first_dirty_row() {
+            Some(d) => st.update(&b, d),
+            None => st.clone(),
+        };
+        prop_assert_eq!(&incremental, &FingerprintState::of(&b));
+        prop_assert_eq!(incremental.fingerprint(), StructureFingerprint::of(&b));
+        // An empty delta is the identity on the fingerprint too.
+        if delta.is_empty() {
+            prop_assert_eq!(
+                StructureFingerprint::of(&a),
+                StructureFingerprint::of(&b)
+            );
+        }
+    }
+
+    /// A delta composed with its exact inverse (delete what was inserted,
+    /// re-insert what was deleted, original values) is the identity —
+    /// bit-exact on structure *and* values.
+    #[test]
+    fn insert_then_delete_round_trips((a, inserts, deletes) in arb_case()) {
+        // Capture deleted values before they go.
+        let restore: Vec<(u32, u32, f32)> = deletes
+            .iter()
+            .map(|&(r, c)| {
+                let i = a
+                    .row_cols(r as usize)
+                    .iter()
+                    .position(|&x| x == c)
+                    .expect("delete targets an existing edge");
+                (r, c, a.row_vals(r as usize)[i])
+            })
+            .collect();
+        let undo_deletes: Vec<(u32, u32)> =
+            inserts.iter().map(|&(r, c, _)| (r, c)).collect();
+        let forward = DeltaCsr::new(a.nrows, a.ncols, inserts, deletes)
+            .expect("constructed valid by arb_case");
+        let b = forward.apply(&a).expect("valid against its base");
+        let inverse = DeltaCsr::new(a.nrows, a.ncols, restore, undo_deletes)
+            .expect("the inverse of a valid delta is valid");
+        let back = inverse.apply(&b).expect("inverse applies to the mutated graph");
+        prop_assert_eq!(back, a);
+    }
+
+    /// No delta input panics: construction and application either succeed
+    /// or return a typed [`DeltaError`], even for arbitrary rows, columns
+    /// and values (NaN and ±Inf included).
+    #[test]
+    fn arbitrary_deltas_never_panic(
+        (r, c, es) in arb_entries(),
+        dr in 0usize..80,
+        dc in 0usize..80,
+        raw_inserts in proptest::collection::vec(
+            (0u32..80, 0u32..80, 0u32..=u32::MAX), 0..8),
+        deletes in proptest::collection::vec((0u32..80, 0u32..80), 0..8),
+    ) {
+        let a = Coo::from_triples(r, c, es).to_csr();
+        // Raw bit patterns cover every f32, NaN and ±Inf included.
+        let inserts: Vec<(u32, u32, f32)> = raw_inserts
+            .into_iter()
+            .map(|(ri, ci, bits)| (ri, ci, f32::from_bits(bits)))
+            .collect();
+        if let Ok(d) = DeltaCsr::new(dr, dc, inserts, deletes) {
+            let _ = d.apply(&a); // Ok or typed Err, never a panic
+        }
+    }
+}
+
+/// Every defect class comes back as its own typed error.
+#[test]
+fn each_defect_class_is_its_own_typed_error() {
+    let a = Coo::from_triples(4, 4, [(0, 1, 1.0), (2, 3, 1.0)]).to_csr();
+    let new = |ins: Vec<(u32, u32, f32)>, del: Vec<(u32, u32)>| DeltaCsr::new(4, 4, ins, del);
+
+    assert_eq!(
+        new(vec![(9, 0, 1.0)], vec![]).err(),
+        Some(DeltaError::RowOutOfRange { row: 9, nrows: 4 })
+    );
+    assert_eq!(
+        new(vec![], vec![(0, 9)]).err(),
+        Some(DeltaError::ColOutOfRange { col: 9, ncols: 4 })
+    );
+    assert_eq!(
+        new(vec![(1, 2, 1.0), (1, 2, 3.0)], vec![]).err(),
+        Some(DeltaError::DuplicateInsert { row: 1, col: 2 })
+    );
+    assert_eq!(
+        new(vec![], vec![(0, 1), (0, 1)]).err(),
+        Some(DeltaError::DuplicateDelete { row: 0, col: 1 })
+    );
+    assert_eq!(
+        new(vec![(0, 1, 1.0)], vec![(0, 1)]).err(),
+        Some(DeltaError::InsertAndDelete { row: 0, col: 1 })
+    );
+    assert_eq!(
+        new(vec![(1, 1, f32::NAN)], vec![]).err(),
+        Some(DeltaError::NonFiniteValue { row: 1, col: 1 })
+    );
+    let ok = new(vec![(1, 1, 1.0)], vec![]).expect("valid");
+    assert_eq!(
+        ok.apply(&Coo::from_triples(5, 4, [(0, 1, 1.0)]).to_csr())
+            .err(),
+        Some(DeltaError::ShapeMismatch {
+            expected: (4, 4),
+            got: (5, 4),
+        })
+    );
+    assert_eq!(
+        new(vec![(0, 1, 2.0)], vec![])
+            .expect("valid")
+            .apply(&a)
+            .err(),
+        Some(DeltaError::EdgePresent { row: 0, col: 1 })
+    );
+    assert_eq!(
+        new(vec![], vec![(3, 3)]).expect("valid").apply(&a).err(),
+        Some(DeltaError::EdgeAbsent { row: 3, col: 3 })
+    );
+}

@@ -41,6 +41,7 @@ pub fn run(args: Vec<String>) -> i32 {
         "spmm" => cmd_spmm(&flags),
         "batch" => cmd_batch(&flags),
         "serve-load" => cmd_serve_load(&flags),
+        "serve-churn" => cmd_serve_churn(&flags),
         "loa" => cmd_loa(&flags),
         "train" => cmd_train(&flags),
         "selector" => cmd_selector(),
@@ -92,6 +93,20 @@ USAGE:
                    latency plus per-tenant SLO accounting. Deterministic
                    at any --workers count. Exits 1 if any admitted
                    request failed.
+  hc-spmm serve-churn [--requests N] [--mutations N] [--graphs N]
+                   [--tenants N] [--nodes N] [--dim N] [--cache-bytes B]
+                   [--workers N] [--queue-depth N] [--tenant-quota N]
+                   [--epoch N] [--max-cohort N] [--slo-ms MS]
+                   [--gpu 3090|4090|a100]
+                   serve a request mix under structure churn: edge
+                   insert/delete deltas arrive on the control plane
+                   between requests, the superseded plan keeps serving
+                   (flagged stale) while an incremental patched plan is
+                   built from the dirty row windows only, and the swap
+                   is first-insert-wins with quarantine preserved.
+                   Reports stale-serve counts and per-mutation patch
+                   cost vs a from-scratch prepare. Exits 1 if any
+                   admitted request failed.
   hc-spmm metrics  [--dataset CODE | --edge-list FILE] [--scale N]
                    structural report: degrees, clustering, locality, windows
   hc-spmm loa      [--dataset CODE | --edge-list FILE] [--scale N] [--vw N]
@@ -592,6 +607,177 @@ fn cmd_serve_load(flags: &HashMap<String, String>) -> i32 {
     }
 }
 
+/// A deterministic one-insert-one-delete churn delta for `g`, salted so
+/// successive mutations touch different rows. `None` only for edgeless
+/// graphs.
+fn churn_delta(g: &Csr, salt: u64) -> Option<graph_sparse::DeltaCsr> {
+    let n = g.nrows;
+    let start = (salt as usize).wrapping_mul(131) % n.max(1);
+    // Delete the first edge at or after a salted start row.
+    let (dr, dc) = (0..n)
+        .map(|i| (start + i) % n)
+        .find_map(|r| g.row_cols(r).first().map(|&c| (r as u32, c)))?;
+    // Insert into the first absent cell probed from a salted position.
+    let mut inserts = Vec::new();
+    'probe: for i in 0..n {
+        let r = (start + 7 * i + 3) % n;
+        let cols = g.row_cols(r);
+        for j in 0..n {
+            let c = ((salt as usize + 13 * j) % n) as u32;
+            if !cols.contains(&c) && (r as u32, c) != (dr, dc) {
+                inserts.push((r as u32, c, 1.0f32));
+                break 'probe;
+            }
+        }
+    }
+    graph_sparse::DeltaCsr::new(n, g.ncols, inserts, vec![(dr, dc)]).ok()
+}
+
+fn cmd_serve_churn(flags: &HashMap<String, String>) -> i32 {
+    use hc_serve::{Front, FrontConfig, FrontEvent, FrontRequest, Mutation, TenantId};
+    let dev = device_for(flags);
+    let requests = flag_usize(flags, "requests", 48);
+    let mutations = flag_usize(flags, "mutations", 4);
+    let distinct = flag_usize(flags, "graphs", 3).max(1);
+    let tenants = flag_usize(flags, "tenants", 4).max(1);
+    let nodes = flag_usize(flags, "nodes", 1024);
+    let dim = flag_usize(flags, "dim", 32);
+    let cache_bytes = match flags.get("cache-bytes") {
+        None => 64 << 20,
+        Some(v) => match v.parse::<u64>() {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!("--cache-bytes requires a byte count, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let slo_sim_ms = match flags.get("slo-ms") {
+        None => 50.0,
+        Some(v) => match v.parse::<f64>() {
+            Ok(ms) if ms > 0.0 => ms,
+            _ => {
+                eprintln!("--slo-ms requires a positive number of ms, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let cfg = FrontConfig {
+        workers: flag_usize(flags, "workers", 0),
+        queue_depth: flag_usize(flags, "queue-depth", 16),
+        tenant_quota: flag_usize(flags, "tenant-quota", 8),
+        arrivals_per_epoch: flag_usize(flags, "epoch", 16),
+        max_cohort: flag_usize(flags, "max-cohort", 8),
+        slo_sim_ms,
+        policy: ResiliencePolicy::default(),
+    };
+
+    // Evolving structures: requests always target the *current* version
+    // of their graph; every `gap` arrivals one graph takes an edge-churn
+    // delta on the control plane.
+    let mut current: Vec<Arc<Csr>> = (0..distinct)
+        .map(|s| Arc::new(gen::community(nodes, nodes * 8, 16, 0.9, s as u64 + 1)))
+        .collect();
+    let gap = (requests / (mutations + 1)).max(1);
+    let mut events: Vec<FrontEvent> = Vec::new();
+    let mut issued = 0usize;
+    for i in 0..requests {
+        if i > 0 && i % gap == 0 && issued < mutations {
+            let gi = issued % distinct;
+            let base = Arc::clone(&current[gi]);
+            match churn_delta(&base, issued as u64 + 1) {
+                Some(delta) => match delta.apply(&base) {
+                    Ok(next) => {
+                        current[gi] = Arc::new(next);
+                        events.push(FrontEvent::Mutate(Mutation { base, delta }));
+                        issued += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("internal churn delta failed to apply: {e}");
+                        return 2;
+                    }
+                },
+                None => {
+                    eprintln!("graph {gi} has no edges to churn");
+                    return 2;
+                }
+            }
+        }
+        events.push(FrontEvent::Serve(FrontRequest {
+            tenant: TenantId((i % tenants) as u32),
+            request: Request {
+                graph: Arc::clone(&current[i % distinct]),
+                features: DenseMatrix::random_features(nodes, dim, i as u64),
+            },
+        }));
+    }
+
+    println!(
+        "serve-churn: {requests} arrivals from {tenants} tenants over {distinct} evolving \
+         graphs ({nodes} vertices, dim {dim}), {issued} mutations every {gap} arrivals, \
+         epochs of {}, cache budget {cache_bytes} B, {:?}",
+        cfg.arrivals_per_epoch, dev.kind
+    );
+    let front = Front::new(cache_bytes, PlanSpec::hybrid(), 4, cfg);
+    let rep = front.run_events(&events, &dev);
+
+    for m in &rep.mutations {
+        let status = if m.patched {
+            format!(
+                "patched ({:.4} ms sim, dirty windows only) and {}",
+                m.patch_sim_ms,
+                match m.swap {
+                    Some(hc_serve::SwapOutcome::Swapped) => "swapped in",
+                    Some(hc_serve::SwapOutcome::Quarantined) => "quarantined",
+                    None => "not offered",
+                }
+            )
+        } else {
+            "no resident plan to patch (next request prepares fresh)".to_string()
+        };
+        println!(
+            "  mutation @{:>3} epoch {}: {status}",
+            m.trace_index, m.epoch
+        );
+    }
+    let c = rep.counters;
+    println!(
+        "churn: {} mutations, {} plans patched incrementally, {} requests served by a \
+         stale plan while patching, {} swaps",
+        c.mutations, c.patched_plans, c.stale_served, rep.cache.swaps
+    );
+    println!(
+        "admission: {} submitted, {} admitted, {} shed across {} epochs; cache {} hits / \
+         {} misses ({} stale hits)",
+        c.submitted,
+        c.admitted,
+        c.rejected(),
+        c.epochs,
+        rep.cache.hits,
+        rep.cache.misses,
+        rep.cache.stale_hits
+    );
+    println!(
+        "latency (sim): p50 {:.4} / p99 {:.4} / max {:.4} ms over {} served; amortized \
+         {:.4} ms/request",
+        rep.latency.p50_sim_ms,
+        rep.latency.p99_sim_ms,
+        rep.latency.max_sim_ms,
+        rep.latency.served,
+        rep.amortized_sim_ms()
+    );
+    println!(
+        "outcomes: {} ok / {} degraded / {} failed",
+        c.ok, c.degraded, c.failed
+    );
+    if c.failed > 0 {
+        eprintln!("serve-churn: {} admitted request(s) failed", c.failed);
+        1
+    } else {
+        0
+    }
+}
+
 fn cmd_loa(flags: &HashMap<String, String>) -> i32 {
     let (graph, dim, label) = match load_graph(flags) {
         Ok(v) => v,
@@ -998,6 +1184,37 @@ mod tests {
         ] {
             assert_eq!(
                 run(vec!["serve-load".into(), flag.into(), bad.into()]),
+                2,
+                "{flag} {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_churn_runs_and_rejects_garbage() {
+        assert_eq!(
+            run(vec![
+                "serve-churn".into(),
+                "--requests".into(),
+                "18".into(),
+                "--mutations".into(),
+                "2".into(),
+                "--graphs".into(),
+                "2".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+                "--epoch".into(),
+                "6".into(),
+                "--workers".into(),
+                "2".into(),
+            ]),
+            0
+        );
+        for (flag, bad) in [("--cache-bytes", "много"), ("--slo-ms", "-3")] {
+            assert_eq!(
+                run(vec!["serve-churn".into(), flag.into(), bad.into()]),
                 2,
                 "{flag} {bad} should be rejected"
             );

@@ -6,7 +6,7 @@
 //! process computes does not depend on how many worker threads are
 //! configured (stable across thread counts).
 
-use graph_sparse::{gen, Coo, Csr, StructureFingerprint};
+use graph_sparse::{gen, Coo, Csr, DeltaCsr, FingerprintState, StructureFingerprint};
 use proptest::prelude::*;
 
 fn arb_entries() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
@@ -83,6 +83,35 @@ proptest! {
         // shifted column can collide with an existing entry in the same row
         // (COO de-duplicates) — then nnz shrank, still a structural edit.
         prop_assert_ne!(StructureFingerprint::of(&a), StructureFingerprint::of(&b));
+    }
+
+    /// Churning one edge and resuming the hash from the mutated row's
+    /// checkpoint lands on the exact key a full recompute produces — the
+    /// incremental path the plan patcher uses is not a different hash.
+    #[test]
+    fn incremental_update_equals_full_recompute(
+        (r, c, es) in arb_entries(),
+        pick in 0usize..1000,
+    ) {
+        let a = Coo::from_triples(r, c, es).to_csr();
+        let victim = pick % a.nnz();
+        let (mut k, mut delete) = (0, None);
+        for row in 0..a.nrows {
+            for &col in a.row_cols(row) {
+                if k == victim {
+                    delete = Some((row as u32, col));
+                }
+                k += 1;
+            }
+        }
+        let (dr, dc) = delete.expect("victim index is in range");
+        let delta = DeltaCsr::new(a.nrows, a.ncols, vec![], vec![(dr, dc)])
+            .expect("deleting an existing edge is a valid delta");
+        let b = delta.apply(&a).expect("valid against its base");
+        let first_dirty = delta.first_dirty_row().expect("delta is non-empty");
+        let incremental = FingerprintState::of(&a).update(&b, first_dirty);
+        prop_assert_eq!(&incremental, &FingerprintState::of(&b));
+        prop_assert_eq!(incremental.fingerprint(), StructureFingerprint::of(&b));
     }
 
     #[test]
