@@ -47,6 +47,12 @@
 //! a bounded window set, so its relative cost must fall as the window
 //! count grows. Simulated-time, deterministic, no override.
 //!
+//! `--max-recovery-ratio R` requires the current report's `recovery`
+//! block to show a warm-recovery cost of at most `R` times the
+//! cold-prefix-replay cost, a recovered report bit-identical to the
+//! uncrashed control (`equivalent`), and zero double-applied deltas.
+//! Simulated-time, deterministic, no override.
+//!
 //! `--min-kernel-speedup-floor F` fails when any kernel family in the
 //! current report times slower multithreaded than serial (`speedup < F`)
 //! without its `serial_fallback` flag set — i.e. the pool actually fanned
@@ -68,7 +74,8 @@ fn usage() -> ! {
         "usage: bench_gate --baseline <path> --current <path> \
          [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R] \
          [--max-degraded-rate R] [--max-p99-ms MS] [--min-cohort-rate R] \
-         [--max-patch-cost-ratio R] [--min-kernel-speedup-floor F]"
+         [--max-patch-cost-ratio R] [--max-recovery-ratio R] \
+         [--min-kernel-speedup-floor F]"
     );
     std::process::exit(2);
 }
@@ -111,6 +118,7 @@ fn main() {
     let mut max_p99_ms: Option<f64> = None;
     let mut min_cohort_rate: Option<f64> = None;
     let mut max_patch_ratio: Option<f64> = None;
+    let mut max_recovery_ratio: Option<f64> = None;
     let mut speedup_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -132,6 +140,9 @@ fn main() {
             }
             "--max-patch-cost-ratio" => {
                 max_patch_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-recovery-ratio" => {
+                max_recovery_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--min-kernel-speedup-floor" => {
                 speedup_floor = Some(value().parse().unwrap_or_else(|_| usage()))
@@ -320,6 +331,60 @@ fn main() {
             eprintln!(
                 "FAIL: patch/full cost ratio did not shrink with graph size — \
                  the dirty-window re-plan is scaling with the whole graph"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(max_ratio) = max_recovery_ratio {
+        let Some(rc) = &cur.recovery else {
+            eprintln!(
+                "FAIL: --max-recovery-ratio given but the current report \
+                 has no \"recovery\" block (did ext_recovery run?)"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "recovery: crashed at point {} of {}, resumed at epoch {}/{}; \
+             {} plans restored ({} prepares + {} patch replays), {} deltas \
+             replayed ({} duplicates skipped), warm {:.4} vs cold {:.4} ms \
+             (sim) — ratio {:.4} (max {:.4}), equivalent {}",
+            rc.crash_points.saturating_sub(1),
+            rc.crash_points,
+            rc.resume_epoch,
+            rc.total_epochs,
+            rc.restored_plans,
+            rc.full_prepares,
+            rc.patch_replays,
+            rc.replayed_deltas,
+            rc.skipped_duplicates,
+            rc.warm_recovery_sim_ms,
+            rc.cold_replay_sim_ms,
+            rc.recovery_ratio,
+            max_ratio,
+            rc.equivalent
+        );
+        if !rc.equivalent {
+            eprintln!(
+                "FAIL: the recovered report was not bit-identical to the \
+                 uncrashed control — restart equivalence is broken"
+            );
+            std::process::exit(1);
+        }
+        if rc.double_applied > 0 {
+            eprintln!(
+                "FAIL: {} delta(s) were double-applied during WAL replay — \
+                 recovery is not idempotent",
+                rc.double_applied
+            );
+            std::process::exit(1);
+        }
+        if rc.recovery_ratio > max_ratio {
+            eprintln!(
+                "FAIL: warm recovery cost ratio {:.4} above allowed \
+                 {max_ratio} — recovery is not meaningfully cheaper than \
+                 replaying the prefix cold",
+                rc.recovery_ratio
             );
             std::process::exit(1);
         }

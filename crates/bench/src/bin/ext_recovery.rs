@@ -1,0 +1,8 @@
+//! Extension: crash recovery — warm restart from (snapshot, WAL) vs
+//! replaying the completed prefix cold.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let (text, _) =
+        bench::experiments::extensions::recovery(&mut c, &gpu_sim::DeviceSpec::rtx3090());
+    println!("{text}");
+}

@@ -176,6 +176,13 @@ fn main() {
         text
     });
     report.dynamic_graphs = dynamic_graphs_metrics;
+    let mut recovery_metrics = None;
+    exp!("ext_recovery", {
+        let (text, m) = e::extensions::recovery(&mut c, &dev);
+        recovery_metrics = Some(m);
+        text
+    });
+    report.recovery = recovery_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).
@@ -205,8 +212,11 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Written atomically (temp sibling + rename): a crash or a concurrent
+    // reader never sees a half-written report — same helper the
+    // durability layer uses for snapshots.
     let path = metrics::default_path();
-    match std::fs::write(&path, report.to_json()) {
+    match hc_parallel::fsio::atomic_write(&path, report.to_json().as_bytes()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(err) => {
             eprintln!("ERROR: could not write {}: {err}", path.display());

@@ -19,7 +19,7 @@ use hc_serve::{BatchDriver, BatchSummary, Outcome, Request};
 use crate::harness::{f3, DatasetCache, Table};
 use crate::metrics::{
     ChurnScalePoint, DynamicGraphsMetrics, FaultRecoveryMetrics, HotPathMetrics, PlanCacheMetrics,
-    ServingLoadMetrics, TenantSlo,
+    RecoveryMetrics, ServingLoadMetrics, TenantSlo,
 };
 
 /// Dynamic-graph break-even: executions per mutation at which HC-SpMM
@@ -1097,6 +1097,198 @@ pub fn deep_models(cache: &mut DatasetCache, dev: &DeviceSpec) -> String {
         "Deeper models (Fig. 16 discussion): LOA's fixed cost amortizes faster as depth grows\n{}",
         t.render()
     )
+}
+
+/// Crash-recovery cost: the churn serving trace is crashed at the last
+/// point of its schedule, recovered from (snapshot, WAL) and resumed.
+/// Warm recovery rebuilds the resident plans deterministically (full
+/// `prepare` at a materialized root plus `patch` replay along the logged
+/// lineage) instead of re-running the completed prefix — so its simulated
+/// cost is compared against the cold baseline: the prepare + execution +
+/// wasted time of every request the prefix had already served, plus its
+/// patch work. The ratio feeds `bench_gate --max-recovery-ratio`; the
+/// recovered report must be bit-identical to the uncrashed control with
+/// zero double-applied deltas, both also gated.
+pub fn recovery(_cache: &mut DatasetCache, dev: &DeviceSpec) -> (String, RecoveryMetrics) {
+    use gpu_sim::CrashConfig;
+    use graph_sparse::gen;
+    use hc_serve::{
+        run_to_completion, DurabilityConfig, Front, FrontConfig, FrontEvent, FrontRequest,
+        Mutation, TenantId,
+    };
+
+    const EPOCH: usize = 6;
+
+    let g0 = Arc::new(gen::erdos_renyi(1024, 6_000, 50));
+    let g1 = Arc::new(gen::erdos_renyi(1024, 6_000, 51));
+    let d0 = one_edge_churn(&g0).expect("generated graph churns");
+    let d1 = one_edge_churn(&g1).expect("generated graph churns");
+    let g0p = Arc::new(d0.apply(&g0).expect("valid delta"));
+    let g1p = Arc::new(d1.apply(&g1).expect("valid delta"));
+
+    let serve = |g: &Arc<graph_sparse::Csr>, i: usize| {
+        FrontEvent::Serve(FrontRequest {
+            tenant: TenantId([0, 1, 2, 3][i % 4]),
+            request: Request {
+                graph: Arc::clone(g),
+                features: DenseMatrix::random_features(g.ncols, 64, i as u64),
+            },
+        })
+    };
+    // Eight epochs: warm, two mutation epochs, then five epochs of
+    // tip-of-chain traffic — a long completed prefix for the cold
+    // baseline to price.
+    let mut events = Vec::new();
+    for i in 0..EPOCH * 8 {
+        if i == 7 {
+            events.push(FrontEvent::Mutate(Mutation {
+                base: Arc::clone(&g0),
+                delta: d0.clone(),
+            }));
+        }
+        if i == 14 {
+            events.push(FrontEvent::Mutate(Mutation {
+                base: Arc::clone(&g1),
+                delta: d1.clone(),
+            }));
+        }
+        let g = match i {
+            0..=6 => [&g0, &g1][i % 2],
+            7..=13 => [&g0, &g1][i % 2],
+            14..=20 => [&g0p, &g1][i % 2],
+            _ => [&g0p, &g1p][i % 2],
+        };
+        events.push(serve(g, i));
+    }
+    let total_epochs = events.len().div_ceil(EPOCH);
+
+    let mk_front = || {
+        Front::new(
+            1 << 30,
+            PlanSpec::hybrid(),
+            2,
+            FrontConfig {
+                workers: 4, // fixed: the printed body must not depend on --threads
+                queue_depth: 8,
+                tenant_quota: 6,
+                arrivals_per_epoch: EPOCH,
+                max_cohort: 3,
+                ..Default::default()
+            },
+        )
+    };
+    let scratch = |name: &str| {
+        let dir = std::env::temp_dir();
+        let mut wal_path = dir.clone();
+        wal_path.push(format!("hc-bench-rec-{}-{}.wal", std::process::id(), name));
+        let mut snapshot_path = dir;
+        snapshot_path.push(format!("hc-bench-rec-{}-{}.snap", std::process::id(), name));
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&snapshot_path);
+        DurabilityConfig {
+            wal_path,
+            snapshot_path,
+            snapshot_every: 2,
+        }
+    };
+    let cleanup = |cfg: &DurabilityConfig| {
+        let _ = std::fs::remove_file(&cfg.wal_path);
+        let _ = std::fs::remove_file(&cfg.snapshot_path);
+    };
+
+    let control = mk_front().run_events(&events, dev);
+
+    // Uncrashed probe for the schedule horizon, then crash at its last
+    // point — the longest completed prefix the recovery can be asked to
+    // stand in for.
+    let cfg = scratch("probe");
+    let probe = run_to_completion(&mk_front, &cfg, &events, dev, CrashConfig::off())
+        .expect("uncrashed durable run");
+    cleanup(&cfg);
+    let crash_points = probe.crash_points;
+
+    let cfg = scratch("crash");
+    let out = run_to_completion(
+        &mk_front,
+        &cfg,
+        &events,
+        dev,
+        CrashConfig::at(crash_points - 1),
+    )
+    .expect("crashed run recovers");
+    cleanup(&cfg);
+    let rec = out
+        .recoveries
+        .first()
+        .expect("the injected crash forces one recovery");
+
+    let equivalent = out.report.responses == control.responses
+        && out.report.counters == control.counters
+        && out.report.mutations == control.mutations
+        && out.report.latency == control.latency
+        && out.report.tenants == control.tenants
+        && out.report.cache == control.cache;
+
+    // Cold baseline: what a restart with no durability layer pays — every
+    // request the completed prefix had served, re-prepared and re-executed,
+    // plus the prefix's patch work.
+    let resume_epoch = rec.resume_epoch as usize;
+    let cold_replay_sim_ms: f64 = control
+        .responses
+        .iter()
+        .filter(|r| r.epoch < resume_epoch)
+        .map(|r| r.prepare_sim_ms + r.exec_sim_ms + r.wasted_sim_ms)
+        .sum::<f64>()
+        + control
+            .mutations
+            .iter()
+            .filter(|m| m.epoch < resume_epoch)
+            .map(|m| m.patch_sim_ms)
+            .sum::<f64>();
+    let warm_recovery_sim_ms = rec.recovery_sim_ms;
+
+    let m = RecoveryMetrics {
+        crash_points,
+        resume_epoch: rec.resume_epoch,
+        total_epochs: total_epochs as u64,
+        replayed_deltas: rec.reapplied_deltas,
+        skipped_duplicates: rec.skipped_duplicates,
+        double_applied: rec.double_applied,
+        rolled_back_records: rec.rolled_back_records,
+        restored_plans: rec.restored_plans,
+        full_prepares: rec.full_prepares,
+        patch_replays: rec.patch_replays,
+        warm_recovery_sim_ms,
+        cold_replay_sim_ms,
+        recovery_ratio: warm_recovery_sim_ms / cold_replay_sim_ms,
+        equivalent,
+    };
+    let text = format!(
+        "Crash recovery (extension): warm restart from (snapshot, WAL) vs cold prefix replay\n\
+         schedule: {} crash points over {} epochs; crashed at the last point \
+         ({:?}), resumed at epoch {}\n\
+         recovery: {} plans restored ({} full prepares, {} patch replays), \
+         {} deltas replayed ({} duplicates skipped, {} double-applied), \
+         {} records rolled back\n\
+         warm {} ms vs cold {} ms (sim) — ratio {:.4}; recovered report \
+         bit-identical to the uncrashed control: {}\n",
+        m.crash_points,
+        m.total_epochs,
+        out.crashes[0],
+        m.resume_epoch,
+        m.restored_plans,
+        m.full_prepares,
+        m.patch_replays,
+        m.replayed_deltas,
+        m.skipped_duplicates,
+        m.double_applied,
+        m.rolled_back_records,
+        f3(m.warm_recovery_sim_ms),
+        f3(m.cold_replay_sim_ms),
+        m.recovery_ratio,
+        m.equivalent
+    );
+    (text, m)
 }
 
 #[cfg(test)]

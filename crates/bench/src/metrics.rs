@@ -50,15 +50,23 @@
 //!      {"nrows": 4096, "nnz": 32768, "windows": 256,
 //!       "full_prepare_sim_ms": 0.8, "patch_sim_ms": 0.09,
 //!       "patch_ratio": 0.11}
-//!   ]}
+//!   ]},
+//!   "recovery": {"crash_points": 14, "resume_epoch": 3, "total_epochs": 8,
+//!                "replayed_deltas": 2, "skipped_duplicates": 0,
+//!                "double_applied": 0, "rolled_back_records": 0,
+//!                "restored_plans": 2, "full_prepares": 1,
+//!                "patch_replays": 1, "warm_recovery_sim_ms": 0.9,
+//!                "cold_replay_sim_ms": 4.1, "recovery_ratio": 0.22,
+//!                "equivalent": true}
 //! }
 //! ```
 //!
 //! `plan_cache` (the `ext_plan_cache_amortization` experiment's counters),
 //! `fault_recovery` (the `ext_fault_recovery` chaos-serving counters),
 //! `hot_path` (the `ext_hot_path` workspace/pool counters),
-//! `serving_load` (the `ext_serving_load` front-end counters) and
-//! `dynamic_graphs` (the `ext_churn` incremental re-planning counters) are
+//! `serving_load` (the `ext_serving_load` front-end counters),
+//! `dynamic_graphs` (the `ext_churn` incremental re-planning counters) and
+//! `recovery` (the `ext_recovery` crash-recovery counters) are
 //! all optional: reports written before those subsystems existed —
 //! including the committed baseline — parse unchanged. The same goes for
 //! the per-kernel `serial_fallback` flag.
@@ -300,6 +308,53 @@ pub struct DynamicGraphsMetrics {
     pub churn_overhead_ratio: f64,
 }
 
+/// Crash-recovery counters from the `ext_recovery` experiment: a churn
+/// serving trace is crashed mid-flight, recovered from (snapshot, WAL)
+/// and resumed. Warm recovery rebuilds plans deterministically
+/// (`prepare` at a materialized root plus `patch` replay) instead of
+/// re-running the completed prefix, so its simulated cost must come in
+/// well under the cold-replay cost — gated by
+/// `bench_gate --max-recovery-ratio` — and the merged report must be
+/// bit-identical to the uncrashed control with zero double-applied
+/// deltas. All times are simulated, so every field is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryMetrics {
+    /// Crash points the uncrashed schedule exposes (the sweep horizon).
+    pub crash_points: u64,
+    /// First epoch the resumed run executed (`last marker + 1`).
+    pub resume_epoch: u64,
+    /// Scheduling epochs in the full trace.
+    pub total_epochs: u64,
+    /// Durable WAL delta records re-applied at recovery.
+    pub replayed_deltas: u64,
+    /// Durable records skipped because their post-apply graph was
+    /// already materialized (idempotent replay).
+    pub skipped_duplicates: u64,
+    /// Deltas applied more than once — must be zero, gated.
+    pub double_applied: u64,
+    /// Intact-but-unmarked records rolled back past the last fsync
+    /// marker.
+    pub rolled_back_records: u64,
+    /// Plans restored into the cache by recovery, total.
+    pub restored_plans: u64,
+    /// Rebuild steps served by a full `Plan::prepare`.
+    pub full_prepares: u64,
+    /// Rebuild steps served by `Plan::patch` replay.
+    pub patch_replays: u64,
+    /// Simulated cost of the warm rebuild (prepares + patch replays).
+    pub warm_recovery_sim_ms: f64,
+    /// Simulated cost of re-running the completed prefix cold (prepare +
+    /// exec + wasted time of every delivered pre-crash request, plus the
+    /// pre-crash patch work) — what a restart without durability pays.
+    pub cold_replay_sim_ms: f64,
+    /// `warm_recovery_sim_ms / cold_replay_sim_ms` — the gated ratio.
+    pub recovery_ratio: f64,
+    /// Whether the recovered, merged report was bit-identical to the
+    /// uncrashed control (responses, counters, mutation outcomes,
+    /// latency, tenants, cache statistics) — gated.
+    pub equivalent: bool,
+}
+
 /// The full machine-readable report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -324,6 +379,9 @@ pub struct BenchReport {
     /// Dynamic-graph churn counters (absent in reports written before
     /// incremental re-planning existed).
     pub dynamic_graphs: Option<DynamicGraphsMetrics>,
+    /// Crash-recovery counters (absent in reports written before the
+    /// durability layer existed).
+    pub recovery: Option<RecoveryMetrics>,
 }
 
 impl BenchReport {
@@ -339,6 +397,7 @@ impl BenchReport {
             hot_path: None,
             serving_load: None,
             dynamic_graphs: None,
+            recovery: None,
         }
     }
 
@@ -523,6 +582,32 @@ impl BenchReport {
             } else {
                 s.push_str("\n  ]}");
             }
+        }
+        if let Some(rc) = &self.recovery {
+            let _ = write!(
+                s,
+                ",\n  \"recovery\": {{\"crash_points\": {}, \"resume_epoch\": {}, \
+                 \"total_epochs\": {}, \"replayed_deltas\": {}, \
+                 \"skipped_duplicates\": {}, \"double_applied\": {}, \
+                 \"rolled_back_records\": {}, \"restored_plans\": {}, \
+                 \"full_prepares\": {}, \"patch_replays\": {}, \
+                 \"warm_recovery_sim_ms\": {}, \"cold_replay_sim_ms\": {}, \
+                 \"recovery_ratio\": {}, \"equivalent\": {}}}",
+                rc.crash_points,
+                rc.resume_epoch,
+                rc.total_epochs,
+                rc.replayed_deltas,
+                rc.skipped_duplicates,
+                rc.double_applied,
+                rc.rolled_back_records,
+                rc.restored_plans,
+                rc.full_prepares,
+                rc.patch_replays,
+                num(rc.warm_recovery_sim_ms),
+                num(rc.cold_replay_sim_ms),
+                num(rc.recovery_ratio),
+                rc.equivalent
+            );
         }
         s.push_str("\n}\n");
         s
@@ -724,6 +809,32 @@ impl BenchReport {
                 amortized_churn_sim_ms: f("amortized_churn_sim_ms")?,
                 amortized_steady_sim_ms: f("amortized_steady_sim_ms")?,
                 churn_overhead_ratio: f("churn_overhead_ratio")?,
+            });
+        }
+        if let Some(rc) = v.get("recovery") {
+            let f = |key: &str| {
+                rc.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("recovery missing {key}"))
+            };
+            report.recovery = Some(RecoveryMetrics {
+                crash_points: f("crash_points")? as u64,
+                resume_epoch: f("resume_epoch")? as u64,
+                total_epochs: f("total_epochs")? as u64,
+                replayed_deltas: f("replayed_deltas")? as u64,
+                skipped_duplicates: f("skipped_duplicates")? as u64,
+                double_applied: f("double_applied")? as u64,
+                rolled_back_records: f("rolled_back_records")? as u64,
+                restored_plans: f("restored_plans")? as u64,
+                full_prepares: f("full_prepares")? as u64,
+                patch_replays: f("patch_replays")? as u64,
+                warm_recovery_sim_ms: f("warm_recovery_sim_ms")?,
+                cold_replay_sim_ms: f("cold_replay_sim_ms")?,
+                recovery_ratio: f("recovery_ratio")?,
+                equivalent: rc
+                    .get("equivalent")
+                    .and_then(Json::as_bool)
+                    .ok_or("recovery missing equivalent")?,
             });
         }
         Ok(report)
@@ -1415,6 +1526,53 @@ mod tests {
             amortized_churn_sim_ms: 0.0,
             amortized_steady_sim_ms: 0.0,
             churn_overhead_ratio: 0.0,
+        });
+        assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn recovery_block_roundtrips_and_stays_optional() {
+        let bare = sample();
+        assert!(!bare.to_json().contains("\"recovery\""));
+        assert_eq!(BenchReport::from_json(&bare.to_json()).unwrap(), bare);
+
+        let mut r = sample();
+        r.recovery = Some(RecoveryMetrics {
+            crash_points: 14,
+            resume_epoch: 3,
+            total_epochs: 8,
+            replayed_deltas: 2,
+            skipped_duplicates: 1,
+            double_applied: 0,
+            rolled_back_records: 1,
+            restored_plans: 2,
+            full_prepares: 1,
+            patch_replays: 1,
+            warm_recovery_sim_ms: 0.9,
+            cold_replay_sim_ms: 4.1,
+            recovery_ratio: 0.2195,
+            equivalent: true,
+        });
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+
+        // `equivalent: false` survives the trip too (the gate must see it).
+        let mut r = sample();
+        r.recovery = Some(RecoveryMetrics {
+            crash_points: 0,
+            resume_epoch: 0,
+            total_epochs: 0,
+            replayed_deltas: 0,
+            skipped_duplicates: 0,
+            double_applied: 2,
+            rolled_back_records: 0,
+            restored_plans: 0,
+            full_prepares: 0,
+            patch_replays: 0,
+            warm_recovery_sim_ms: 0.0,
+            cold_replay_sim_ms: 0.0,
+            recovery_ratio: 0.0,
+            equivalent: false,
         });
         assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
     }

@@ -1,0 +1,160 @@
+//! Model-checking the snapshot collection protocol:
+//! [`SharedPlanCache::collect_recoverable`] racing concurrent
+//! `swap_patched` and `quarantine` calls. The collector acquires every
+//! shard in ascending order and holds them while the quarantine registry
+//! is read, so the bounded scheduler must find that under every
+//! interleaving the collected state is never torn — no fingerprint is
+//! observed both resident and quarantined, a lineage mid-swap is
+//! observed with at least one of its fingerprints resident (the admit
+//! and the retire are separate shard sections, so *both* resident is a
+//! legal transient; *neither* is not) — and that holding all shards
+//! keeps the lock-order graph acyclic against the global
+//! `plan-shard → quarantine-registry` discipline.
+//!
+//! Runs only under `RUSTFLAGS="--cfg hc_check"` with
+//! `--test-threads=1` (the model scheduler is process-global).
+#![cfg(hc_check)]
+
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use graph_sparse::{gen, Csr, DeltaCsr, StructureFingerprint};
+use hc_check::{check_with, Options};
+use hc_core::PlanSpec;
+use hc_parallel::sync::thread;
+use hc_serve::{SharedPlanCache, SwapOutcome};
+
+fn opts() -> Options {
+    Options {
+        preemption_bound: 2,
+        max_schedules: 2048,
+        max_steps: 20_000,
+        // What the collector observes mid-race legitimately varies by
+        // schedule; the no-torn-state invariants hold under all of them.
+        expect_deterministic: false,
+        ..Options::default()
+    }
+}
+
+/// A tiny graph plus a one-edge churn delta against it.
+fn churn_pair() -> (Csr, DeltaCsr) {
+    let g = gen::erdos_renyi(24, 60, 7);
+    let (dr, dc) = (0..g.nrows)
+        .find_map(|r| g.row_cols(r).first().map(|&c| (r as u32, c)))
+        .expect("generated graph has edges");
+    let delta = DeltaCsr::new(g.nrows, g.ncols, vec![], vec![(dr, dc)])
+        .expect("deleting an existing edge is valid");
+    (g, delta)
+}
+
+/// `collect_recoverable` racing `swap_patched`: the snapshot is taken
+/// strictly before, strictly after, or between the swap's two shard
+/// sections — so it holds the old plan, the new plan, or transiently
+/// both, but never neither and never a quarantined entry.
+#[test]
+fn snapshot_racing_swap_is_never_torn() {
+    hc_parallel::set_threads(1);
+    let dev = DeviceSpec::rtx3090();
+    let (g, delta) = churn_pair();
+    let mutated = delta.apply(&g).expect("valid delta");
+    let old_fp = StructureFingerprint::of(&g);
+    let new_fp = StructureFingerprint::of(&mutated);
+    let report = check_with("snapshot-racing-swap", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let (resident, _) = cache.get_or_prepare(&g, &dev);
+        cache.mark_stale(old_fp);
+        let patched = Arc::new(
+            resident
+                .patch(&g, &delta, &dev)
+                .expect("valid delta patches"),
+        );
+        let swapper = {
+            let cache = Arc::clone(&cache);
+            let patched = Arc::clone(&patched);
+            thread::spawn(move || cache.swap_patched(old_fp, patched))
+        };
+        let collector = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.collect_recoverable())
+        };
+        let outcome = swapper.join().expect("swapper thread");
+        let (residency, quarantine) = collector.join().expect("collector thread");
+        assert_eq!(outcome, SwapOutcome::Swapped, "nothing was quarantined");
+        assert!(quarantine.is_empty(), "no bar was ever placed");
+        let flat: Vec<StructureFingerprint> = residency.into_iter().flatten().collect();
+        let saw_old = flat.contains(&old_fp);
+        let saw_new = flat.contains(&new_fp);
+        assert!(
+            saw_old || saw_new,
+            "a recoverable snapshot must always hold the lineage"
+        );
+        // Final state is deterministic regardless of what was collected.
+        assert!(cache.peek(new_fp).is_some(), "patched structure resident");
+        assert!(cache.peek(old_fp).is_none(), "superseded plan retired");
+        // Encode the observation (old only / both mid-swap / new only) so
+        // the explorer proves the distinct collection points exist.
+        u64::from(saw_old) + 2 * u64::from(saw_new)
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "{}", report.summary());
+    assert!(
+        report.lock_cycles.is_empty(),
+        "lock-order graph must be acyclic: {}",
+        report.summary()
+    );
+}
+
+/// `collect_recoverable` racing `quarantine` of a resident structure:
+/// the bar registers and evicts under one shard section, and the
+/// collector holds every shard while reading the registry — so under no
+/// interleaving does the snapshot carry the fingerprint both resident
+/// and quarantined.
+#[test]
+fn snapshot_racing_quarantine_is_never_torn() {
+    hc_parallel::set_threads(1);
+    let dev = DeviceSpec::rtx3090();
+    let (g, _) = churn_pair();
+    let fp = StructureFingerprint::of(&g);
+    let report = check_with("snapshot-racing-quarantine", opts(), || {
+        let cache = Arc::new(SharedPlanCache::new(u64::MAX / 4, PlanSpec::hybrid(), 2));
+        let _ = cache.get_or_prepare(&g, &dev);
+        let reaper = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.quarantine(fp))
+        };
+        let collector = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.collect_recoverable())
+        };
+        let evicted = reaper.join().expect("reaper thread");
+        let (residency, quarantine) = collector.join().expect("collector thread");
+        assert!(evicted, "the structure was resident when the bar landed");
+        let resident = residency.into_iter().flatten().any(|f| f == fp);
+        let barred = quarantine.contains(&fp);
+        assert!(
+            !(resident && barred),
+            "snapshot observed {fp:?} both resident and quarantined"
+        );
+        // Final state is deterministic: barred and evicted.
+        assert!(cache.is_quarantined(fp));
+        assert!(cache.peek(fp).is_none(), "barred fp never resident");
+        // Schedule-dependent: collected before the bar (resident, clean
+        // registry) or after it (evicted, barred).
+        u64::from(barred)
+    });
+    report.assert_clean();
+    assert!(report.schedules > 1, "{}", report.summary());
+    assert!(
+        report
+            .lock_edges
+            .iter()
+            .any(|e| e.from == "plan-shard" && e.to == "quarantine-registry"),
+        "expected shard→registry acquisition edge: {}",
+        report.summary()
+    );
+    assert!(
+        report.lock_cycles.is_empty(),
+        "lock-order graph must be acyclic: {}",
+        report.summary()
+    );
+}

@@ -293,6 +293,162 @@ pub(crate) fn observe_launch() {
     });
 }
 
+/// Where in the serving front a crash point sits. Each call to
+/// [`crash_requested`] names its site so a crash schedule can be audited
+/// ("crash 7 fired between the WAL append and the swap") and so the
+/// restart-equivalence suite can assert coverage of every site class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashSite {
+    /// Between two requests inside an epoch, before the barrier.
+    MidEpoch,
+    /// Inside a WAL record append — the record's bytes may be torn.
+    MidWalAppend,
+    /// After the WAL record is durable but before `swap_patched` commits.
+    BetweenAppendAndSwap,
+    /// Inside a snapshot write — the temp file may be torn, the previous
+    /// snapshot must survive.
+    MidSnapshot,
+}
+
+impl CrashSite {
+    /// All sites, for crash-matrix enumeration in tests.
+    pub const ALL: [CrashSite; 4] = [
+        CrashSite::MidEpoch,
+        CrashSite::MidWalAppend,
+        CrashSite::BetweenAppendAndSwap,
+        CrashSite::MidSnapshot,
+    ];
+
+    /// Stable lowercase name for reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashSite::MidEpoch => "mid-epoch",
+            CrashSite::MidWalAppend => "mid-wal-append",
+            CrashSite::BetweenAppendAndSwap => "between-append-and-swap",
+            CrashSite::MidSnapshot => "mid-snapshot",
+        }
+    }
+}
+
+impl fmt::Display for CrashSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A crash schedule: abort the process-under-test at the `crash_at`-th
+/// crash point it passes (0-based). Deterministic by construction — the
+/// schedule is a single index into the linear sequence of points the run
+/// visits, so the same trace crashes at the same place every time,
+/// regardless of worker threads (points are driver-thread-only, like
+/// launches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashConfig {
+    /// Crash at the point with this index; `None` = never crash.
+    pub crash_at: Option<u64>,
+}
+
+impl CrashConfig {
+    /// Never crash (the production default).
+    pub fn off() -> CrashConfig {
+        CrashConfig { crash_at: None }
+    }
+
+    /// Crash at the `k`-th crash point the run passes (0-based).
+    pub fn at(k: u64) -> CrashConfig {
+        CrashConfig { crash_at: Some(k) }
+    }
+
+    /// A seeded draw of a crash index in `[0, horizon)` — for randomized
+    /// chaos schedules on top of the exhaustive per-index matrix.
+    pub fn seeded(seed: u64, horizon: u64) -> CrashConfig {
+        if horizon == 0 {
+            return CrashConfig::off();
+        }
+        let mut s = splitmix(seed);
+        CrashConfig {
+            crash_at: Some(next_u64(&mut s) % horizon),
+        }
+    }
+}
+
+struct CrashState {
+    config: CrashConfig,
+    points: u64,
+    fired: Option<(u64, CrashSite)>,
+}
+
+thread_local! {
+    /// Innermost-active-last stack of crash scopes, mirroring `SCOPES`.
+    static CRASH_SCOPES: RefCell<Vec<Rc<RefCell<CrashState>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard that arms a [`CrashConfig`] on the current thread. While
+/// alive, every [`crash_requested`] call increments the point counter and
+/// reports whether the schedule says to crash there. The host (the durable
+/// serving front) unwinds with a typed error — crashes are cooperative,
+/// never a panic, because library crates deny `clippy::panic`.
+pub struct CrashScope {
+    state: Rc<RefCell<CrashState>>,
+}
+
+impl CrashScope {
+    /// Arm `config` on this thread.
+    pub fn install(config: CrashConfig) -> CrashScope {
+        let state = Rc::new(RefCell::new(CrashState {
+            config,
+            points: 0,
+            fired: None,
+        }));
+        CRASH_SCOPES.with(|s| s.borrow_mut().push(Rc::clone(&state)));
+        CrashScope { state }
+    }
+
+    /// Crash points passed so far (fired or not). After an uncrashed run
+    /// this is the horizon for the exhaustive crash matrix.
+    pub fn points(&self) -> u64 {
+        self.state.borrow().points
+    }
+
+    /// The point index and site where the schedule fired, if it did.
+    pub fn fired(&self) -> Option<(u64, CrashSite)> {
+        self.state.borrow().fired
+    }
+}
+
+impl Drop for CrashScope {
+    fn drop(&mut self) {
+        CRASH_SCOPES.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|e| Rc::ptr_eq(e, &self.state)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Declare a crash point at `site`. Returns `true` when the innermost
+/// armed [`CrashScope`]'s schedule says to crash here — the caller must
+/// then unwind to its recovery boundary without committing further state.
+/// Always `false` (and allocation-free) when no scope is installed.
+pub fn crash_requested(site: CrashSite) -> bool {
+    CRASH_SCOPES.with(|s| {
+        let stack = s.borrow();
+        let Some(top) = stack.last() else {
+            return false;
+        };
+        let mut state = top.borrow_mut();
+        let point = state.points;
+        state.points += 1;
+        if state.fired.is_none() && state.config.crash_at == Some(point) {
+            state.fired = Some((point, site));
+            true
+        } else {
+            false
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +548,49 @@ mod tests {
         let a: Vec<_> = (0..100).map(|l| s0.decide(l)).collect();
         let b: Vec<_> = (0..100).map(|l| s1.decide(l)).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crash_points_count_and_fire_once() {
+        // No scope: points are inert.
+        assert!(!crash_requested(CrashSite::MidEpoch));
+        let scope = CrashScope::install(CrashConfig::at(2));
+        assert!(!crash_requested(CrashSite::MidEpoch));
+        assert!(!crash_requested(CrashSite::MidWalAppend));
+        assert!(crash_requested(CrashSite::BetweenAppendAndSwap));
+        // A schedule fires exactly once, even if the host keeps going.
+        assert!(!crash_requested(CrashSite::MidSnapshot));
+        assert_eq!(scope.points(), 4);
+        assert_eq!(scope.fired(), Some((2, CrashSite::BetweenAppendAndSwap)));
+    }
+
+    #[test]
+    fn crash_off_never_fires_and_scope_nests() {
+        let outer = CrashScope::install(CrashConfig::at(0));
+        {
+            let inner = CrashScope::install(CrashConfig::off());
+            for _ in 0..10 {
+                assert!(!crash_requested(CrashSite::MidEpoch));
+            }
+            assert_eq!(inner.points(), 10);
+            assert_eq!(inner.fired(), None);
+        }
+        assert_eq!(outer.points(), 0, "outer must not see inner points");
+        assert!(crash_requested(CrashSite::MidEpoch));
+        assert_eq!(outer.fired(), Some((0, CrashSite::MidEpoch)));
+    }
+
+    #[test]
+    fn seeded_crash_schedules_are_deterministic_and_in_range() {
+        for horizon in [1u64, 7, 100] {
+            for seed in 0..50 {
+                let a = CrashConfig::seeded(seed, horizon);
+                assert_eq!(a, CrashConfig::seeded(seed, horizon));
+                let k = a.crash_at.expect("non-zero horizon draws a point");
+                assert!(k < horizon);
+            }
+        }
+        assert_eq!(CrashConfig::seeded(1, 0), CrashConfig::off());
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod trace;
 
 pub use cost::{BlockCost, DramTraffic, KernelRun, SharedTraffic};
 pub use device::{DeviceKind, DeviceSpec};
-pub use faults::{Fault, FaultConfig, FaultKind, FaultScope};
+pub use faults::{
+    crash_requested, CrashConfig, CrashScope, CrashSite, Fault, FaultConfig, FaultKind, FaultScope,
+};
 pub use memory::{coalesced_transactions, gather_transactions, shared_store_conflicts};
 pub use precision::Precision;
 pub use profile::KernelProfile;

@@ -46,6 +46,7 @@
 //! executions are bit-identical, the engagement decision is a pure
 //! scheduling choice and never changes results.
 
+pub mod fsio;
 pub mod sync;
 
 use std::mem::{ManuallyDrop, MaybeUninit};
@@ -337,15 +338,7 @@ fn save_calibration(path: &std::path::Path, cal: Calibration) {
     entries.retain(|c| c.cores != cal.cores);
     entries.push(cal);
     entries.sort_by_key(|c| c.cores);
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
-            return;
-        }
-    }
-    let tmp = path.with_extension("json.tmp");
-    if std::fs::write(&tmp, render_calibration_entries(&entries)).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+    let _ = fsio::atomic_write(path, render_calibration_entries(&entries).as_bytes());
 }
 
 /// Regions that fanned out over worker threads since the last

@@ -291,6 +291,66 @@ impl PlanCache {
         self.entries.contains_key(&fp)
     }
 
+    /// Resident fingerprints in LRU order, oldest first. `last_used`
+    /// stamps are unique, so the order is total and deterministic — it is
+    /// the recoverable residency state the durability layer persists:
+    /// re-admitting plans in this order reproduces every future eviction
+    /// decision.
+    pub fn resident_lru(&self) -> Vec<StructureFingerprint> {
+        let mut v: Vec<(u64, StructureFingerprint)> = self
+            .entries
+            .iter()
+            .map(|(fp, e)| (e.last_used, *fp))
+            .collect();
+        v.sort_by_key(|&(t, _)| t);
+        v.into_iter().map(|(_, fp)| fp).collect()
+    }
+
+    /// Re-admit a deterministically rebuilt plan during recovery. The
+    /// entry takes the next clock stamp — callers insert in persisted
+    /// [`resident_lru`](PlanCache::resident_lru) order, which restores
+    /// the relative recency that eviction decisions depend on — and is
+    /// charged against the budget, but **no traffic is counted and
+    /// nothing is evicted**: restoring state is not traffic, and a
+    /// restored set was resident together before the crash so it fits by
+    /// construction (an oversized plan is dropped, as `admit` would).
+    pub fn restore_resident(&mut self, plan: Arc<Plan>) {
+        let fp = plan.fingerprint;
+        if self.entries.contains_key(&fp) || self.quarantined.contains(&fp) {
+            return;
+        }
+        let bytes = plan.approx_bytes();
+        if self.bytes + bytes > self.budget {
+            return;
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.entries.insert(
+            fp,
+            Entry {
+                plan,
+                bytes,
+                last_used: self.clock,
+                stale: false,
+            },
+        );
+    }
+
+    /// Restore a quarantine registration during recovery, without
+    /// counting it in `quarantined` (the persisted statistics already
+    /// include it; they are re-seeded wholesale via
+    /// [`seed_stats`](PlanCache::seed_stats)).
+    pub fn restore_quarantined(&mut self, fp: StructureFingerprint) {
+        self.quarantined.insert(fp);
+    }
+
+    /// Seed the cumulative statistics from persisted state. Recovery
+    /// seeds one shard with the pre-crash totals so the aggregate picks
+    /// up exactly where the crashed process left off.
+    pub fn seed_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
+
     /// Aggregate workspace counters over the resident plans — how much
     /// per-request allocation the cached population is amortizing away.
     /// Evicted and rejected plans take their counters with them, so this

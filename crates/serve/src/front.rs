@@ -399,6 +399,78 @@ struct CohortDone {
     outs: Vec<MemberOut>,
 }
 
+/// Everything visible at one epoch barrier, handed to the
+/// [`EpochSink`] after the epoch's mutations swapped and before the next
+/// epoch starts.
+pub(crate) struct EpochEnd<'a> {
+    /// Global epoch index.
+    pub epoch: usize,
+    /// Cumulative counters at the barrier (pre-aggregation: `ok`,
+    /// `degraded` and `failed` are computed from responses at report
+    /// time, never here).
+    pub counters: &'a FrontCounters,
+    /// This epoch's response slots (`None` for mutation events).
+    pub responses: &'a [Option<FrontResponse>],
+    /// This epoch's mutation outcomes.
+    pub mutations: &'a [MutationOutcome],
+}
+
+/// Epoch-boundary hooks the durability layer installs on
+/// [`Front::run_events_from`]. The default no-op sink reduces it to the
+/// plain in-memory run. Returning `Err` unwinds the run to its recovery
+/// boundary — this is how injected crashes and WAL I/O errors stop the
+/// front without panicking.
+pub(crate) trait EpochSink {
+    /// Why the run stopped early.
+    type Halt;
+
+    /// Called once per epoch after admission, before execution.
+    fn mid_epoch(&mut self, epoch: usize) -> Result<(), Self::Halt>;
+
+    /// Called for each structurally effective mutation at the barrier,
+    /// *before* its swap commits — the write-ahead point.
+    fn log_mutation(
+        &mut self,
+        epoch: usize,
+        trace_index: usize,
+        base_fp: StructureFingerprint,
+        new_fp: StructureFingerprint,
+        delta: &DeltaCsr,
+    ) -> Result<(), Self::Halt>;
+
+    /// Called at the epoch barrier after the mutation swaps: the commit
+    /// point where the durability layer writes its fsync marker and
+    /// delivers the epoch's responses.
+    fn epoch_end(&mut self, end: EpochEnd<'_>) -> Result<(), Self::Halt>;
+}
+
+/// The sink behind plain [`Front::run_events`]: does nothing, cannot
+/// halt.
+struct NoopSink;
+
+impl EpochSink for NoopSink {
+    type Halt = std::convert::Infallible;
+
+    fn mid_epoch(&mut self, _epoch: usize) -> Result<(), Self::Halt> {
+        Ok(())
+    }
+
+    fn log_mutation(
+        &mut self,
+        _epoch: usize,
+        _trace_index: usize,
+        _base_fp: StructureFingerprint,
+        _new_fp: StructureFingerprint,
+        _delta: &DeltaCsr,
+    ) -> Result<(), Self::Halt> {
+        Ok(())
+    }
+
+    fn epoch_end(&mut self, _end: EpochEnd<'_>) -> Result<(), Self::Halt> {
+        Ok(())
+    }
+}
+
 /// The concurrent serving front-end. See the module docs for the
 /// pipeline and its determinism/lock-order contracts.
 pub struct Front {
@@ -459,6 +531,31 @@ impl Front {
     /// mutation affects every request of its own epoch regardless of
     /// relative position within the epoch.
     pub fn run_events(&self, events: &[FrontEvent], dev: &DeviceSpec) -> FrontReport {
+        match self.run_events_from(events, dev, 0, FrontCounters::default(), &mut NoopSink) {
+            Ok(report) => report,
+            Err(halt) => match halt {},
+        }
+    }
+
+    /// [`run_events`](Front::run_events) with a resume point and
+    /// durability hooks — the engine both the plain and the crash-safe
+    /// fronts run on.
+    ///
+    /// `events` is always the *full* trace; epochs before `start_epoch`
+    /// are skipped (their effects live in `counters_seed` and in the
+    /// restored cache), so trace indices, epoch numbers and per-request
+    /// fault streams are globally stable across a crash/recover/resume
+    /// cycle. The returned report covers only the epochs this call ran;
+    /// the durability layer merges it with what earlier attempts
+    /// delivered.
+    pub(crate) fn run_events_from<S: EpochSink>(
+        &self,
+        events: &[FrontEvent],
+        dev: &DeviceSpec,
+        start_epoch: usize,
+        counters_seed: FrontCounters,
+        sink: &mut S,
+    ) -> Result<FrontReport, S::Halt> {
         let t0 = Instant::now();
         let cfg = self.cfg;
         let queue_depth = cfg.queue_depth.max(1);
@@ -466,11 +563,11 @@ impl Front {
         let epoch_len = cfg.arrivals_per_epoch.max(1);
         let max_cohort = cfg.max_cohort.max(1);
 
-        let mut counters = FrontCounters::default();
+        let mut counters = counters_seed;
         let mut slots: Vec<Option<FrontResponse>> = events.iter().map(|_| None).collect();
         let mut mutation_outs: Vec<MutationOutcome> = Vec::new();
 
-        for (epoch, arrivals) in events.chunks(epoch_len).enumerate() {
+        for (epoch, arrivals) in events.chunks(epoch_len).enumerate().skip(start_epoch) {
             counters.epochs += 1;
             let base = epoch * epoch_len;
 
@@ -545,6 +642,7 @@ impl Front {
                 }
                 admitted.push((ti, fr));
             }
+            sink.mid_epoch(epoch)?;
 
             // --- Cohort formation: by fingerprint, first-arrival order.
             let mut group_of: HashMap<StructureFingerprint, usize> = HashMap::new();
@@ -694,6 +792,7 @@ impl Front {
             // in arrival order, after the epoch's cohorts drained — the
             // stale plan served this epoch; the patched plan serves the
             // next.
+            let mut_start = mutation_outs.len();
             for (ti, m) in epoch_mutations {
                 let old_fp = StructureFingerprint::of(&m.base);
                 let mut out = MutationOutcome {
@@ -705,123 +804,159 @@ impl Front {
                     swap: None,
                     patch_sim_ms: 0.0,
                 };
-                match self.cache.peek(old_fp) {
-                    Some(resident) => match resident.patch(&m.base, &m.delta, dev) {
-                        Ok(patched) => {
-                            out.patched = true;
-                            out.patch_sim_ms = patched.sim_prepare_ms();
-                            out.new_fp = Some(patched.fingerprint);
-                            counters.patched_plans += 1;
-                            out.swap = Some(self.cache.swap_patched(old_fp, Arc::new(patched)));
-                        }
-                        Err(_) => {
-                            // Unpatchable (LOA plan, or the delta
-                            // disagrees with the base): retire the stale
-                            // entry; the mutated structure prepares from
-                            // scratch on its next request.
-                            self.cache.remove(old_fp);
-                            out.new_fp = m
-                                .delta
-                                .apply(&m.base)
-                                .ok()
-                                .map(|g| StructureFingerprint::of(&g));
-                        }
-                    },
-                    None => {
-                        // Nothing resident to patch, so nothing stale is
-                        // serving either.
-                        out.new_fp = m
-                            .delta
-                            .apply(&m.base)
-                            .ok()
-                            .map(|g| StructureFingerprint::of(&g));
+                let resident = self.cache.peek(old_fp);
+                let patched = resident
+                    .as_ref()
+                    .and_then(|r| r.patch(&m.base, &m.delta, dev).ok());
+                out.new_fp = match &patched {
+                    Some(p) => Some(p.fingerprint),
+                    // Unpatchable (LOA plan, delta disagrees with the
+                    // base, or nothing resident): the post-mutation
+                    // fingerprint comes from applying the delta directly.
+                    None => m
+                        .delta
+                        .apply(&m.base)
+                        .ok()
+                        .map(|g| StructureFingerprint::of(&g)),
+                };
+                // Durability: the delta is on the log *before* the swap
+                // publishes it, so recovery never sees a plan with no
+                // provenance.
+                if let Some(new_fp) = out.new_fp {
+                    sink.log_mutation(epoch, ti, old_fp, new_fp, &m.delta)?;
+                }
+                match (resident.is_some(), patched) {
+                    (true, Some(p)) => {
+                        out.patched = true;
+                        out.patch_sim_ms = p.sim_prepare_ms();
+                        counters.patched_plans += 1;
+                        out.swap = Some(self.cache.swap_patched(old_fp, Arc::new(p)));
                     }
+                    (true, None) => {
+                        // Retire the stale entry; the mutated structure
+                        // prepares from scratch on its next request.
+                        self.cache.remove(old_fp);
+                    }
+                    // Nothing resident to patch, so nothing stale is
+                    // serving either.
+                    (false, _) => {}
                 }
                 mutation_outs.push(out);
             }
+
+            sink.epoch_end(EpochEnd {
+                epoch,
+                counters: &counters,
+                responses: &slots[base..base + arrivals.len()],
+                mutations: &mutation_outs[mut_start..],
+            })?;
         }
 
+        let resumed = (start_epoch * epoch_len).min(events.len());
         let responses: Vec<FrontResponse> = slots
             .into_iter()
             .zip(events)
+            .skip(resumed)
             .filter_map(|(s, ev)| match ev {
                 FrontEvent::Serve(_) => Some(s.expect("every serve event produces a response")),
                 FrontEvent::Mutate(_) => None,
             })
             .collect();
 
-        // --- Aggregation.
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut tenants: std::collections::BTreeMap<TenantId, (TenantStats, Vec<f64>)> =
-            std::collections::BTreeMap::new();
-        for r in &responses {
-            let (ts, lats) = tenants.entry(r.tenant).or_insert_with(|| {
-                (
-                    TenantStats {
-                        tenant: r.tenant,
-                        submitted: 0,
-                        admitted: 0,
-                        rejected: 0,
-                        served: 0,
-                        failed: 0,
-                        slo_violations: 0,
-                        p99_sim_ms: 0.0,
-                    },
-                    Vec::new(),
-                )
-            });
-            ts.submitted += 1;
-            if r.is_rejected() {
-                ts.rejected += 1;
-                continue;
-            }
-            ts.admitted += 1;
-            match &r.outcome {
-                Outcome::Ok(_) => counters.ok += 1,
-                Outcome::Degraded { .. } => counters.degraded += 1,
-                Outcome::Failed(_) => {
-                    counters.failed += 1;
-                    ts.failed += 1;
-                    continue;
-                }
-            }
-            ts.served += 1;
-            if r.latency_sim_ms > cfg.slo_sim_ms {
-                ts.slo_violations += 1;
-            }
-            latencies.push(r.latency_sim_ms);
-            lats.push(r.latency_sim_ms);
-        }
-        latencies.sort_by(f64::total_cmp);
-        let latency = LatencyStats {
-            served: latencies.len() as u64,
-            p50_sim_ms: percentile(&latencies, 50.0),
-            p99_sim_ms: percentile(&latencies, 99.0),
-            mean_sim_ms: if latencies.is_empty() {
-                0.0
-            } else {
-                latencies.iter().sum::<f64>() / latencies.len() as f64
-            },
-            max_sim_ms: latencies.last().copied().unwrap_or(0.0),
-        };
-        let tenants: Vec<TenantStats> = tenants
-            .into_values()
-            .map(|(mut ts, mut lats)| {
-                lats.sort_by(f64::total_cmp);
-                ts.p99_sim_ms = percentile(&lats, 99.0);
-                ts
-            })
-            .collect();
-
-        FrontReport {
+        Ok(assemble_report(
             responses,
             counters,
-            latency,
-            tenants,
-            mutations: mutation_outs,
-            cache: self.cache.stats(),
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            mutation_outs,
+            self.cache.stats(),
+            cfg.slo_sim_ms,
+            t0.elapsed().as_secs_f64() * 1e3,
+        ))
+    }
+}
+
+/// Fold responses into the final [`FrontReport`]: latency percentiles,
+/// per-tenant accounting, and the `ok`/`degraded`/`failed` counter tail
+/// that is a pure function of the responses (epoch markers persist the
+/// pre-aggregation counters; recovery re-derives these from the merged
+/// response set).
+pub(crate) fn assemble_report(
+    responses: Vec<FrontResponse>,
+    mut counters: FrontCounters,
+    mutations: Vec<MutationOutcome>,
+    cache: CacheStats,
+    slo_sim_ms: f64,
+    wall_ms: f64,
+) -> FrontReport {
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut tenants: std::collections::BTreeMap<TenantId, (TenantStats, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for r in &responses {
+        let (ts, lats) = tenants.entry(r.tenant).or_insert_with(|| {
+            (
+                TenantStats {
+                    tenant: r.tenant,
+                    submitted: 0,
+                    admitted: 0,
+                    rejected: 0,
+                    served: 0,
+                    failed: 0,
+                    slo_violations: 0,
+                    p99_sim_ms: 0.0,
+                },
+                Vec::new(),
+            )
+        });
+        ts.submitted += 1;
+        if r.is_rejected() {
+            ts.rejected += 1;
+            continue;
         }
+        ts.admitted += 1;
+        match &r.outcome {
+            Outcome::Ok(_) => counters.ok += 1,
+            Outcome::Degraded { .. } => counters.degraded += 1,
+            Outcome::Failed(_) => {
+                counters.failed += 1;
+                ts.failed += 1;
+                continue;
+            }
+        }
+        ts.served += 1;
+        if r.latency_sim_ms > slo_sim_ms {
+            ts.slo_violations += 1;
+        }
+        latencies.push(r.latency_sim_ms);
+        lats.push(r.latency_sim_ms);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let latency = LatencyStats {
+        served: latencies.len() as u64,
+        p50_sim_ms: percentile(&latencies, 50.0),
+        p99_sim_ms: percentile(&latencies, 99.0),
+        mean_sim_ms: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        max_sim_ms: latencies.last().copied().unwrap_or(0.0),
+    };
+    let tenants: Vec<TenantStats> = tenants
+        .into_values()
+        .map(|(mut ts, mut lats)| {
+            lats.sort_by(f64::total_cmp);
+            ts.p99_sim_ms = percentile(&lats, 99.0);
+            ts
+        })
+        .collect();
+
+    FrontReport {
+        responses,
+        counters,
+        latency,
+        tenants,
+        mutations,
+        cache,
+        wall_ms,
     }
 }
 

@@ -26,18 +26,34 @@
 //! Requests are served in deterministic order at every layer: outputs,
 //! cache counters, cohort assignments and simulated latencies are
 //! bit-identical at 1, 2 or 64 workers.
+//!
+//! The durability layer makes the front crash-safe: [`wal`] logs every
+//! applied delta (checksummed, fsync-marked at epoch barriers) before the
+//! patched plan is swapped in, [`snapshot`] atomically persists the
+//! recoverable state (graphs, cache residency order, quarantine — never
+//! plans, which are deterministically rebuilt), and [`DurableFront`]
+//! stitches them into a crash/recover/resume loop whose recovered output
+//! is bit-identical to an uncrashed run.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod driver;
+pub mod durable;
 pub mod front;
 pub mod shared;
+pub mod snapshot;
+pub mod wal;
 
 pub use cache::{CacheStats, PlanCache};
 pub use driver::{BatchDriver, BatchSummary, Outcome, Request, Response};
+pub use durable::{
+    run_to_completion, DurabilityConfig, DurableFront, RecoveryStats, RunAttempt, RunOutcome,
+};
 pub use front::{
     Front, FrontConfig, FrontCounters, FrontEvent, FrontReport, FrontRequest, FrontResponse,
     LatencyStats, Mutation, MutationOutcome, TenantId, TenantStats,
 };
 pub use shared::{Lookup, SharedPlanCache, SwapOutcome};
+pub use snapshot::Snapshot;
+pub use wal::{DeltaRecord, EpochMarker, RecoveryError, Wal, WalRecord, WalReplay};

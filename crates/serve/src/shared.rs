@@ -286,6 +286,68 @@ impl SharedPlanCache {
         self.spec
     }
 
+    /// Collect the recoverable cache state — per-shard residency in LRU
+    /// order plus the quarantine registry — as one consistent snapshot.
+    ///
+    /// Locking: every shard is acquired in ascending index order and
+    /// *held* while the registry is read, then everything is released.
+    /// Holding all shards freezes `swap_patched` and `quarantine` (both
+    /// need a shard before they touch the registry), so the collected
+    /// state can never be torn: no fingerprint is observed both resident
+    /// and quarantined. The order is acyclic against the global
+    /// shard → registry discipline — ascending shard acquisition cannot
+    /// deadlock with paths that hold at most one shard, and no path holds
+    /// the registry while waiting on a shard. Pinned by the snapshot
+    /// model suite in `crates/check/tests/snapshot_model.rs`.
+    pub fn collect_recoverable(
+        &self,
+    ) -> (Vec<Vec<StructureFingerprint>>, Vec<StructureFingerprint>) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let residency: Vec<Vec<StructureFingerprint>> =
+            guards.iter().map(|g| g.resident_lru()).collect();
+        let mut quarantine: Vec<StructureFingerprint> =
+            self.quarantine.lock().iter().copied().collect();
+        drop(guards);
+        quarantine.sort_by_key(|fp| (fp.lo, fp.hi));
+        (residency, quarantine)
+    }
+
+    /// The quarantine registry contents, sorted.
+    pub fn quarantine_set(&self) -> Vec<StructureFingerprint> {
+        let mut v: Vec<StructureFingerprint> = self.quarantine.lock().iter().copied().collect();
+        v.sort_by_key(|fp| (fp.lo, fp.hi));
+        v
+    }
+
+    /// Re-admit a deterministically rebuilt plan during recovery (no
+    /// traffic counted, no eviction; see
+    /// [`PlanCache::restore_resident`]). Routes to the plan's shard, so
+    /// inserting each persisted shard list in its LRU order reproduces
+    /// the pre-crash recency structure exactly.
+    pub fn restore_resident(&self, plan: Arc<Plan>) {
+        self.shard(plan.fingerprint).lock().restore_resident(plan);
+    }
+
+    /// Restore quarantine registrations during recovery: each fingerprint
+    /// is registered globally and in its shard, without touching the
+    /// `quarantined` counter (the persisted statistics already include
+    /// it).
+    pub fn restore_quarantine(&self, fps: &[StructureFingerprint]) {
+        for &fp in fps {
+            let mut shard = self.shard(fp).lock();
+            // Lock order: shard → quarantine registry.
+            self.quarantine.lock().insert(fp);
+            shard.restore_quarantined(fp);
+        }
+    }
+
+    /// Seed the aggregate statistics from persisted state (written into
+    /// the first shard; [`stats`](SharedPlanCache::stats) sums the
+    /// lanes).
+    pub fn seed_stats(&self, stats: CacheStats) {
+        self.shards[0].lock().seed_stats(stats);
+    }
+
     /// Aggregate workspace counters over the resident plans.
     pub fn workspace_stats(&self) -> WorkspaceStats {
         let mut total = WorkspaceStats::default();

@@ -97,7 +97,8 @@ USAGE:
                    [--tenants N] [--nodes N] [--dim N] [--cache-bytes B]
                    [--workers N] [--queue-depth N] [--tenant-quota N]
                    [--epoch N] [--max-cohort N] [--slo-ms MS]
-                   [--gpu 3090|4090|a100]
+                   [--gpu 3090|4090|a100] [--wal PATH]
+                   [--snapshot-every N] [--crash-at K] [--recover]
                    serve a request mix under structure churn: edge
                    insert/delete deltas arrive on the control plane
                    between requests, the superseded plan keeps serving
@@ -106,7 +107,15 @@ USAGE:
                    is first-insert-wins with quarantine preserved.
                    Reports stale-serve counts and per-mutation patch
                    cost vs a from-scratch prepare. Exits 1 if any
-                   admitted request failed.
+                   admitted request failed. --wal write-ahead logs every
+                   applied delta (checksummed, fsync-marked at epoch
+                   barriers) and snapshots recoverable state to
+                   PATH.snap every --snapshot-every epochs; --crash-at K
+                   aborts at the K-th crash point (0-based), leaving the
+                   log for a later run with --recover, which rebuilds
+                   plans warm (prepare + patch replay), rolls torn WAL
+                   tails back to the last fsync marker, and resumes the
+                   trace where durability left off.
   hc-spmm metrics  [--dataset CODE | --edge-list FILE] [--scale N]
                    structural report: degrees, clustering, locality, windows
   hc-spmm loa      [--dataset CODE | --edge-list FILE] [--scale N] [--vw N]
@@ -719,8 +728,16 @@ fn cmd_serve_churn(flags: &HashMap<String, String>) -> i32 {
         cfg.arrivals_per_epoch, dev.kind
     );
     let front = Front::new(cache_bytes, PlanSpec::hybrid(), 4, cfg);
+    if let Some(wal) = flags.get("wal") {
+        return serve_churn_durable(front, &events, &dev, flags, wal);
+    }
     let rep = front.run_events(&events, &dev);
+    print_churn_report(&rep)
+}
 
+/// The shared report tail of `serve-churn`: per-mutation patch outcomes,
+/// churn/admission/latency summaries, and the exit code.
+fn print_churn_report(rep: &hc_serve::FrontReport) -> i32 {
     for m in &rep.mutations {
         let status = if m.patched {
             format!(
@@ -775,6 +792,107 @@ fn cmd_serve_churn(flags: &HashMap<String, String>) -> i32 {
         1
     } else {
         0
+    }
+}
+
+/// `serve-churn` with durability: mutations are write-ahead logged and
+/// the recoverable state snapshots every `--snapshot-every` epochs.
+/// `--crash-at K` injects a crash at the K-th crash point (0-based) and
+/// leaves the WAL + snapshot on disk; a second invocation with
+/// `--recover` rebuilds the front from them (warm plan rebuild, torn-tail
+/// rollback, idempotent delta replay) and resumes the identical trace
+/// from the first epoch past the last fsync marker.
+fn serve_churn_durable(
+    front: hc_serve::Front,
+    events: &[hc_serve::FrontEvent],
+    dev: &DeviceSpec,
+    flags: &HashMap<String, String>,
+    wal: &str,
+) -> i32 {
+    use gpu_sim::{CrashConfig, CrashScope};
+    use hc_serve::{DurabilityConfig, DurableFront};
+    use std::path::PathBuf;
+
+    let snapshot_every = flag_usize(flags, "snapshot-every", 4).max(1) as u64;
+    let crash_at = match flags.get("crash-at") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(k) => Some(k),
+            Err(_) => {
+                eprintln!("--crash-at requires a crash-point index, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let wal_path = PathBuf::from(wal);
+    let mut snap = wal_path.as_os_str().to_owned();
+    snap.push(".snap");
+    let dcfg = DurabilityConfig {
+        wal_path,
+        snapshot_path: PathBuf::from(snap),
+        snapshot_every,
+    };
+
+    let mut df = if flags.contains_key("recover") {
+        match DurableFront::recover(front, dcfg, events, dev) {
+            Ok((df, stats)) => {
+                println!(
+                    "recovered from {wal}: resuming at epoch {}; {} plans rebuilt warm \
+                     ({} full prepares + {} patch replays, {:.4} ms sim), {} deltas \
+                     replayed ({} duplicates skipped, {} double-applied), {} records \
+                     rolled back to the last fsync marker, {} torn bytes discarded",
+                    stats.resume_epoch,
+                    stats.restored_plans,
+                    stats.full_prepares,
+                    stats.patch_replays,
+                    stats.recovery_sim_ms,
+                    stats.reapplied_deltas,
+                    stats.skipped_duplicates,
+                    stats.double_applied,
+                    stats.rolled_back_records,
+                    stats.torn_bytes,
+                );
+                df
+            }
+            Err(e) => {
+                eprintln!("serve-churn: recovery from {wal} failed: {e}");
+                return 2;
+            }
+        }
+    } else {
+        match DurableFront::create(front, dcfg) {
+            Ok(df) => df,
+            Err(e) => {
+                eprintln!("serve-churn: cannot create WAL at {wal}: {e}");
+                return 2;
+            }
+        }
+    };
+
+    let _scope = crash_at.map(|k| CrashScope::install(CrashConfig::at(k)));
+    match df.run(events, dev) {
+        Err(e) => {
+            eprintln!("serve-churn: durability error: {e}");
+            2
+        }
+        Ok(attempt) => match attempt.crash {
+            Some(site) => {
+                println!(
+                    "crashed (injected) at {site}, crash point {}: {} responses were \
+                     delivered durably before the crash; resume with \
+                     `serve-churn --wal {wal} --recover` and the same trace flags",
+                    crash_at.map_or_else(|| "?".into(), |k| k.to_string()),
+                    attempt.delivered.len(),
+                );
+                0
+            }
+            None => {
+                let rep = attempt
+                    .report
+                    .expect("an uncrashed attempt always carries its report");
+                print_churn_report(&rep)
+            }
+        },
     }
 }
 
@@ -1219,6 +1337,59 @@ mod tests {
                 "{flag} {bad} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn serve_churn_crashes_then_recovers_from_the_wal() {
+        let wal = std::env::temp_dir().join(format!("hc-cli-churn-{}.wal", std::process::id()));
+        let wal_s = wal.to_string_lossy().into_owned();
+        let snap = format!("{wal_s}.snap");
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(&snap);
+        let trace_flags = |extra: &[&str]| {
+            let mut v: Vec<String> = vec![
+                "serve-churn".into(),
+                "--requests".into(),
+                "18".into(),
+                "--mutations".into(),
+                "2".into(),
+                "--graphs".into(),
+                "2".into(),
+                "--nodes".into(),
+                "256".into(),
+                "--dim".into(),
+                "8".into(),
+                "--epoch".into(),
+                "6".into(),
+                "--workers".into(),
+                "2".into(),
+                "--wal".into(),
+                wal_s.clone(),
+                "--snapshot-every".into(),
+                "2".into(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        // Durable run, no crash: completes like the plain run.
+        assert_eq!(run(trace_flags(&[])), 0);
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(&snap);
+        // Crash mid-trace, then recover and resume from disk.
+        assert_eq!(run(trace_flags(&["--crash-at", "2"])), 0);
+        assert!(wal.exists(), "the crashed run must leave its WAL behind");
+        assert_eq!(run(trace_flags(&["--recover"])), 0);
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(&snap);
+        assert_eq!(
+            run(trace_flags(&["--crash-at", "zero"])),
+            2,
+            "--crash-at zero should be rejected"
+        );
+        // Recovering with no WAL on disk is a typed failure, not a panic.
+        assert_eq!(run(trace_flags(&["--recover"])), 2);
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(&snap);
     }
 
     #[test]
