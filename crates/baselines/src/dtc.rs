@@ -28,9 +28,13 @@ impl Default for DtcSpmm {
 
 impl DtcSpmm {
     fn inner(&self) -> TensorSpmm {
+        // DTC's ME-TCF has its own (uncompressed) descriptors and stages X
+        // synchronously — keep the competitor's published cost model.
         TensorSpmm {
             precision: self.precision,
             optimized_loading: true,
+            compressed_meta: false,
+            pipelined: false,
         }
     }
 

@@ -34,9 +34,13 @@ impl Default for TcGnnSpmm {
 impl TcGnnSpmm {
     /// The inner per-window kernel: unoptimized fragment loading.
     fn inner(&self) -> TensorSpmm {
+        // TC-GNN ships neither compressed tile metadata nor the cp.async
+        // pipeline — model its published kernel, not HC's upgrades.
         TensorSpmm {
             precision: self.precision,
             optimized_loading: false,
+            compressed_meta: false,
+            pipelined: false,
         }
     }
 

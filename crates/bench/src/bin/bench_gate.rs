@@ -53,6 +53,14 @@
 //! uncrashed control (`equivalent`), and zero double-applied deltas.
 //! Simulated-time, deterministic, no override.
 //!
+//! `--max-plan-bytes-ratio R` requires the current report's
+//! `tile_compress` block to show a compressed-plan footprint of at most
+//! `R` times the dense-metadata footprint. `--max-prepare-cost-ratio R`
+//! requires the same block to show a compressed-write-back preprocessing
+//! cost of at most `R` times the pre-compression kernel's, and a
+//! pipelined tensor-cycle total strictly below the synchronous one.
+//! Exact bytes and simulated cycles, deterministic, no override.
+//!
 //! `--min-kernel-speedup-floor F` fails when any kernel family in the
 //! current report times slower multithreaded than serial (`speedup < F`)
 //! without its `serial_fallback` flag set — i.e. the pool actually fanned
@@ -75,6 +83,7 @@ fn usage() -> ! {
          [--threshold 0.25] [--min-ms 10] [--min-plan-cache-hit-rate R] \
          [--max-degraded-rate R] [--max-p99-ms MS] [--min-cohort-rate R] \
          [--max-patch-cost-ratio R] [--max-recovery-ratio R] \
+         [--max-plan-bytes-ratio R] [--max-prepare-cost-ratio R] \
          [--min-kernel-speedup-floor F]"
     );
     std::process::exit(2);
@@ -119,6 +128,8 @@ fn main() {
     let mut min_cohort_rate: Option<f64> = None;
     let mut max_patch_ratio: Option<f64> = None;
     let mut max_recovery_ratio: Option<f64> = None;
+    let mut max_plan_bytes_ratio: Option<f64> = None;
+    let mut max_prepare_cost_ratio: Option<f64> = None;
     let mut speedup_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -143,6 +154,12 @@ fn main() {
             }
             "--max-recovery-ratio" => {
                 max_recovery_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-plan-bytes-ratio" => {
+                max_plan_bytes_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-prepare-cost-ratio" => {
+                max_prepare_cost_ratio = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--min-kernel-speedup-floor" => {
                 speedup_floor = Some(value().parse().unwrap_or_else(|_| usage()))
@@ -387,6 +404,63 @@ fn main() {
                 rc.recovery_ratio
             );
             std::process::exit(1);
+        }
+    }
+
+    if max_plan_bytes_ratio.is_some() || max_prepare_cost_ratio.is_some() {
+        let Some(tc) = &cur.tile_compress else {
+            eprintln!(
+                "FAIL: --max-plan-bytes-ratio/--max-prepare-cost-ratio given \
+                 but the current report has no \"tile_compress\" block (did \
+                 ext_tile_compress run?)"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "tile compress: {} windows, metadata {} B vs {} B dense \
+             (ratio {:.4}), plan {} B vs {} B (ratio {:.4}), preprocessing \
+             {:.4} vs {:.4} ms (ratio {:.4}), tensor cycles ratio {:.4}",
+            tc.windows,
+            tc.meta_bytes_compressed,
+            tc.meta_bytes_uncompressed,
+            tc.bytes_ratio,
+            tc.plan_bytes_compressed,
+            tc.plan_bytes_uncompressed,
+            tc.plan_bytes_ratio,
+            tc.prepare_sim_ms_compressed,
+            tc.prepare_sim_ms_uncompressed,
+            tc.prepare_cost_ratio,
+            tc.tensor_cycle_ratio
+        );
+        if let Some(max_ratio) = max_plan_bytes_ratio {
+            if tc.plan_bytes_ratio > max_ratio {
+                eprintln!(
+                    "FAIL: compressed-plan footprint ratio {:.4} above allowed \
+                     {max_ratio} — the tile metadata is not earning its keep",
+                    tc.plan_bytes_ratio
+                );
+                std::process::exit(1);
+            }
+        }
+        if let Some(max_ratio) = max_prepare_cost_ratio {
+            if tc.prepare_cost_ratio > max_ratio {
+                eprintln!(
+                    "FAIL: compressed preprocessing cost ratio {:.4} above \
+                     allowed {max_ratio} — emitting the compact form costs \
+                     more than the dense write-back it replaces",
+                    tc.prepare_cost_ratio
+                );
+                std::process::exit(1);
+            }
+            if tc.tensor_cycles_pipelined >= tc.tensor_cycles_unpipelined {
+                eprintln!(
+                    "FAIL: pipelined tensor schedule ({:.0} cycles) is not \
+                     below the synchronous one ({:.0}) — double buffering \
+                     stopped paying for itself",
+                    tc.tensor_cycles_pipelined, tc.tensor_cycles_unpipelined
+                );
+                std::process::exit(1);
+            }
         }
     }
 

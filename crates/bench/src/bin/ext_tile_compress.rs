@@ -1,0 +1,8 @@
+//! Extension: compressed tile metadata + pipelined tensor path — footprint,
+//! preprocessing cost and tensor cycles vs the pre-compression forms.
+fn main() {
+    let mut c = bench::harness::DatasetCache::new();
+    let (text, _) =
+        bench::experiments::extensions::tile_compress(&mut c, &gpu_sim::DeviceSpec::rtx3090());
+    println!("{text}");
+}

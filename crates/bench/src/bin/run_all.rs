@@ -183,6 +183,13 @@ fn main() {
         text
     });
     report.recovery = recovery_metrics;
+    let mut tile_compress_metrics = None;
+    exp!("ext_tile_compress", {
+        let (text, m) = e::extensions::tile_compress(&mut c, &dev);
+        tile_compress_metrics = Some(m);
+        text
+    });
+    report.tile_compress = tile_compress_metrics;
 
     // Kernel-family speedup vs a forced single-thread run (also the
     // determinism spot check).

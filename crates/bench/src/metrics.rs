@@ -57,7 +57,18 @@
 //!                "restored_plans": 2, "full_prepares": 1,
 //!                "patch_replays": 1, "warm_recovery_sim_ms": 0.9,
 //!                "cold_replay_sim_ms": 4.1, "recovery_ratio": 0.22,
-//!                "equivalent": true}
+//!                "equivalent": true},
+//!   "tile_compress": {"windows": 1792, "meta_bytes_compressed": 180000,
+//!                     "meta_bytes_uncompressed": 1400000,
+//!                     "bytes_ratio": 0.13, "plan_bytes_compressed": 310000,
+//!                     "plan_bytes_uncompressed": 1500000,
+//!                     "plan_bytes_ratio": 0.21,
+//!                     "prepare_sim_ms_compressed": 0.8,
+//!                     "prepare_sim_ms_uncompressed": 1.1,
+//!                     "prepare_cost_ratio": 0.73,
+//!                     "tensor_cycles_pipelined": 1.1e6,
+//!                     "tensor_cycles_unpipelined": 1.5e6,
+//!                     "tensor_cycle_ratio": 0.74}
 //! }
 //! ```
 //!
@@ -355,6 +366,48 @@ pub struct RecoveryMetrics {
     pub equivalent: bool,
 }
 
+/// Tile-metadata compression counters from the `ext_tile_compress`
+/// experiment: what the occupancy-bitmap + delta-varint window metadata
+/// (the condense step's canonical output) and the double-buffered tensor
+/// schedule buy on dense-community graphs, against the pre-compression
+/// dense form and the synchronous schedule. Bytes are exact and cycles
+/// simulated, so every field is deterministic and exactly gateable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileCompressMetrics {
+    /// Non-empty row windows across the sweep.
+    pub windows: u64,
+    /// Total encoded tile-metadata heap bytes (column streams + bitmaps).
+    pub meta_bytes_compressed: u64,
+    /// The same windows under the legacy dense form: a u32 condensed
+    /// index per entry plus a u32 per unique column.
+    pub meta_bytes_uncompressed: u64,
+    /// `meta_bytes_compressed / meta_bytes_uncompressed`.
+    pub bytes_ratio: f64,
+    /// `Plan::approx_bytes` of the prepared plans (compressed metadata).
+    pub plan_bytes_compressed: u64,
+    /// The same plans with every window billed at the legacy dense
+    /// metadata size (gated by `bench_gate --max-plan-bytes-ratio`).
+    pub plan_bytes_uncompressed: u64,
+    /// `plan_bytes_compressed / plan_bytes_uncompressed`.
+    pub plan_bytes_ratio: f64,
+    /// Simulated preprocessing cost with the compressed write-back, ms.
+    pub prepare_sim_ms_compressed: f64,
+    /// Simulated preprocessing cost of the pre-compression kernel that
+    /// wrote per-entry condensed indices, ms (gated by
+    /// `bench_gate --max-prepare-cost-ratio`).
+    pub prepare_sim_ms_uncompressed: f64,
+    /// `prepare_sim_ms_compressed / prepare_sim_ms_uncompressed`.
+    pub prepare_cost_ratio: f64,
+    /// Summed per-window cycles of the pipelined + compressed tensor
+    /// kernel over the sweep's windows.
+    pub tensor_cycles_pipelined: f64,
+    /// The same windows under the synchronous uncompressed schedule.
+    pub tensor_cycles_unpipelined: f64,
+    /// `tensor_cycles_pipelined / tensor_cycles_unpipelined` — must stay
+    /// below 1 for the pipelining to be worth shipping.
+    pub tensor_cycle_ratio: f64,
+}
+
 /// The full machine-readable report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -382,6 +435,9 @@ pub struct BenchReport {
     /// Crash-recovery counters (absent in reports written before the
     /// durability layer existed).
     pub recovery: Option<RecoveryMetrics>,
+    /// Tile-metadata compression counters (absent in reports written
+    /// before the compressed condense form existed).
+    pub tile_compress: Option<TileCompressMetrics>,
 }
 
 impl BenchReport {
@@ -398,6 +454,7 @@ impl BenchReport {
             serving_load: None,
             dynamic_graphs: None,
             recovery: None,
+            tile_compress: None,
         }
     }
 
@@ -607,6 +664,32 @@ impl BenchReport {
                 num(rc.cold_replay_sim_ms),
                 num(rc.recovery_ratio),
                 rc.equivalent
+            );
+        }
+        if let Some(tc) = &self.tile_compress {
+            let _ = write!(
+                s,
+                ",\n  \"tile_compress\": {{\"windows\": {}, \
+                 \"meta_bytes_compressed\": {}, \"meta_bytes_uncompressed\": {}, \
+                 \"bytes_ratio\": {}, \"plan_bytes_compressed\": {}, \
+                 \"plan_bytes_uncompressed\": {}, \"plan_bytes_ratio\": {}, \
+                 \"prepare_sim_ms_compressed\": {}, \
+                 \"prepare_sim_ms_uncompressed\": {}, \"prepare_cost_ratio\": {}, \
+                 \"tensor_cycles_pipelined\": {}, \
+                 \"tensor_cycles_unpipelined\": {}, \"tensor_cycle_ratio\": {}}}",
+                tc.windows,
+                tc.meta_bytes_compressed,
+                tc.meta_bytes_uncompressed,
+                num(tc.bytes_ratio),
+                tc.plan_bytes_compressed,
+                tc.plan_bytes_uncompressed,
+                num(tc.plan_bytes_ratio),
+                num(tc.prepare_sim_ms_compressed),
+                num(tc.prepare_sim_ms_uncompressed),
+                num(tc.prepare_cost_ratio),
+                num(tc.tensor_cycles_pipelined),
+                num(tc.tensor_cycles_unpipelined),
+                num(tc.tensor_cycle_ratio)
             );
         }
         s.push_str("\n}\n");
@@ -835,6 +918,28 @@ impl BenchReport {
                     .get("equivalent")
                     .and_then(Json::as_bool)
                     .ok_or("recovery missing equivalent")?,
+            });
+        }
+        if let Some(tc) = v.get("tile_compress") {
+            let f = |key: &str| {
+                tc.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("tile_compress missing {key}"))
+            };
+            report.tile_compress = Some(TileCompressMetrics {
+                windows: f("windows")? as u64,
+                meta_bytes_compressed: f("meta_bytes_compressed")? as u64,
+                meta_bytes_uncompressed: f("meta_bytes_uncompressed")? as u64,
+                bytes_ratio: f("bytes_ratio")?,
+                plan_bytes_compressed: f("plan_bytes_compressed")? as u64,
+                plan_bytes_uncompressed: f("plan_bytes_uncompressed")? as u64,
+                plan_bytes_ratio: f("plan_bytes_ratio")?,
+                prepare_sim_ms_compressed: f("prepare_sim_ms_compressed")?,
+                prepare_sim_ms_uncompressed: f("prepare_sim_ms_uncompressed")?,
+                prepare_cost_ratio: f("prepare_cost_ratio")?,
+                tensor_cycles_pipelined: f("tensor_cycles_pipelined")?,
+                tensor_cycles_unpipelined: f("tensor_cycles_unpipelined")?,
+                tensor_cycle_ratio: f("tensor_cycle_ratio")?,
             });
         }
         Ok(report)
@@ -1575,6 +1680,32 @@ mod tests {
             equivalent: false,
         });
         assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn tile_compress_block_roundtrips_and_stays_optional() {
+        let bare = sample();
+        assert!(!bare.to_json().contains("tile_compress"));
+        assert_eq!(BenchReport::from_json(&bare.to_json()).unwrap(), bare);
+
+        let mut r = sample();
+        r.tile_compress = Some(TileCompressMetrics {
+            windows: 1792,
+            meta_bytes_compressed: 180_000,
+            meta_bytes_uncompressed: 1_400_000,
+            bytes_ratio: 180.0 / 1400.0,
+            plan_bytes_compressed: 310_000,
+            plan_bytes_uncompressed: 1_500_000,
+            plan_bytes_ratio: 31.0 / 150.0,
+            prepare_sim_ms_compressed: 0.8,
+            prepare_sim_ms_uncompressed: 1.1,
+            prepare_cost_ratio: 0.8 / 1.1,
+            tensor_cycles_pipelined: 1.1e6,
+            tensor_cycles_unpipelined: 1.5e6,
+            tensor_cycle_ratio: 1.1 / 1.5,
+        });
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
     }
 
     #[test]

@@ -69,10 +69,8 @@ impl StraightforwardHybrid {
     /// per-column non-zero counts over the condensed window, sorted
     /// densest-first, walked in `tile_k`-wide tiles.
     pub fn tile_split(&self, w: &RowWindow, tile_k: usize) -> TileSplit {
-        let mut col_counts = vec![0u32; w.nnz_cols()];
-        for &ci in &w.cond_idx {
-            col_counts[ci as usize] += 1;
-        }
+        // Per-column fills straight off the occupancy bitmaps — no decode.
+        let mut col_counts = w.meta.col_counts();
         col_counts.sort_unstable_by(|a, b| b.cmp(a));
 
         let mut split = TileSplit::default();
@@ -317,10 +315,7 @@ impl StraightforwardHybrid {
                 if w.is_empty() {
                     return;
                 }
-                let mut col_counts = vec![0u32; w.nnz_cols()];
-                for &ci in &w.cond_idx {
-                    col_counts[ci as usize] += 1;
-                }
+                let col_counts = w.meta.col_counts();
                 // Rank columns by density to find each column's tile.
                 let mut order: Vec<usize> = (0..col_counts.len()).collect();
                 order.sort_unstable_by(|&i, &j| col_counts[j].cmp(&col_counts[i]));
@@ -334,13 +329,14 @@ impl StraightforwardHybrid {
                 for (rank, &col) in order.iter().enumerate() {
                     tile_fill[rank / tile_k] += col_counts[col];
                 }
-                let lo = a.row_ptr[w.start_row] as usize;
                 for r in w.start_row..w.start_row + w.rows {
                     let (s, e) = a.row_range(r);
                     let local = r - w.start_row;
                     let zrow = &mut zc[local * cols..(local + 1) * cols];
-                    for i in s..e {
-                        let cond = w.cond_idx[i - lo] as usize;
+                    // Bitmap walk == this row's CSR entry order.
+                    let conds = w.meta.row_cond_indices(local);
+                    for (i, cond) in (s..e).zip(conds) {
+                        let cond = cond as usize;
                         let t = tile_of(cond);
                         let dense = tile_fill[t] as f64 / (w.rows * tile_k) as f64
                             >= self.tile_density_threshold;
@@ -385,6 +381,7 @@ fn merge_block(dst: &mut BlockCost, src: &BlockCost) {
     dst.cuda_fma_issues += src.cuda_fma_issues;
     dst.wmma_issues += src.wmma_issues;
     dst.dram.add(&src.dram);
+    dst.prefetch.add(&src.prefetch);
     dst.shared.add(&src.shared);
     dst.warps = dst.warps.max(src.warps);
 }

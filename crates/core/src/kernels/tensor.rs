@@ -16,7 +16,7 @@
 
 use gpu_sim::trace::{BlockTrace, CounterTrace, TraceSink, WarpOp};
 use gpu_sim::{coalesced_transactions, BlockCost, DeviceSpec, Precision};
-use graph_sparse::{Csr, DenseMatrix, RowWindow, RowWindowPartition};
+use graph_sparse::{Csr, DenseMatrix, RowWindow, RowWindowPartition, TileMeta};
 
 use super::{SpmmKernel, SpmmResult};
 
@@ -27,6 +27,17 @@ pub struct TensorSpmm {
     pub precision: Precision,
     /// Cooperative, conflict-free X loading (Algorithm 4 / Fig. 6).
     pub optimized_loading: bool,
+    /// Read A-fragment metadata in the compressed tile form (occupancy
+    /// bitmaps + delta-coded column list) instead of per-entry condensed
+    /// indices. Shrinks the metadata stream from ~6 bytes/entry to
+    /// [`TileMeta::nominal_bytes`].
+    pub compressed_meta: bool,
+    /// Double-buffered `cp.async` staging: fragment `f+1`'s X strip is
+    /// prefetched while fragment `f` runs its WMMA, removing the
+    /// staging-load stall and one barrier per fragment. Only takes effect
+    /// together with `optimized_loading` (the per-warp legacy layout has no
+    /// async copy path).
+    pub pipelined: bool,
 }
 
 impl Default for TensorSpmm {
@@ -34,6 +45,8 @@ impl Default for TensorSpmm {
         TensorSpmm {
             precision: Precision::Tf32,
             optimized_loading: true,
+            compressed_meta: true,
+            pipelined: true,
         }
     }
 }
@@ -47,8 +60,32 @@ impl TensorSpmm {
     /// Algorithm 2 without the data-loading strategy (ablation baseline).
     pub fn unoptimized() -> Self {
         TensorSpmm {
-            precision: Precision::Tf32,
             optimized_loading: false,
+            pipelined: false,
+            ..Self::default()
+        }
+    }
+
+    /// The pre-compression cost model: per-entry condensed-index metadata,
+    /// synchronous staging. Reproduces this kernel's historical costs
+    /// bit-for-bit — the baseline of the `ext_tile_compress` experiment.
+    pub fn uncompressed_unpipelined() -> Self {
+        TensorSpmm {
+            compressed_meta: false,
+            pipelined: false,
+            ..Self::default()
+        }
+    }
+
+    /// Bytes of A-side data one window's conversion phase streams in:
+    /// values plus either the compressed tile metadata or the legacy
+    /// per-entry condensed indices (colIdx u32 + row-in-window u16).
+    fn a_stream_bytes(&self, nnz: usize, nnz_cols: usize, rows: usize) -> u64 {
+        let eb = self.precision.storage_bytes();
+        if self.compressed_meta {
+            nnz as u64 * eb + TileMeta::nominal_bytes(nnz_cols, rows) as u64
+        } else {
+            nnz as u64 * (6 + eb)
         }
     }
 
@@ -84,14 +121,13 @@ impl TensorSpmm {
             return b;
         }
 
-        // -- A-fragment conversion: condensed CSR entries (colIdx u32 +
-        // value + row-in-window u16 ≈ 6 bytes + one value each) are read
-        // once, coalesced, and scattered into the shared tile; scattered
+        // -- A-fragment conversion: the A stream (values + metadata, see
+        // [`a_stream_bytes`](TensorSpmm::a_stream_bytes)) is read once,
+        // coalesced, and scattered into the shared tile; scattered
         // single-lane stores serialize modestly.
-        let entry_bytes = 6 + self.precision.storage_bytes();
-        b.dram.transactions +=
-            coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
-        b.dram.bytes_loaded += nnz as u64 * entry_bytes;
+        let a_bytes = self.a_stream_bytes(nnz, nnz_cols, rows);
+        b.dram.transactions += coalesced_transactions(a_bytes, dev.transaction_bytes);
+        b.dram.bytes_loaded += a_bytes;
         b.shared.stores += (nnz as u64).div_ceil(dev.warp_size as u64);
 
         // -- X fragments: per (tile, dim chunk) a tile_k×16 block of X is
@@ -101,21 +137,35 @@ impl TensorSpmm {
         let fragments = (tiles * dim_chunks) as u64;
         let frag_rows = tile_k as u64;
         let frag_bytes = tile_k as u64 * 16 * eb;
-        b.dram.transactions += fragments * frag_rows;
         // Distinct X rows = the condensed columns; each contributes its full
         // `dim` elements across the chunked fragments.
-        b.dram.bytes_loaded += (nnz_cols * dim) as u64 * eb;
+        let x_bytes = (nnz_cols * dim) as u64 * eb;
         // Staging stores: 32 lanes × 4 bytes per store step.
-        let frag_stores = fragments * frag_bytes.div_ceil(dev.warp_size as u64 * 4);
-        b.shared.stores += frag_stores;
-        if !self.optimized_loading {
-            // Per-warp loading: each fragment row is fetched by a quarter
-            // warp with partial 32-byte sectors (⅓ wasted traffic and 50 %
-            // more transactions), and the untransposed layout causes 4-way
-            // bank conflicts on every store step (Fig. 6's pathology).
-            b.dram.bytes_loaded += (nnz_cols * dim) as u64 * eb / 3;
-            b.dram.transactions += fragments * frag_rows / 2;
-            b.shared.bank_conflicts += frag_stores * 3;
+        let frag_stores_each = frag_bytes.div_ceil(dev.warp_size as u64 * 4);
+        if self.pipelined && self.optimized_loading {
+            // Double-buffered: only fragment 0 is a demand load staged
+            // through shared stores; fragments 1.. stream in as `cp.async`
+            // prefetches that overlap the previous fragment's WMMA and land
+            // in the alternate buffer without store instructions.
+            b.dram.transactions += frag_rows;
+            let demand_x = x_bytes / fragments;
+            b.dram.bytes_loaded += demand_x;
+            b.prefetch.transactions += (fragments - 1) * frag_rows;
+            b.prefetch.bytes_loaded += x_bytes - demand_x;
+            b.shared.stores += frag_stores_each;
+        } else {
+            b.dram.transactions += fragments * frag_rows;
+            b.dram.bytes_loaded += x_bytes;
+            b.shared.stores += fragments * frag_stores_each;
+            if !self.optimized_loading {
+                // Per-warp loading: each fragment row is fetched by a quarter
+                // warp with partial 32-byte sectors (⅓ wasted traffic and 50 %
+                // more transactions), and the untransposed layout causes 4-way
+                // bank conflicts on every store step (Fig. 6's pathology).
+                b.dram.bytes_loaded += (nnz_cols * dim) as u64 * eb / 3;
+                b.dram.transactions += fragments * frag_rows / 2;
+                b.shared.bank_conflicts += fragments * frag_stores_each * 3;
+            }
         }
 
         // -- WMMA issues: one per (tile, dim chunk), plus the two fragment
@@ -201,19 +251,22 @@ impl TensorSpmm {
         if tiles == 0 {
             return;
         }
-        let entry_bytes = 6 + self.precision.storage_bytes();
+        let pipelined = self.pipelined && self.optimized_loading;
         let eb = self.precision.storage_bytes();
         let fragments = (tiles * dim_chunks) as u64;
         let frag_rows = tile_k as u64;
         let frag_bytes = tile_k as u64 * 16 * eb;
         let frag_stores_each = frag_bytes.div_ceil(dev.warp_size as u64 * 4);
-        // Shared layout: [A tile region | X staging buffer]; the X buffer
-        // holds one fragment and is reused, fenced by barriers.
+        // Shared layout: [A tile region | X staging buffer(s)]; the
+        // synchronous kernel reuses one X buffer fenced by barriers, the
+        // pipelined kernel double-buffers so prefetches for fragment f+1
+        // land while fragment f is consumed.
         let a_stores = (nnz as u64).div_ceil(dev.warp_size as u64);
         let a_words = (a_stores as u32).max(1) * 32;
         let x_words = frag_stores_each as u32 * 32;
         let a_base = sink.alloc_shared(a_words);
-        let x_base = sink.alloc_shared(x_words);
+        let x_base = sink.alloc_shared(if pipelined { 2 * x_words } else { x_words });
+        let xb = |f: u64| x_base + (f % 2) as u32 * x_words * pipelined as u32;
         // Replays billed per staging store step by the unoptimized layout
         // (Fig. 6's 4-way pathology).
         let store_conflicts = if self.optimized_loading { 0 } else { 3 };
@@ -224,9 +277,13 @@ impl TensorSpmm {
             turn += 1;
         };
 
-        // -- A-fragment conversion: coalesced entry loads, scattered
-        // single-lane stores into the tile region.
-        let a_loads = coalesced_transactions(nnz as u64 * entry_bytes, dev.transaction_bytes);
+        // -- A-fragment conversion: coalesced loads of the A stream
+        // (values + compressed or legacy metadata), scattered single-lane
+        // stores into the tile region.
+        let a_loads = coalesced_transactions(
+            self.a_stream_bytes(nnz, nnz_cols, rows),
+            dev.transaction_bytes,
+        );
         for _ in 0..a_loads {
             push(
                 sink,
@@ -253,28 +310,50 @@ impl TensorSpmm {
         };
         let mut extra_left = extra_gathers;
         let frag_read_words = ((frag_bytes / 4) as u32).clamp(1, x_words);
-        for f in 0..fragments {
-            let chunk = (f as usize) % dim_chunks;
+        if pipelined {
+            // Fragment 0 is the only synchronous stage: demand strip loads
+            // stored into buffer 0 behind a barrier.
             for _ in 0..frag_rows {
                 push(sink, WarpOp::Global { bytes: 64 });
             }
-            let batch = extra_left.div_ceil(fragments - f);
-            for _ in 0..batch {
-                push(sink, WarpOp::Global { bytes: 32 });
-            }
-            extra_left -= batch;
             for s in 0..frag_stores_each {
-                push(
-                    sink,
-                    WarpOp::shared_access(
-                        gpu_sim::AccessKind::Write,
-                        x_base + s as u32 * 32,
-                        32,
-                        store_conflicts,
-                    ),
-                );
+                push(sink, WarpOp::shared_write(xb(0) + s as u32 * 32, 32));
             }
             sink.record_all(WarpOp::Barrier);
+        }
+        for f in 0..fragments {
+            let chunk = (f as usize) % dim_chunks;
+            if pipelined {
+                // Steady state: prefetch fragment f+1 into the other buffer
+                // (async — no store ops, the copy lands directly) while the
+                // owning warp consumes fragment f.
+                if f + 1 < fragments {
+                    for _ in 0..frag_rows {
+                        push(sink, WarpOp::Prefetch { bytes: 64 });
+                    }
+                }
+            } else {
+                for _ in 0..frag_rows {
+                    push(sink, WarpOp::Global { bytes: 64 });
+                }
+                let batch = extra_left.div_ceil(fragments - f);
+                for _ in 0..batch {
+                    push(sink, WarpOp::Global { bytes: 32 });
+                }
+                extra_left -= batch;
+                for s in 0..frag_stores_each {
+                    push(
+                        sink,
+                        WarpOp::shared_access(
+                            gpu_sim::AccessKind::Write,
+                            x_base + s as u32 * 32,
+                            32,
+                            store_conflicts,
+                        ),
+                    );
+                }
+                sink.record_all(WarpOp::Barrier);
+            }
             // Owning warp (Fig. 5b): two fragment loads, one WMMA.
             let w = chunk % nwarps;
             let tile_slice = (f / dim_chunks as u64 * 32 % a_words as u64) as u32;
@@ -282,7 +361,7 @@ impl TensorSpmm {
                 w,
                 WarpOp::shared_read(a_base + tile_slice.min(a_words - 32), 32),
             );
-            sink.record(w, WarpOp::shared_read(x_base, frag_read_words));
+            sink.record(w, WarpOp::shared_read(xb(f), frag_read_words));
             sink.record(w, WarpOp::Wmma);
             sink.record_all(WarpOp::Barrier); // fence before buffer reuse
         }

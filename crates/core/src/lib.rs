@@ -49,7 +49,9 @@ pub use kernels::tensor::TensorSpmm;
 pub use kernels::{SpmmKernel, SpmmResult};
 pub use loa::{Loa, LoaBrute, LoaReport};
 pub use plan::{LoaLayout, PatchError, Plan, PlanSpec};
-pub use preprocess::{preprocess_oracle, window_preprocess_cost, Preprocessed};
+pub use preprocess::{
+    preprocess_oracle, window_preprocess_cost, window_preprocess_cost_with, Preprocessed,
+};
 pub use resilient::{
     execute_resilient, fallback_chain, FallbackStep, HcError, OverloadReason, ResiliencePolicy,
     ResilientRun, Validation,

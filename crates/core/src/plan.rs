@@ -453,17 +453,21 @@ impl Plan {
         SpmmResult { z, run }
     }
 
-    /// Approximate resident bytes of the plan's owned artifacts — what a
-    /// byte-budgeted cache charges for keeping it. Counts the partition's
-    /// index arrays, the choice vector and the LOA layout; constant-size
-    /// fields are ignored.
+    /// Resident bytes of the plan's owned artifacts — what a byte-budgeted
+    /// cache charges for keeping it. Recursive and honest: each window is
+    /// charged its struct size plus the actual heap content of its
+    /// compressed tile metadata (column stream + bitmaps, by length, so
+    /// patched and fresh plans account identically); the choice vector and
+    /// the LOA layout are charged the same way. Fixed-size plan fields are
+    /// ignored.
     pub fn approx_bytes(&self) -> u64 {
+        let window_fixed = std::mem::size_of::<graph_sparse::RowWindow>() as u64;
         let windows: u64 = self
             .pre
             .partition
             .windows
             .iter()
-            .map(|w| 4 * (w.unique_cols.len() + w.cond_idx.len()) as u64 + 48)
+            .map(|w| window_fixed + w.meta.heap_bytes() as u64)
             .sum();
         let choices = self.pre.choices.len() as u64;
         let loa = self.loa.as_ref().map_or(0, |l| {
@@ -738,5 +742,55 @@ mod tests {
         );
         assert!(small.approx_bytes() > 0);
         assert!(large.approx_bytes() > 4 * small.approx_bytes());
+    }
+
+    /// Recursive size-accounting audit: recompute the byte total from
+    /// first principles — per window, the struct size plus the *actual*
+    /// lengths of its encoded tile-metadata parts; per choice, one byte;
+    /// the LOA artifacts; the fingerprint checkpoints — and demand exact
+    /// agreement with `approx_bytes`. Catches both stale formulas (the old
+    /// version billed a flat 4·(nnz + nnz_cols) + 48 that no longer exists
+    /// in memory) and capacity-vs-length drift.
+    #[test]
+    fn approx_bytes_recursive_audit() {
+        let dev = DeviceSpec::rtx3090();
+        let graphs = [
+            gen::community(512, 4_000, 16, 0.9, 7),
+            gen::erdos_renyi(256, 900, 8),
+            Csr::empty(64, 64),
+        ];
+        for (gi, a) in graphs.iter().enumerate() {
+            let loa_spec = PlanSpec {
+                use_loa: true,
+                ..PlanSpec::hybrid()
+            };
+            for spec in [PlanSpec::hybrid(), loa_spec] {
+                let plan = Plan::prepare(a, spec, &dev);
+                let mut want = 0u64;
+                for w in &plan.pre.partition.windows {
+                    let (col_stream, bitmaps) = w.meta.parts();
+                    want += std::mem::size_of::<graph_sparse::RowWindow>() as u64
+                        + col_stream.len() as u64
+                        + 16 * bitmaps.len() as u64;
+                    // The heap accessor must agree with the raw parts.
+                    assert_eq!(
+                        w.meta.heap_bytes(),
+                        col_stream.len() + 16 * bitmaps.len(),
+                        "graph {gi}: heap_bytes out of sync with parts"
+                    );
+                }
+                want += plan.pre.choices.len() as u64;
+                if let Some(l) = &plan.loa {
+                    want +=
+                        l.structure.byte_size() + 4 * (l.perm.len() + l.val_gather.len()) as u64;
+                }
+                want += plan.fingerprint_state.checkpoint_bytes();
+                assert_eq!(
+                    plan.approx_bytes(),
+                    want,
+                    "graph {gi}, spec {spec:?}: accounting disagrees with a recursive walk"
+                );
+            }
+        }
     }
 }

@@ -80,6 +80,20 @@ pub fn preprocess(a: &Csr, selector: &Selector, dev: &DeviceSpec) -> Preprocesse
 /// ([`crate::Plan::patch`]) can bill exactly this model for the dirty
 /// windows it re-condenses — and nothing for the windows it reuses.
 pub fn window_preprocess_cost(w: &RowWindow, dev: &DeviceSpec) -> Option<BlockCost> {
+    window_preprocess_cost_with(w, dev, true)
+}
+
+/// [`window_preprocess_cost`] with the compaction write-back format made
+/// explicit: `compressed` bills the tile-metadata emission (occupancy
+/// bitmaps + delta-coded columns, exactly `w.meta.encoded_bytes()` written
+/// back), while `false` reconstructs the pre-compression kernel that wrote
+/// per-entry condensed indices (`nnz·8 + nnz_cols·4` bytes) — the baseline
+/// side of the `ext_tile_compress` experiment.
+pub fn window_preprocess_cost_with(
+    w: &RowWindow,
+    dev: &DeviceSpec,
+    compressed: bool,
+) -> Option<BlockCost> {
     if w.is_empty() {
         return None;
     }
@@ -98,11 +112,18 @@ pub fn window_preprocess_cost(w: &RowWindow, dev: &DeviceSpec) -> Option<BlockCo
     b.cuda_fma_issues += nnz.div_ceil(32) * SORT_PASSES * 4; // digit extract + rank
     b.shared.loads += nnz.div_ceil(32) * SORT_PASSES;
     b.shared.stores += nnz.div_ceil(32) * SORT_PASSES;
-    // Compaction pass: detect unique columns, write the condensed id
-    // array and per-entry tile offsets; then classify (two FMAs).
-    b.dram.transactions +=
-        coalesced_transactions(nnz * 8 + w.nnz_cols() as u64 * 4, dev.transaction_bytes);
-    b.dram.bytes_stored += nnz * 8 + w.nnz_cols() as u64 * 4;
+    // Compaction pass: detect unique columns and write the window metadata
+    // back — the compressed tile form emits the exact encoded bytes of this
+    // window's bitmaps + column stream; the legacy form wrote a u32 tile
+    // offset + u32 condensed index per entry plus the unique-column array.
+    let meta_bytes = if compressed {
+        w.meta_bytes() as u64
+    } else {
+        nnz * 8 + w.nnz_cols() as u64 * 4
+    };
+    b.dram.transactions += coalesced_transactions(meta_bytes, dev.transaction_bytes);
+    b.dram.bytes_stored += meta_bytes;
+    // Classification (two FMAs) closes the block.
     b.cuda_fma_issues += 2;
     Some(b)
 }

@@ -42,11 +42,14 @@ impl Selector {
     /// Coefficients produced by [`train_default`] on the RTX 3090 spec —
     /// the "model encoding" step. Regenerate with
     /// `cargo run -p bench --bin train_selector` after changing the device
-    /// model.
+    /// model. With the pipelined tensor path the staging latency no longer
+    /// scales the crossover with the column count, so the fitted boundary
+    /// collapses to (almost) pure sparsity: windows denser than ~87 % zeros
+    /// go to CUDA cores, everything else to Tensor cores.
     pub const DEFAULT: Selector = Selector {
-        w1: -0.116092,
-        w2: 131.348570,
-        b: -102.824391,
+        w1: 0.0,
+        w2: 119.570014,
+        b: -104.518048,
     };
 
     /// Largest column count in the training grid (footnote 8: 130 columns

@@ -89,6 +89,23 @@ proptest! {
             prop_assert_eq!(&patched.pre.partition, &fresh.pre.partition);
             prop_assert_eq!(&patched.pre.choices, &fresh.pre.choices);
 
+            // The partition equality above compares windows structurally;
+            // spell out the compressed-metadata half of the claim: the
+            // patch path re-encodes only dirty windows, so every window's
+            // column stream and occupancy bitmaps — and therefore the
+            // plan's size accounting — must come out byte-identical to a
+            // from-scratch condense.
+            for (pw, fw) in patched
+                .pre
+                .partition
+                .windows
+                .iter()
+                .zip(&fresh.pre.partition.windows)
+            {
+                prop_assert_eq!(pw.meta.parts(), fw.meta.parts());
+            }
+            prop_assert_eq!(patched.approx_bytes(), fresh.approx_bytes());
+
             let got = patched.execute(&b, &x, &dev);
             let want = fresh.execute(&b, &x, &dev);
             prop_assert_eq!(&got.z, &want.z, "family {:?}: outputs differ", family);

@@ -128,6 +128,59 @@ fn unoptimized_variants_agree_too() {
 }
 
 #[test]
+fn pipelined_tensor_conforms_and_beats_the_synchronous_schedule() {
+    // The double-buffered schedule must (a) stay representation-agnostic —
+    // CounterTrace bills exactly the pipelined cycles BlockTrace does,
+    // prefetch traffic included — and (b) actually be an optimization:
+    // on dense windows the pipelined + compressed configuration charges
+    // strictly fewer cycles than the legacy synchronous one.
+    let a = mixed_graph();
+    let part = RowWindowPartition::build(&a);
+    let pipelined = TensorSpmm::optimized();
+    let legacy = TensorSpmm::uncompressed_unpipelined();
+    let dev = DeviceSpec::rtx3090();
+    let mut dense_checked = 0usize;
+    for w in part.windows.iter().filter(|w| !w.is_empty()).take(64) {
+        let (n, c, r) = (w.nnz, w.nnz_cols(), w.rows);
+        for dim in [32, 64] {
+            assert_modes_agree(
+                "tensor(pipelined)",
+                &pipelined.window_trace(n, c, r, dim, &dev),
+                &pipelined.window_counters(n, c, r, dim, &dev),
+                &dev,
+            );
+            assert_modes_agree(
+                "tensor(legacy)",
+                &legacy.window_trace(n, c, r, dim, &dev),
+                &legacy.window_counters(n, c, r, dim, &dev),
+                &dev,
+            );
+            let pc = pipelined.window_counters(n, c, r, dim, &dev);
+            let lc = legacy.window_counters(n, c, r, dim, &dev);
+            assert!(
+                pc.prefetch_transactions > 0,
+                "pipelined schedule must stage X fragments via cp.async"
+            );
+            assert_eq!(
+                lc.prefetch_transactions, 0,
+                "the synchronous schedule issues no prefetches"
+            );
+            // Dense enough that X staging dominates: pipelining must win.
+            if c >= 32 {
+                let p = BlockCost::from(&pc).cycles(&dev);
+                let l = BlockCost::from(&lc).cycles(&dev);
+                assert!(
+                    p < l,
+                    "pipelined {p} cycles !< legacy {l} on a {c}-col window"
+                );
+                dense_checked += 1;
+            }
+        }
+    }
+    assert!(dense_checked > 10, "graph lacks dense windows to compare");
+}
+
+#[test]
 fn counter_mode_skips_event_vectors() {
     // The whole point of counter mode: a window with thousands of events
     // compresses to one fixed-size struct whose op total still matches.

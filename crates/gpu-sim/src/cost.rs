@@ -60,8 +60,12 @@ pub struct BlockCost {
     pub cuda_fma_issues: u64,
     /// Warp-level WMMA issues on the Tensor cores.
     pub wmma_issues: u64,
-    /// Global-memory traffic.
+    /// Global-memory traffic (demand: the issuing warp stalls on it).
     pub dram: DramTraffic,
+    /// Asynchronous prefetch traffic (`cp.async`-style double-buffered
+    /// stage loads): occupies DRAM bandwidth but overlaps compute — no
+    /// dependent-latency chain, the data is fenced by the next barrier.
+    pub prefetch: DramTraffic,
     /// Shared-memory traffic.
     pub shared: SharedTraffic,
     /// Number of warps the block runs with (controls intra-block overlap of
@@ -79,6 +83,8 @@ impl BlockCost {
     pub fn warm(mut self) -> BlockCost {
         self.dram.bytes_loaded = 0;
         self.dram.bytes_stored = 0;
+        self.prefetch.bytes_loaded = 0;
+        self.prefetch.bytes_stored = 0;
         self
     }
 
@@ -111,30 +117,65 @@ impl BlockCost {
         cuda + tensor
     }
 
-    /// Cycles this block spends waiting on memory (global + shared), after
-    /// warp-level latency hiding.
-    pub fn memory_cycles(&self, d: &DeviceSpec) -> f64 {
-        // Transactions stream at the SM's share of DRAM bandwidth; the
-        // first-access latency is amortized across concurrent warps.
-        let bytes = (self.dram.bytes_loaded + self.dram.bytes_stored) as f64;
-        let stream = bytes / d.bytes_per_cycle_per_sm();
+    /// Cycles to stream this block's demand bytes at the SM's share of DRAM
+    /// bandwidth.
+    fn dram_stream_cycles(&self, d: &DeviceSpec) -> f64 {
+        (self.dram.bytes_loaded + self.dram.bytes_stored) as f64 / d.bytes_per_cycle_per_sm()
+    }
+
+    /// The dependent-latency chain: demand-transaction latency after
+    /// warp-level hiding, plus the shared-memory LSU occupancy that
+    /// serializes with it.
+    fn latency_chain_cycles(&self, d: &DeviceSpec) -> f64 {
         let hiding = (self.warps.max(1) as f64).sqrt();
         let latency = self.dram.transactions as f64 * d.dram_latency_cycles / hiding;
         let shared = (self.shared.loads + self.shared.stores) as f64 * d.shared_access_cycles
             + self.shared.bank_conflicts as f64 * d.bank_conflict_cycles;
+        latency + shared
+    }
+
+    /// Cycles this block spends waiting on demand memory (global + shared),
+    /// after warp-level latency hiding.
+    pub fn memory_cycles(&self, d: &DeviceSpec) -> f64 {
         // Shared-memory accesses pipeline in the LSU concurrently with DRAM
         // streaming but serialize with the dependent-load latency chain.
-        stream.max(latency + shared)
+        self.dram_stream_cycles(d).max(self.latency_chain_cycles(d))
+    }
+
+    /// Residual latency of the asynchronous prefetch stream. Double
+    /// buffering gives each `cp.async` a full pipeline stage to land, so
+    /// its latency is hidden linearly in the warp count — markedly better
+    /// than the `sqrt(warps)` hiding of demand loads, but not free: the
+    /// per-stage barrier still waits for the slowest outstanding copy.
+    pub fn prefetch_residual_cycles(&self, d: &DeviceSpec) -> f64 {
+        let hiding = self.warps.max(1) as f64;
+        self.prefetch.transactions as f64 * d.dram_latency_cycles / hiding
+    }
+
+    /// Memory cycles with the prefetch stream folded in: prefetch bytes
+    /// share the DRAM pipe with demand bytes (bandwidth is additive), while
+    /// the prefetch residual chains with the demand-latency side. The same
+    /// `max` that lets demand bandwidth and latency overlap applies, so a
+    /// bandwidth-bound block is never charged prefetch latency on top of a
+    /// saturated pipe. With no prefetch traffic this is exactly
+    /// [`memory_cycles`](BlockCost::memory_cycles).
+    pub fn combined_memory_cycles(&self, d: &DeviceSpec) -> f64 {
+        let pstream = (self.prefetch.bytes_loaded + self.prefetch.bytes_stored) as f64
+            / d.bytes_per_cycle_per_sm();
+        let bandwidth = self.dram_stream_cycles(d) + pstream;
+        let chain = self.latency_chain_cycles(d) + self.prefetch_residual_cycles(d);
+        bandwidth.max(chain)
     }
 
     /// Total cycles charged to the SM that runs this block.
     pub fn cycles(&self, d: &DeviceSpec) -> f64 {
         // Compute and memory partially overlap thanks to warp switching; the
         // residual serialization factor is calibrated with the Fig. 1
-        // crossover (see `device` module docs).
+        // crossover (see `device` module docs). The serialization tax stays
+        // a function of demand memory only: prefetches never stall a warp.
         let c = self.compute_cycles(d);
         let m = self.memory_cycles(d);
-        c.max(m) + 0.35 * c.min(m)
+        c.max(self.combined_memory_cycles(d)) + 0.35 * c.min(m)
     }
 }
 

@@ -425,6 +425,8 @@ pub struct TraceCounters {
     pub wmma_issues: u64,
     /// Global-memory transactions ([`WarpOp::Global`] ops).
     pub global_transactions: u64,
+    /// Asynchronous prefetch transactions ([`WarpOp::Prefetch`] ops).
+    pub prefetch_transactions: u64,
     /// Shared accesses (loads + stores).
     pub shared_accesses: u64,
     /// Bank-conflict replays summed over shared ops.
@@ -441,6 +443,7 @@ impl From<&CounterTrace> for TraceCounters {
             fma_issues: c.compute_issues,
             wmma_issues: c.wmma_issues,
             global_transactions: c.global_transactions,
+            prefetch_transactions: c.prefetch_transactions,
             shared_accesses: c.shared_loads + c.shared_stores,
             bank_conflicts: c.bank_conflicts,
             warps: c.warps,
@@ -508,6 +511,12 @@ pub fn cost_conformance_counters(
         "dram.transactions",
         traced.global_transactions,
         cost.dram.transactions,
+        out,
+    );
+    diff(
+        "prefetch.transactions",
+        traced.prefetch_transactions,
+        cost.prefetch.transactions,
         out,
     );
     diff(

@@ -81,6 +81,16 @@ pub enum WarpOp {
         /// Transaction payload.
         bytes: u32,
     },
+    /// Asynchronous global-memory fetch of `bytes` into the *other* buffer
+    /// of a double-buffered stage (`cp.async`-style): the transaction
+    /// enters the DRAM queue, but the issuing warp does NOT stall — the
+    /// data is for the next pipeline stage, fenced by the next barrier.
+    /// This is how the pipelined tensor path overlaps fragment loads with
+    /// the previous fragment's MMA cycles.
+    Prefetch {
+        /// Transaction payload.
+        bytes: u32,
+    },
 }
 
 impl WarpOp {
@@ -326,6 +336,11 @@ pub struct CounterTrace {
     /// Bytes moved by those transactions ([`WarpOp::Global`] carries no
     /// direction, so loads and stores pool here).
     pub global_bytes: u64,
+    /// Asynchronous prefetch transactions ([`WarpOp::Prefetch`]) — billed
+    /// as bandwidth-only traffic that overlaps compute.
+    pub prefetch_transactions: u64,
+    /// Bytes moved by prefetch transactions.
+    pub prefetch_bytes: u64,
     /// Declared shared allocation, in 4-byte words.
     pub shared_alloc_words: u32,
 }
@@ -347,6 +362,10 @@ impl CounterTrace {
                 self.global_transactions += 1;
                 self.global_bytes += bytes as u64;
             }
+            WarpOp::Prefetch { bytes } => {
+                self.prefetch_transactions += 1;
+                self.prefetch_bytes += bytes as u64;
+            }
             // Per-warp barrier arrivals carry no billable work; epochs are
             // counted in `record_all` / `from_trace`.
             WarpOp::Barrier => {}
@@ -362,6 +381,7 @@ impl CounterTrace {
             + self.shared_loads
             + self.shared_stores
             + self.global_transactions
+            + self.prefetch_transactions
             + self.barrier_epochs * self.warps as u64
     }
 
@@ -434,6 +454,11 @@ impl From<&CounterTrace> for BlockCost {
                 bytes_loaded: c.global_bytes,
                 bytes_stored: 0,
                 transactions: c.global_transactions,
+            },
+            prefetch: DramTraffic {
+                bytes_loaded: c.prefetch_bytes,
+                bytes_stored: 0,
+                transactions: c.prefetch_transactions,
             },
             shared: SharedTraffic {
                 loads: c.shared_loads,
@@ -544,6 +569,15 @@ pub fn simulate_block(trace: &BlockTrace, d: &DeviceSpec) -> f64 {
                     dram_free_at = start + service;
                     ready_at[w] = start + service + d.dram_latency_cycles;
                 }
+                WarpOp::Prefetch { bytes } => {
+                    // Same DRAM queue occupancy, but the issuing warp keeps
+                    // running: the data lands in the other pipeline buffer,
+                    // fenced by the next barrier (the closing drain below
+                    // still charges any bandwidth left in flight).
+                    let start = dram_free_at.max(cycle);
+                    dram_free_at = start + bytes as f64 / bpc;
+                    ready_at[w] = cycle + 1.0;
+                }
             }
             pc[w] += 1;
             remaining -= 1;
@@ -624,24 +658,30 @@ pub fn cuda_window_trace(row_nnz: &[usize], dim: usize, d: &DeviceSpec) -> Block
 }
 
 /// Build the trace of the optimized Tensor SpMM kernel (Algorithm 4) for
-/// one condensed window: A-fragment conversion into shared memory, then per
-/// (tile, chunk) fragment a cooperative conflict-free X staging pass
-/// (Fig. 6), a barrier, the owning warp's fragment loads + WMMA issue, and
-/// a closing barrier before the staging buffer is reused.
+/// one condensed window, with the cuTeSpMM-style pipelined X staging: the
+/// A-fragment conversion lands in shared memory, fragment 0 is staged
+/// synchronously, then each iteration prefetches the *next* fragment into
+/// the other half of a double buffer ([`WarpOp::Prefetch`] — the issuing
+/// warps keep running) while the owning warp loads the current fragment
+/// and issues its WMMA. One barrier per fragment fences the buffer swap;
+/// buffer parity keeps the concurrent accesses disjoint.
 pub fn tensor_window_trace(nnz: usize, nnz_cols: usize, dim: usize, d: &DeviceSpec) -> BlockTrace {
     let tiles = nnz_cols.div_ceil(8);
     let chunks = dim.div_ceil(16);
+    let frags = tiles * chunks;
     let nwarps = 8usize;
-    // Shared layout: [A-fragment region | X staging buffer]. The X buffer
-    // holds one 8×16-value half-precision-in-f32-words fragment (8 rows of
-    // 16 words) and is reused across fragments, fenced by barriers.
+    // Shared layout: [A-fragment region | X staging buffer ×2]. Each X
+    // buffer holds one 8×16-value fragment (8 rows of 16 words); the two
+    // halves alternate across fragments, fenced by the per-fragment
+    // barrier.
     let a_stores = nnz.div_ceil(32);
     let a_words = (a_stores * 32) as u32;
     let x_words = 8u32 * 16;
     let mut t = BlockTrace {
         warps: vec![WarpTrace::default(); nwarps],
-        shared_alloc_words: a_words + x_words,
+        shared_alloc_words: a_words + 2 * x_words,
     };
+    let xb = |f: usize| a_words + (f % 2) as u32 * x_words;
     // A-fragment conversion, spread over warps.
     for i in 0..a_stores {
         let w = i % nwarps;
@@ -653,27 +693,36 @@ pub fn tensor_window_trace(nnz: usize, nnz_cols: usize, dim: usize, d: &DeviceSp
             .push(WarpOp::shared_write((i * 32) as u32, 32));
     }
     t.push_all(WarpOp::Barrier);
-    // X fragments: per (tile, chunk), 8 gathers of a 64-byte strip staged
-    // conflict-free (Fig. 6), then the owning warp (chunk c → warp c,
-    // Fig. 5b) loads the fragment and issues the WMMA.
+    if frags == 0 {
+        return t;
+    }
+    // Fragment 0 is staged synchronously: 8 gathers of a 64-byte strip
+    // stored conflict-free (Fig. 6).
     let mut turn = 0usize;
-    for t_idx in 0..tiles {
-        for c in 0..chunks {
-            for row in 0..8 {
+    for row in 0..8u32 {
+        let w = turn % nwarps;
+        t.warps[w].ops.push(WarpOp::Global { bytes: 64 });
+        t.warps[w]
+            .ops
+            .push(WarpOp::shared_write(xb(0) + row * 16, 16));
+        turn += 1;
+    }
+    t.push_all(WarpOp::Barrier);
+    // Steady state: prefetch fragment f+1 into the other buffer (async —
+    // no shared store ops, the copy lands directly) while the owning warp
+    // (chunk c → warp c, Fig. 5b) consumes fragment f.
+    for f in 0..frags {
+        if f + 1 < frags {
+            for _row in 0..8 {
                 let w = turn % nwarps;
-                t.warps[w].ops.push(WarpOp::Global { bytes: 64 });
-                t.warps[w]
-                    .ops
-                    .push(WarpOp::shared_write(a_words + row as u32 * 16, 16));
+                t.warps[w].ops.push(WarpOp::Prefetch { bytes: 64 });
                 turn += 1;
             }
-            t.push_all(WarpOp::Barrier);
-            let w = c % nwarps;
-            t.warps[w].ops.push(WarpOp::shared_read(a_words, x_words)); // frag loads
-            t.warps[w].ops.push(WarpOp::Wmma);
-            t.push_all(WarpOp::Barrier); // fence before buffer reuse
-            let _ = t_idx;
         }
+        let w = (f % chunks.max(1)) % nwarps;
+        t.warps[w].ops.push(WarpOp::shared_read(xb(f), x_words)); // frag loads
+        t.warps[w].ops.push(WarpOp::Wmma);
+        t.push_all(WarpOp::Barrier); // buffer-swap fence
     }
     t
 }

@@ -407,9 +407,13 @@ mod tests {
         assert_eq!(cold.cache.workspace_stats(), Default::default());
 
         // And a cache that evicts between repeats still serves the exact
-        // same bytes after re-preparing the plan.
-        let bytes = hc_core::Plan::prepare(&g, PlanSpec::hybrid(), &dev).approx_bytes();
+        // same bytes after re-preparing the plan. Budget for the larger of
+        // the two plans so either fits alone but never both (scattered
+        // graphs carry bulkier tile metadata than community graphs).
         let other = Arc::new(gen::erdos_renyi(256, 700, 9));
+        let bytes = hc_core::Plan::prepare(&g, PlanSpec::hybrid(), &dev)
+            .approx_bytes()
+            .max(hc_core::Plan::prepare(&other, PlanSpec::hybrid(), &dev).approx_bytes());
         let mut evicting = BatchDriver::new(bytes, PlanSpec::hybrid());
         let before = evicting.serve(&reqs[0], &dev);
         // Inserting a second structure evicts the first (budget of one).

@@ -21,6 +21,7 @@ pub mod gen;
 pub mod io;
 pub mod metcf;
 pub mod metrics;
+pub mod tile;
 pub mod window;
 
 pub use coo::Coo;
@@ -30,4 +31,5 @@ pub use delta::{DeltaCsr, DeltaError};
 pub use dense::DenseMatrix;
 pub use fingerprint::{FingerprintState, StructureFingerprint};
 pub use metcf::MeTcf;
+pub use tile::{TileCodecError, TileMeta};
 pub use window::{RowWindow, RowWindowPartition, WINDOW_ROWS};

@@ -81,17 +81,20 @@ impl MeTcf {
             // Bucket entries by tile, preserving CSR order within a tile so
             // the format stays deterministic.
             let mut per_tile: Vec<Vec<(u8, f32)>> = vec![Vec::new(); n_tiles];
-            let lo = a.row_ptr[w.start_row] as usize;
             for r in w.start_row..w.start_row + w.rows {
                 let (s, e) = a.row_range(r);
-                for i in s..e {
-                    let cond = w.cond_idx[i - lo] as usize;
+                // The bitmap walk yields condensed indices in this row's
+                // CSR entry order (both ascend by column).
+                let conds = w.meta.row_cond_indices(r - w.start_row);
+                for (i, cond) in (s..e).zip(conds) {
+                    let cond = cond as usize;
                     let tile = cond / TILE_K;
                     let row_in_window = (r - w.start_row) as u8;
                     let col_in_tile = (cond % TILE_K) as u8;
                     per_tile[tile].push(((row_in_window << 3) | col_in_tile, a.vals[i]));
                 }
             }
+            let unique_cols = w.unique_cols();
             for (t, entries) in per_tile.into_iter().enumerate() {
                 let entry_start = out.entry_pos.len() as u32;
                 for (pos, val) in entries {
@@ -99,7 +102,7 @@ impl MeTcf {
                     out.entry_vals.push(val);
                 }
                 let col_start = out.tile_cols.len() as u32;
-                let cols = &w.unique_cols[t * TILE_K..((t + 1) * TILE_K).min(w.nnz_cols())];
+                let cols = &unique_cols[t * TILE_K..((t + 1) * TILE_K).min(w.nnz_cols())];
                 out.tile_cols.extend_from_slice(cols);
                 out.tiles.push(TileDesc {
                     entry_start,

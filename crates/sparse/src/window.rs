@@ -10,11 +10,17 @@
 use serde::{Deserialize, Serialize};
 
 use crate::csr::Csr;
+use crate::tile::TileMeta;
 
 /// Rows per row window, fixed by the WMMA m-dimension (§IV-A).
 pub const WINDOW_ROWS: usize = 16;
 
-/// One condensed row window.
+/// One condensed row window. The condensed structure (distinct columns +
+/// per-entry condensed indices) is held in compressed form — occupancy
+/// bitmaps plus a delta-varint column stream ([`TileMeta`]) — which is the
+/// canonical representation kernels and cost models consume directly; the
+/// old dense `unique_cols`/`cond_idx` vectors are recoverable views, not
+/// stored state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RowWindow {
     /// First row of the window in the parent matrix.
@@ -23,19 +29,27 @@ pub struct RowWindow {
     pub rows: usize,
     /// Non-zero count within the window.
     pub nnz: usize,
-    /// Sorted distinct column indices with at least one non-zero in the
-    /// window. The position of a column in this vector is its *condensed*
-    /// column index; `unique_cols.len()` is the paper's "#non-zero columns".
-    pub unique_cols: Vec<u32>,
-    /// Condensed column index of each CSR entry in the window, in CSR entry
-    /// order (parallel to the parent's `col_idx[entry_range]`).
-    pub cond_idx: Vec<u32>,
+    /// Compressed tile metadata: occupancy bitmaps + column stream.
+    pub meta: TileMeta,
 }
 
 impl RowWindow {
     /// Number of non-zero columns — one of the two selection features.
     pub fn nnz_cols(&self) -> usize {
-        self.unique_cols.len()
+        self.meta.nnz_cols()
+    }
+
+    /// Decode the sorted distinct columns (the old `unique_cols` view).
+    /// Allocates; format converters use it, hot paths walk
+    /// [`TileMeta::row_cond_indices`] instead.
+    pub fn unique_cols(&self) -> Vec<u32> {
+        self.meta.decode_cols()
+    }
+
+    /// Bytes of the window's device-format metadata encoding — what the
+    /// condense step writes back and the tensor A-conversion loads.
+    pub fn meta_bytes(&self) -> usize {
+        self.meta.encoded_bytes()
     }
 
     /// Sparsity of the condensed window: fraction of zeros inside the
@@ -82,18 +96,23 @@ impl RowWindow {
         unique_cols.sort_unstable();
         unique_cols.dedup();
 
-        // Condensed index per entry via binary search into unique_cols.
-        let cond_idx = a.col_idx[lo..hi]
-            .iter()
-            .map(|c| unique_cols.binary_search(c).expect("col present") as u32)
-            .collect();
+        // Compress directly: one set bit per entry at (local row, condensed
+        // column via binary search) — no dense cond_idx staging vector.
+        let entries = (0..rows).flat_map(|r| {
+            let rlo = a.row_ptr[start + r] as usize;
+            let rhi = a.row_ptr[start + r + 1] as usize;
+            let cols = &unique_cols;
+            a.col_idx[rlo..rhi]
+                .iter()
+                .map(move |c| (r, cols.binary_search(c).expect("col present")))
+        });
+        let meta = TileMeta::encode(rows, &unique_cols, entries);
 
         RowWindow {
             start_row: start,
             rows,
             nnz: hi - lo,
-            unique_cols,
-            cond_idx,
+            meta,
         }
     }
 }
@@ -202,8 +221,15 @@ mod tests {
         let p = RowWindowPartition::build(&a);
         for (wi, w) in p.windows.iter().enumerate() {
             let (lo, hi) = p.entry_range(&a, wi);
-            for (e, &ci) in (lo..hi).zip(&w.cond_idx) {
-                assert_eq!(w.unique_cols[ci as usize], a.col_idx[e]);
+            let cols = w.unique_cols();
+            // The row-by-row bitmap walk must reproduce the CSR entry
+            // order exactly (rows ascend; columns ascend within a row).
+            let cond: Vec<u32> = (0..w.rows)
+                .flat_map(|r| w.meta.row_cond_indices(r))
+                .collect();
+            assert_eq!(cond.len(), hi - lo);
+            for (e, &ci) in (lo..hi).zip(&cond) {
+                assert_eq!(cols[ci as usize], a.col_idx[e]);
             }
         }
     }
@@ -261,7 +287,7 @@ mod tests {
             let mut cols: Vec<u32> = a.col_idx[lo..hi].to_vec();
             cols.sort_unstable();
             cols.dedup();
-            assert_eq!(parallel.windows[probe].unique_cols, cols);
+            assert_eq!(parallel.windows[probe].unique_cols(), cols);
             assert_eq!(parallel.windows[probe].nnz, hi - lo);
         }
     }

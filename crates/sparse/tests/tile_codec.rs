@@ -1,0 +1,190 @@
+//! Property tests for the compressed tile-metadata codec ([`TileMeta`]).
+//!
+//! The codec's contract: encoding a window and reassembling it from its
+//! raw parts is the identity; the bitmap row walks reproduce the exact
+//! per-entry condensed-index sequence the dense representation used to
+//! store; and no byte stream — however hostile — ever panics the decoder:
+//! every defect comes back as a typed [`TileCodecError`].
+
+use graph_sparse::tile::{GROUP_ROWS, TILE_COLS};
+use graph_sparse::{TileCodecError, TileMeta};
+use proptest::prelude::*;
+
+/// A synthetic window: its row count, sorted distinct columns, and the set
+/// of `(local_row, cond)` occupancy bits.
+type WindowCase = (usize, Vec<u32>, Vec<(usize, usize)>);
+
+fn arb_window() -> impl Strategy<Value = WindowCase> {
+    (1usize..=40, 1usize..=40).prop_flat_map(|(rows, ncols)| {
+        proptest::collection::vec((0..rows, 0u32..1000), 0..160).prop_map(move |cells| {
+            // Dedup (row, col) pairs, then condense the distinct columns.
+            let mut cells: Vec<(usize, u32)> = cells.into_iter().take(ncols * rows).collect();
+            cells.sort_unstable();
+            cells.dedup();
+            let mut cols: Vec<u32> = cells.iter().map(|&(_, c)| c).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            let entries: Vec<(usize, usize)> = cells
+                .iter()
+                .map(|&(r, c)| (r, cols.binary_search(&c).expect("col present")))
+                .collect();
+            (rows, cols, entries)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → parts → from_parts is the identity, and every accessor
+    /// agrees with the generating window: decoded columns, per-row
+    /// condensed walks (in CSR entry order), per-column counts, and the
+    /// popcount/nnz bookkeeping.
+    #[test]
+    fn encode_roundtrips_and_accessors_agree((rows, cols, entries) in arb_window()) {
+        let m = TileMeta::encode(rows, &cols, entries.iter().copied());
+        prop_assert_eq!(m.rows(), rows);
+        prop_assert_eq!(m.nnz(), entries.len());
+        prop_assert_eq!(m.nnz_cols(), cols.len());
+        prop_assert_eq!(m.decode_cols(), cols.clone());
+        prop_assert_eq!(
+            m.encoded_bytes(),
+            12 + m.heap_bytes(),
+            "encoded = header + heap"
+        );
+
+        // The bitmap walk reproduces each row's conds ascending — exactly
+        // the dense cond_idx sequence in CSR entry order.
+        let mut walked = 0usize;
+        for r in 0..rows {
+            let mut want: Vec<u32> = entries
+                .iter()
+                .filter(|&&(er, _)| er == r)
+                .map(|&(_, c)| c as u32)
+                .collect();
+            want.sort_unstable();
+            let got: Vec<u32> = m.row_cond_indices(r).collect();
+            walked += got.len();
+            prop_assert_eq!(got, want, "row {} walk", r);
+        }
+        prop_assert_eq!(walked, m.nnz());
+
+        // Column counts straight off the bitmaps.
+        let mut want_counts = vec![0u32; cols.len()];
+        for &(_, cond) in &entries {
+            want_counts[cond] += 1;
+        }
+        prop_assert_eq!(m.col_counts(), want_counts);
+
+        // Reassembly from raw parts is bit-exact.
+        let (cs, bm) = m.parts();
+        let back = TileMeta::from_parts(
+            rows as u32,
+            m.nnz() as u32,
+            cols.len() as u32,
+            cs.to_vec(),
+            bm.to_vec(),
+        );
+        prop_assert_eq!(back.as_ref(), Ok(&m));
+    }
+
+    /// Arbitrary raw parts never panic the validator: every outcome is
+    /// `Ok` or a typed error, and an `Ok` value's accessors are safe.
+    #[test]
+    fn hostile_parts_never_panic(
+        rows in 0u32..70,
+        nnz in 0u32..300,
+        nnz_cols in 0u32..70,
+        col_stream in proptest::collection::vec(0u8..=255, 0..48),
+        bitmap_halves in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..12),
+    ) {
+        let bitmaps: Vec<u128> = bitmap_halves
+            .into_iter()
+            .map(|(hi, lo)| (u128::from(hi) << 64) | u128::from(lo))
+            .collect();
+        if let Ok(m) = TileMeta::from_parts(rows, nnz, nnz_cols, col_stream, bitmaps) {
+            // Validated metadata must be fully walkable without panics.
+            prop_assert_eq!(m.decode_cols().len(), m.nnz_cols());
+            let total: usize = (0..m.rows()).map(|r| m.row_cond_indices(r).count()).sum();
+            prop_assert_eq!(total, m.nnz());
+            prop_assert_eq!(m.col_counts().iter().map(|&c| c as usize).sum::<usize>(), m.nnz());
+        }
+    }
+
+    /// Corrupting a valid encoding is always caught: truncating the column
+    /// stream, appending trailing bytes, or lying about the bitmap count
+    /// each produce a typed error, never a wrong-but-Ok decode.
+    #[test]
+    fn corrupted_encodings_are_rejected((rows, cols, entries) in arb_window()) {
+        if cols.is_empty() {
+            // Nothing to corrupt in an empty stream; vacuously true.
+            return Ok(());
+        }
+        let m = TileMeta::encode(rows, &cols, entries.iter().copied());
+        let (cs, bm) = m.parts();
+        let (r, n, k) = (rows as u32, m.nnz() as u32, cols.len() as u32);
+
+        // Truncated column stream.
+        let cut = cs[..cs.len() - 1].to_vec();
+        prop_assert!(TileMeta::from_parts(r, n, k, cut, bm.to_vec()).is_err());
+
+        // Trailing bytes after the last column. 0x80 keeps a varint open,
+        // so this lands on TrailingColBytes or TruncatedColStream —
+        // either way a typed rejection.
+        let mut fat = cs.to_vec();
+        fat.push(0x80);
+        prop_assert!(TileMeta::from_parts(r, n, k, fat, bm.to_vec()).is_err());
+
+        // Overfull bitmap vector.
+        let mut extra = bm.to_vec();
+        extra.push(0);
+        prop_assert_eq!(
+            TileMeta::from_parts(r, n, k, cs.to_vec(), extra).err(),
+            Some(TileCodecError::BitmapCountMismatch {
+                expected: bm.len(),
+                got: bm.len() + 1,
+            })
+        );
+
+        // Lying nnz.
+        prop_assert!(matches!(
+            TileMeta::from_parts(r, n + 1, k, cs.to_vec(), bm.to_vec()),
+            Err(TileCodecError::PopcountMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn empty_full_and_single_column_windows() {
+    // Empty: no columns, no bitmaps, nothing to walk.
+    let empty = TileMeta::encode(GROUP_ROWS, &[], std::iter::empty());
+    assert_eq!(empty.heap_bytes(), 0);
+    assert_eq!(empty.tiles(), 0);
+    assert!(TileMeta::from_parts(GROUP_ROWS as u32, 0, 0, Vec::new(), Vec::new()).is_ok());
+
+    // Full 16×8 window: every bit of the single bitmap set.
+    let cols: Vec<u32> = (0..TILE_COLS as u32).collect();
+    let entries = (0..GROUP_ROWS).flat_map(|r| (0..TILE_COLS).map(move |c| (r, c)));
+    let full = TileMeta::encode(GROUP_ROWS, &cols, entries);
+    assert_eq!(full.nnz(), GROUP_ROWS * TILE_COLS);
+    let (_, bm) = full.parts();
+    assert_eq!(bm, &[u128::MAX]);
+    for r in 0..GROUP_ROWS {
+        assert_eq!(
+            full.row_cond_indices(r).collect::<Vec<_>>(),
+            (0..TILE_COLS as u32).collect::<Vec<_>>()
+        );
+    }
+
+    // Single column, hit by every row.
+    let one = TileMeta::encode(GROUP_ROWS, &[777], (0..GROUP_ROWS).map(|r| (r, 0)));
+    assert_eq!(one.decode_cols(), vec![777]);
+    assert_eq!(one.col_counts(), vec![GROUP_ROWS as u32]);
+    assert_eq!(one.tiles(), 1);
+
+    // A window taller than one row group spreads across bitmaps.
+    let tall = TileMeta::encode(32, &[5], [(0, 0), (31, 0)]);
+    assert_eq!(tall.row_groups(), 2);
+    assert_eq!(tall.parts().1.len(), 2);
+    assert_eq!(tall.row_cond_indices(31).collect::<Vec<_>>(), vec![0]);
+}
